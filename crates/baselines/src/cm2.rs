@@ -1,0 +1,294 @@
+//! A CM-2 convolution-compiler-style stencil pattern matcher.
+//!
+//! The paper (§6) describes the CM-2 stencil compiler's restrictions: it
+//! accepted only *single-statement* stencils written with the `CSHIFT`
+//! intrinsic, in exactly the form "a sum of terms, each of which is a
+//! coefficient multiplying a shift expression — no variations possible",
+//! with the stencil isolated in its own subroutine. This module implements
+//! that recognizer: when a program matches, it is compiled with the full
+//! optimization pipeline (standing in for the hand-optimized microcode);
+//! when it does not — multi-statement forms, array syntax, `EOSHIFT`,
+//! extra arithmetic — recognition fails, which is the robustness gap the
+//! paper's strategy closes.
+
+use hpf_frontend::{CExpr, CStmt, Checked};
+use hpf_ir::{ArrayId, BinOp, Offsets, ScalarId, Section};
+use hpf_passes::{compile, CompileOptions, Compiled};
+use std::fmt;
+
+/// Why recognition failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecognizeError {
+    /// More than one executable statement.
+    MultiStatement,
+    /// The statement assigns a section, or operands use array syntax.
+    ArraySyntax,
+    /// A term is not `coefficient × shift-chain(SRC)`.
+    NotSumOfProducts,
+    /// Terms reference more than one source array.
+    MixedSources,
+    /// `EOSHIFT` is not in the accepted pattern.
+    EndOffShift,
+    /// Program contains loops or is empty.
+    UnsupportedShape,
+    /// `WHERE`-masked assignments are outside the pattern.
+    Masked,
+}
+
+impl fmt::Display for RecognizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecognizeError::MultiStatement => "multi-statement stencils are not recognized",
+            RecognizeError::ArraySyntax => "array-syntax stencils are not recognized",
+            RecognizeError::NotSumOfProducts => {
+                "statement is not a sum of coefficient*CSHIFT terms"
+            }
+            RecognizeError::MixedSources => "terms reference more than one source array",
+            RecognizeError::EndOffShift => "EOSHIFT is not recognized",
+            RecognizeError::UnsupportedShape => "program shape not supported",
+            RecognizeError::Masked => "masked (WHERE) assignments are not recognized",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for RecognizeError {}
+
+/// A stencil tap coefficient.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Coeff {
+    /// Implicit 1.0.
+    One,
+    /// Literal.
+    Const(f64),
+    /// Scalar symbol.
+    Scalar(ScalarId),
+}
+
+/// A recognized convolution stencil: destination, source, and taps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StencilPattern {
+    /// Assigned array.
+    pub dst: ArrayId,
+    /// The single source array.
+    pub src: ArrayId,
+    /// `(offset vector, coefficient)` per term.
+    pub taps: Vec<(Offsets, Coeff)>,
+}
+
+/// Run the pattern matcher.
+pub fn recognize(checked: &Checked) -> Result<StencilPattern, RecognizeError> {
+    let stmt = match checked.stmts.as_slice() {
+        [s] => s,
+        [] => return Err(RecognizeError::UnsupportedShape),
+        _ => return Err(RecognizeError::MultiStatement),
+    };
+    let (lhs, section, rhs) = match stmt {
+        CStmt::Assign { mask: Some(_), .. } => return Err(RecognizeError::Masked),
+        CStmt::Assign { lhs, section, rhs, mask: None } => (lhs, section, rhs),
+        CStmt::Do { .. } => return Err(RecognizeError::UnsupportedShape),
+    };
+    let full = Section::full(&checked.symbols.array(*lhs).shape);
+    if *section != full {
+        return Err(RecognizeError::ArraySyntax);
+    }
+    let rank = checked.symbols.array(*lhs).rank();
+    let mut taps = Vec::new();
+    let mut src: Option<ArrayId> = None;
+    collect_terms(checked, rhs, rank, &mut src, &mut taps)?;
+    Ok(StencilPattern {
+        dst: *lhs,
+        src: src.ok_or(RecognizeError::NotSumOfProducts)?,
+        taps,
+    })
+}
+
+fn collect_terms(
+    checked: &Checked,
+    e: &CExpr,
+    rank: usize,
+    src: &mut Option<ArrayId>,
+    taps: &mut Vec<(Offsets, Coeff)>,
+) -> Result<(), RecognizeError> {
+    match e {
+        CExpr::Bin(BinOp::Add, a, b) => {
+            collect_terms(checked, a, rank, src, taps)?;
+            collect_terms(checked, b, rank, src, taps)
+        }
+        other => {
+            let (coeff, offsets, array) = match_term(checked, other, rank)?;
+            match src {
+                None => *src = Some(array),
+                Some(s) if *s == array => {}
+                Some(_) => return Err(RecognizeError::MixedSources),
+            }
+            taps.push((offsets, coeff));
+            Ok(())
+        }
+    }
+}
+
+/// Match `coeff * chain`, `chain * coeff`, or a bare chain.
+fn match_term(
+    checked: &Checked,
+    e: &CExpr,
+    rank: usize,
+) -> Result<(Coeff, Offsets, ArrayId), RecognizeError> {
+    match e {
+        CExpr::Bin(BinOp::Mul, a, b) => {
+            if let Some(c) = as_coeff(a) {
+                let (off, arr) = match_chain(checked, b, rank)?;
+                Ok((c, off, arr))
+            } else if let Some(c) = as_coeff(b) {
+                let (off, arr) = match_chain(checked, a, rank)?;
+                Ok((c, off, arr))
+            } else {
+                Err(RecognizeError::NotSumOfProducts)
+            }
+        }
+        other => {
+            let (off, arr) = match_chain(checked, other, rank)?;
+            Ok((Coeff::One, off, arr))
+        }
+    }
+}
+
+fn as_coeff(e: &CExpr) -> Option<Coeff> {
+    match e {
+        CExpr::Const(v) => Some(Coeff::Const(*v)),
+        CExpr::Scalar(s) => Some(Coeff::Scalar(*s)),
+        _ => None,
+    }
+}
+
+/// Match a (possibly nested) `CSHIFT` chain over a whole source array.
+fn match_chain(
+    checked: &Checked,
+    e: &CExpr,
+    rank: usize,
+) -> Result<(Offsets, ArrayId), RecognizeError> {
+    match e {
+        CExpr::Sec { array, section } => {
+            let full = Section::full(&checked.symbols.array(*array).shape);
+            if *section != full {
+                return Err(RecognizeError::ArraySyntax);
+            }
+            Ok((Offsets::zero(rank), *array))
+        }
+        CExpr::Shift { arg, shift, dim, kind } => {
+            if !matches!(kind, hpf_ir::ShiftKind::Circular) {
+                return Err(RecognizeError::EndOffShift);
+            }
+            let (off, arr) = match_chain(checked, arg, rank)?;
+            Ok((off.compose(&Offsets::unit(rank, *dim, *shift)), arr))
+        }
+        _ => Err(RecognizeError::NotSumOfProducts),
+    }
+}
+
+/// Compile through the pattern matcher: recognized stencils get the fully
+/// optimized translation (the stand-in for the CM-2's hand-tuned microcode);
+/// anything else is rejected.
+pub fn compile_cm2(checked: &Checked) -> Result<Compiled, RecognizeError> {
+    recognize(checked)?;
+    Ok(compile(checked, CompileOptions::full()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_frontend::compile_source;
+
+    const NINE_POINT_CSHIFT: &str = r#"
+PARAM N = 8
+REAL SRC(N,N), DST(N,N)
+REAL C1=1, C2=2, C3=3, C4=4, C5=5, C6=6, C7=7, C8=8, C9=9
+DST = C1 * CSHIFT(CSHIFT(SRC,-1,1),-1,2) + C2 * CSHIFT(SRC,-1,1) &
+    + C3 * CSHIFT(CSHIFT(SRC,-1,1),+1,2) + C4 * CSHIFT(SRC,-1,2) &
+    + C5 * SRC + C6 * CSHIFT(SRC,+1,2) &
+    + C7 * CSHIFT(CSHIFT(SRC,+1,1),-1,2) + C8 * CSHIFT(SRC,+1,1) &
+    + C9 * CSHIFT(CSHIFT(SRC,+1,1),+1,2)
+"#;
+
+    #[test]
+    fn recognizes_the_canonical_nine_point() {
+        let p = recognize(&compile_source(NINE_POINT_CSHIFT).unwrap()).unwrap();
+        assert_eq!(p.taps.len(), 9);
+        // The corner tap composed two shifts.
+        assert!(p.taps.iter().any(|(o, _)| o.0 == vec![-1, -1]));
+        assert!(p.taps.iter().any(|(o, c)| o.is_zero() && matches!(c, Coeff::Scalar(_))));
+        assert!(compile_cm2(&compile_source(NINE_POINT_CSHIFT).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn rejects_multi_statement_problem9() {
+        let src = r#"
+PARAM N = 8
+REAL U(N,N), T(N,N), RIP(N,N)
+RIP = CSHIFT(U,SHIFT=+1,DIM=1)
+T = U + RIP
+"#;
+        assert_eq!(
+            recognize(&compile_source(src).unwrap()).unwrap_err(),
+            RecognizeError::MultiStatement
+        );
+    }
+
+    #[test]
+    fn rejects_array_syntax() {
+        let src = r#"
+PARAM N = 8
+REAL SRC(N,N), DST(N,N)
+DST(2:N-1,2:N-1) = SRC(1:N-2,2:N-1) + SRC(2:N-1,2:N-1)
+"#;
+        assert_eq!(
+            recognize(&compile_source(src).unwrap()).unwrap_err(),
+            RecognizeError::ArraySyntax
+        );
+    }
+
+    #[test]
+    fn rejects_variations_of_the_pattern() {
+        // Subtraction between terms: "no variations were possible".
+        let src = "PARAM N = 8\nREAL S(N,N), D(N,N)\nD = S - CSHIFT(S,1,1)\n";
+        assert!(recognize(&compile_source(src).unwrap()).is_err());
+        // Coefficient that is itself an expression.
+        let src2 = "PARAM N = 8\nREAL S(N,N), D(N,N)\nREAL C\nD = (C + 1) * CSHIFT(S,1,1) + S\n";
+        assert_eq!(
+            recognize(&compile_source(src2).unwrap()).unwrap_err(),
+            RecognizeError::NotSumOfProducts
+        );
+    }
+
+    #[test]
+    fn rejects_mixed_sources_and_eoshift() {
+        let src = "PARAM N = 8\nREAL S(N,N), R(N,N), D(N,N)\nD = CSHIFT(S,1,1) + CSHIFT(R,1,1)\n";
+        assert_eq!(
+            recognize(&compile_source(src).unwrap()).unwrap_err(),
+            RecognizeError::MixedSources
+        );
+        let src2 = "PARAM N = 8\nREAL S(N,N), D(N,N)\nD = EOSHIFT(S,1,1) + S\n";
+        assert_eq!(
+            recognize(&compile_source(src2).unwrap()).unwrap_err(),
+            RecognizeError::EndOffShift
+        );
+    }
+
+    #[test]
+    fn rejects_loops() {
+        let src = "PARAM N = 8\nREAL S(N,N), D(N,N)\nDO 2 TIMES\nD = CSHIFT(S,1,1)\nENDDO\n";
+        assert_eq!(
+            recognize(&compile_source(src).unwrap()).unwrap_err(),
+            RecognizeError::UnsupportedShape
+        );
+    }
+
+    #[test]
+    fn coefficient_on_either_side() {
+        let src = "PARAM N = 8\nREAL S(N,N), D(N,N)\nD = CSHIFT(S,1,1) * 0.5 + 2 * S\n";
+        let p = recognize(&compile_source(src).unwrap()).unwrap();
+        assert_eq!(p.taps.len(), 2);
+        assert!(p.taps.iter().any(|(_, c)| *c == Coeff::Const(0.5)));
+        assert!(p.taps.iter().any(|(_, c)| *c == Coeff::Const(2.0)));
+    }
+}

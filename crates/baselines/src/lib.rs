@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # hpf-baselines — the compilers the paper compares against
+//!
+//! * [`naive`] — an xlhpf-class naive HPF translation (paper Figure 4 and
+//!   §4's "most Fortran90 compilers"): one fresh temporary per `CSHIFT`,
+//!   full intra+interprocessor data movement per shift, one loop nest per
+//!   array statement. This is the baseline whose single-statement 9-point
+//!   stencil exhausts memory in Figure 11.
+//! * [`hand_mpi`] — the hand-translated Fortran77+MPI starting point of the
+//!   staged experiment (Figure 17's "original"): temporaries reused, sane
+//!   loop order, but no stencil optimizations.
+//! * [`cm2`] — a CM-2-convolution-compiler-style *pattern matcher* (§6):
+//!   recognizes only single-statement sum-of-coefficient×shift stencils and
+//!   compiles those well; everything else is rejected. Demonstrates the
+//!   robustness gap the paper's normalization-based strategy closes.
+
+pub mod cm2;
+pub mod hand_mpi;
+pub mod naive;
+
+pub use cm2::{recognize, RecognizeError, StencilPattern};

@@ -1,0 +1,114 @@
+//! Ablation benches: each memory optimization in isolation, communication
+//! unioning on/off, and PE-grid scaling — wall-clock of the simulated
+//! execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_bench::input;
+use hpf_core::passes::{CompileOptions, Stage};
+use hpf_core::{presets, Engine, Kernel, MachineConfig};
+
+fn bench_memopts(c: &mut Criterion) {
+    let n = 256;
+    let src = presets::problem9(n);
+    let mut group = c.benchmark_group("ablation_memopts_n256");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let base = CompileOptions::upto(Stage::Unioning);
+    let variants: Vec<(&str, CompileOptions)> = vec![
+        ("no_memopt", base),
+        ("scalar_replacement", CompileOptions { scalar_replacement: true, ..base }),
+        (
+            "sr_unroll2",
+            CompileOptions { scalar_replacement: true, unroll_factor: 2, ..base },
+        ),
+        (
+            "sr_unroll4",
+            CompileOptions { scalar_replacement: true, unroll_factor: 4, ..base },
+        ),
+        (
+            "fortran_order_no_permute",
+            CompileOptions {
+                fortran_order: true,
+                permute: false,
+                scalar_replacement: true,
+                ..base
+            },
+        ),
+        (
+            "fortran_order_permuted",
+            CompileOptions {
+                fortran_order: true,
+                permute: true,
+                scalar_replacement: true,
+                ..base
+            },
+        ),
+    ];
+    for (name, opts) in variants {
+        let kernel = Kernel::compile(&src, opts).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                kernel
+                    .runner(MachineConfig::sp2_2x2())
+                    .init("U", input)
+                    .engine(Engine::Sequential)
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unioning(c: &mut Criterion) {
+    let src = presets::problem9(128);
+    let mut group = c.benchmark_group("ablation_unioning_n128");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (name, opts) in [
+        ("unioning_off", CompileOptions { unioning: false, ..CompileOptions::full() }),
+        ("unioning_on", CompileOptions::full()),
+    ] {
+        let kernel = Kernel::compile(&src, opts).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                kernel
+                    .runner(MachineConfig::sp2_2x2())
+                    .init("U", input)
+                    .engine(Engine::Sequential)
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_grids(c: &mut Criterion) {
+    let src = presets::problem9(256);
+    let kernel = Kernel::compile(&src, CompileOptions::full()).unwrap();
+    let mut group = c.benchmark_group("scaling_grids_n256");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for grid in [vec![1usize, 1], vec![2, 2], vec![4, 4]] {
+        let label = format!("{}x{}", grid[0], grid[1]);
+        let g = grid.clone();
+        group.bench_function(BenchmarkId::from_parameter(&label), |b| {
+            b.iter(|| {
+                kernel
+                    .runner(MachineConfig::with_grid(g.clone()))
+                    .init("U", input)
+                    .engine(Engine::Sequential)
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memopts, bench_unioning, bench_grids);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 11: naive (xlhpf-class) compilation of the
+//! single-statement CSHIFT 9-point stencil vs the multi-statement Problem 9
+//! form, across problem sizes. (The memory-exhaustion aspect of Figure 11 is
+//! covered by the `experiments` binary and integration tests; wall-clock is
+//! what Criterion measures here.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpf_bench::input;
+use hpf_core::baselines::naive;
+use hpf_core::passes::TempPolicy;
+use hpf_core::{presets, Engine, Kernel, MachineConfig};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_naive_translation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [64usize, 128, 256] {
+        group.throughput(Throughput::Elements((n * n) as u64));
+        let single = Kernel::compile(&presets::nine_point_cshift(n), naive::naive_options()).unwrap();
+        group.bench_function(BenchmarkId::new("single_stmt_cshift", n), |b| {
+            b.iter(|| {
+                single
+                    .runner(MachineConfig::sp2_2x2())
+                    .init("SRC", input)
+                    .engine(Engine::Sequential)
+                    .run()
+                    .unwrap()
+            });
+        });
+        let mut opts = naive::naive_options();
+        opts.temp_policy = TempPolicy::Reuse;
+        let multi = Kernel::compile(&presets::problem9(n), opts).unwrap();
+        group.bench_function(BenchmarkId::new("multi_stmt_problem9", n), |b| {
+            b.iter(|| {
+                multi
+                    .runner(MachineConfig::sp2_2x2())
+                    .init("U", input)
+                    .engine(Engine::Sequential)
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 17: wall-clock of the simulated execution of
+//! Problem 9 at each cumulative pipeline stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_bench::input;
+use hpf_core::passes::{CompileOptions, Stage};
+use hpf_core::{presets, Engine, Kernel, MachineConfig};
+
+fn bench_fig17(c: &mut Criterion) {
+    let n = 256;
+    let src = presets::problem9(n);
+    let mut group = c.benchmark_group("fig17_problem9_n256");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for stage in Stage::all() {
+        let kernel = Kernel::compile(&src, CompileOptions::upto(stage)).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(stage.label()), |b| {
+            b.iter(|| {
+                kernel
+                    .runner(MachineConfig::sp2_2x2())
+                    .init("U", input)
+                    .engine(Engine::Sequential)
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig17);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for Figure 18: the three specifications of the 9-point
+//! stencil (single-statement CSHIFT, multi-statement Problem 9, array
+//! syntax) under the xlhpf-class baseline, against the paper's strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_bench::input;
+use hpf_core::baselines::naive;
+use hpf_core::passes::{CompileOptions, Stage, TempPolicy};
+use hpf_core::{presets, Engine, Kernel, MachineConfig};
+
+fn bench_fig18(c: &mut Criterion) {
+    let n = 256;
+    let mut group = c.benchmark_group("fig18_nine_point_specs_n256");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    let run = |b: &mut criterion::Bencher, kernel: &Kernel, inp: &str| {
+        b.iter(|| {
+            kernel
+                .runner(MachineConfig::sp2_2x2())
+                .init(inp, input)
+                .engine(Engine::Sequential)
+                .run()
+                .unwrap()
+        });
+    };
+
+    let single =
+        Kernel::compile(&presets::nine_point_cshift(n), naive::naive_options()).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("xlhpf_cshift_single"), |b| {
+        run(b, &single, "SRC")
+    });
+
+    let mut multi_opts = naive::naive_options();
+    multi_opts.temp_policy = TempPolicy::Reuse;
+    let multi = Kernel::compile(&presets::problem9(n), multi_opts).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("xlhpf_multi_stmt"), |b| {
+        run(b, &multi, "U")
+    });
+
+    let arr = Kernel::compile(
+        &presets::nine_point_array(n),
+        CompileOptions::upto(Stage::Unioning),
+    )
+    .unwrap();
+    group.bench_function(BenchmarkId::from_parameter("xlhpf_array_syntax"), |b| {
+        run(b, &arr, "SRC")
+    });
+
+    let ours = Kernel::compile(&presets::problem9(n), CompileOptions::full()).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("this_paper"), |b| {
+        run(b, &ours, "U")
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig18);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Micro-benches of the compiler itself and of the runtime's data-movement
+//! primitives: compilation latency per stage, full `CSHIFT` vs
+//! `OVERLAP_SHIFT` movement cost, and threaded vs sequential engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpf_bench::input;
+use hpf_core::ir::{ArrayDecl, ArrayId, Distribution, Shape, ShiftKind};
+use hpf_core::passes::{CompileOptions, Stage};
+use hpf_core::runtime::{Machine, MachineConfig};
+use hpf_core::{frontend, presets, Engine, Kernel};
+
+fn bench_compile(c: &mut Criterion) {
+    let src = presets::problem9(512);
+    let checked = frontend::compile_source(&src).unwrap();
+    let mut group = c.benchmark_group("compile_problem9");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for stage in Stage::all() {
+        group.bench_function(BenchmarkId::from_parameter(stage.label()), |b| {
+            b.iter(|| hpf_core::passes::compile(&checked, CompileOptions::upto(stage)));
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("parse_and_check"), |b| {
+        b.iter(|| frontend::compile_source(&src).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_data_movement(c: &mut Criterion) {
+    let n = 512;
+    let mut group = c.benchmark_group("data_movement_n512");
+    group.sample_size(20);
+    const U: ArrayId = ArrayId(0);
+    const T: ArrayId = ArrayId(1);
+    let mut machine = Machine::new(MachineConfig::sp2_2x2());
+    let decl = ArrayDecl::user("U", Shape::new([n, n]), Distribution::block(2));
+    machine.alloc(U, &decl).unwrap();
+    machine
+        .alloc(T, &ArrayDecl::user("T", Shape::new([n, n]), Distribution::block(2)))
+        .unwrap();
+    machine.fill(U, |p| (p[0] + p[1]) as f64);
+    group.bench_function("full_cshift", |b| {
+        b.iter(|| machine.cshift(T, U, 1, 0, ShiftKind::Circular).unwrap());
+    });
+    group.bench_function("overlap_shift", |b| {
+        b.iter(|| machine.overlap_shift(U, 1, 0, None, ShiftKind::Circular).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let src = presets::jacobi(256, 4);
+    let kernel = Kernel::compile(&src, CompileOptions::full()).unwrap();
+    let mut group = c.benchmark_group("engines_jacobi_n256_4steps");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (name, engine) in [("sequential", Engine::Sequential), ("threaded", Engine::Threaded)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                kernel
+                    .runner(MachineConfig::sp2_2x2())
+                    .init("U", input)
+                    .engine(engine)
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_data_movement, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling]
+//!             [--n SIZE] [--sizes a,b,c] [--engine seq|threaded] [--json]
+//! ```
+
+use hpf_bench::table::Table;
+use hpf_bench::*;
+use hpf_core::Engine;
+
+struct Args {
+    exp: String,
+    n: usize,
+    sizes: Vec<usize>,
+    engine: Engine,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        exp: "all".to_string(),
+        n: 256,
+        sizes: vec![64, 128, 256, 512],
+        engine: Engine::Sequential,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exp" => args.exp = it.next().expect("--exp VALUE"),
+            "--n" => args.n = it.next().expect("--n SIZE").parse().expect("numeric size"),
+            "--sizes" => {
+                args.sizes = it
+                    .next()
+                    .expect("--sizes a,b,c")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("numeric size"))
+                    .collect();
+            }
+            "--engine" => {
+                args.engine = match it.next().expect("--engine seq|threaded").as_str() {
+                    "seq" => Engine::Sequential,
+                    "threaded" | "par" => Engine::Threaded,
+                    other => panic!("unknown engine {other}"),
+                };
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling] [--n SIZE] [--sizes a,b,c] [--engine seq|threaded] [--json]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut tables: Vec<Table> = Vec::new();
+    let want = |name: &str| args.exp == "all" || args.exp == name;
+    if want("comm-count") {
+        tables.push(comm_count());
+    }
+    if want("temp-storage") {
+        tables.push(temp_storage());
+    }
+    if want("fig11") {
+        tables.push(fig11(&args.sizes, args.engine));
+    }
+    if want("fig17") {
+        tables.push(fig17(args.n, args.engine));
+    }
+    if want("fig18") {
+        tables.push(fig18(&args.sizes, args.engine));
+    }
+    if want("robustness") {
+        tables.push(robustness());
+    }
+    if want("ablation") {
+        tables.push(ablation(args.n, args.engine));
+    }
+    if want("scaling") {
+        tables.push(scaling(args.n, args.engine));
+    }
+    if args.exp == "fig7to10" {
+        println!("{}", hpf_bench::figures::figures_7_to_10(4));
+        return;
+    }
+    if args.exp == "fuzz" {
+        let spec = hpf_bench::workload::WorkloadSpec::default();
+        let outcomes = hpf_bench::workload::fuzz_sweep(&spec, 32, 42);
+        let failures: Vec<_> = outcomes.iter().filter(|o| o.failure.is_some()).collect();
+        println!(
+            "fuzz sweep: {} cases, {} failures",
+            outcomes.len(),
+            failures.len()
+        );
+        for f in failures {
+            println!("seed {}: {}", f.seed, f.failure.as_ref().unwrap());
+        }
+        return;
+    }
+    if tables.is_empty() {
+        eprintln!("unknown experiment '{}' (try --help)", args.exp);
+        std::process::exit(1);
+    }
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&tables).unwrap());
+    } else {
+        for t in tables {
+            println!("{}", t.render());
+        }
+    }
+}

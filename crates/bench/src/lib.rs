@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! # hpf-bench — experiment harness regenerating the paper's evaluation
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! corresponding experiment here; the `experiments` binary prints them as
+//! tables, and the Criterion benches measure real wall-clock of the
+//! simulated executions. See `EXPERIMENTS.md` at the repository root for
+//! paper-vs-measured numbers.
+
+pub mod experiments;
+pub mod figures;
+pub mod table;
+pub mod workload;
+
+pub use experiments::*;

@@ -1,0 +1,110 @@
+//! Minimal aligned-column table rendering for the experiments binary.
+
+/// A printable table: header plus rows of strings.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  * {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format a milliseconds value compactly.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["123".into(), "x".into()]);
+        t.note("a note");
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("123"));
+        assert!(r.contains("* a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(123.4), "123");
+        assert_eq!(ms(12.34), "12.34");
+        assert_eq!(ms(0.1234), "0.1234");
+    }
+}

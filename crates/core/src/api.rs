@@ -1,0 +1,301 @@
+//! The compile-and-run API.
+
+use hpf_exec::{execute_par, execute_seq, Reference};
+use hpf_frontend::{compile_source, Checked, FrontError};
+use hpf_ir::ArrayId;
+use hpf_passes::{compile, CompileOptions, Compiled};
+use hpf_runtime::{AggStats, Machine, MachineConfig, RtError};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Any error from compiling or running a kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// Lexing / parsing / semantic analysis failed.
+    Front(FrontError),
+    /// The machine rejected the program (memory budget, bad grid, …).
+    Runtime(RtError),
+    /// A named array does not exist.
+    UnknownArray(String),
+    /// Verification against the reference interpreter failed.
+    VerificationFailed {
+        /// Output array that differed.
+        array: String,
+        /// Largest element-wise difference.
+        max_diff: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Front(e) => write!(f, "frontend error: {e}"),
+            CoreError::Runtime(e) => write!(f, "runtime error: {e}"),
+            CoreError::UnknownArray(n) => write!(f, "unknown array {n}"),
+            CoreError::VerificationFailed { array, max_diff } => {
+                write!(f, "verification failed on {array}: max diff {max_diff}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<FrontError> for CoreError {
+    fn from(e: FrontError) -> Self {
+        CoreError::Front(e)
+    }
+}
+
+impl From<RtError> for CoreError {
+    fn from(e: RtError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+/// Which executor to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// One PE at a time (deterministic, lowest overhead for small problems).
+    Sequential,
+    /// One OS thread per PE with channel-based message passing; results are
+    /// bitwise identical to [`Engine::Sequential`].
+    Threaded,
+}
+
+/// A compiled stencil kernel.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    /// The checked source program (the reference interpreter's input).
+    pub checked: Checked,
+    /// The compiled pipeline output.
+    pub compiled: Compiled,
+}
+
+impl Kernel {
+    /// Compile HPF/Fortran90 source with the given pipeline options.
+    pub fn compile(source: &str, options: CompileOptions) -> Result<Kernel, CoreError> {
+        let checked = compile_source(source)?;
+        let compiled = compile(&checked, options);
+        Ok(Kernel { checked, compiled })
+    }
+
+    /// Look up an array by source name.
+    pub fn array_id(&self, name: &str) -> Result<ArrayId, CoreError> {
+        self.checked
+            .symbols
+            .lookup_array(name)
+            .ok_or_else(|| CoreError::UnknownArray(name.to_string()))
+    }
+
+    /// The optimized array-level IR rendered in the paper's notation
+    /// (Figures 12–15 style).
+    pub fn listing(&self) -> String {
+        hpf_ir::pretty::program(&self.compiled.array_ir)
+    }
+
+    /// Pipeline statistics (communication counts, temps, per-pass effects).
+    pub fn stats(&self) -> &hpf_passes::PipelineStats {
+        &self.compiled.stats
+    }
+
+    /// Start configuring a run of this kernel.
+    pub fn runner(&self, config: MachineConfig) -> Runner<'_> {
+        Runner {
+            kernel: self,
+            config,
+            inits: Vec::new(),
+            engine: Engine::Sequential,
+        }
+    }
+
+    /// Run the reference interpreter with the same initializers — the
+    /// correctness oracle.
+    pub fn reference(&self, inits: &[(String, InitFn)]) -> Reference {
+        let mut r = Reference::new(&self.checked);
+        for (name, f) in inits {
+            r.fill_named(name, |p| f(p));
+        }
+        let mut r2 = r;
+        r2.run(&self.checked);
+        r2
+    }
+}
+
+/// Array initializer: a function of the 1-based global coordinates.
+pub type InitFn = std::sync::Arc<dyn Fn(&[i64]) -> f64 + Send + Sync>;
+
+/// Builder for executing a kernel on a machine.
+pub struct Runner<'k> {
+    kernel: &'k Kernel,
+    config: MachineConfig,
+    inits: Vec<(String, InitFn)>,
+    engine: Engine,
+}
+
+impl Runner<'_> {
+    /// Initialize a named input array from a function of its coordinates.
+    pub fn init(mut self, name: &str, f: impl Fn(&[i64]) -> f64 + Send + Sync + 'static) -> Self {
+        self.inits.push((name.to_string(), std::sync::Arc::new(f)));
+        self
+    }
+
+    /// Select the executor.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Execute. Input arrays are allocated and filled first; remaining
+    /// arrays are allocated by the executor (respecting the memory budget,
+    /// which is how Figure 11's exhaustion reproduces).
+    pub fn run(self) -> Result<Run, CoreError> {
+        let mut machine = Machine::new(self.config);
+        for (name, f) in &self.inits {
+            let id = self.kernel.array_id(name)?;
+            if !machine.is_allocated(id) {
+                machine.alloc(id, self.kernel.checked.symbols.array(id))?;
+            }
+            machine.fill(id, |p| f(p));
+        }
+        machine.reset_stats();
+        let started = Instant::now();
+        match self.engine {
+            Engine::Sequential => execute_seq(&mut machine, &self.kernel.compiled.node)?,
+            Engine::Threaded => execute_par(&mut machine, &self.kernel.compiled.node)?,
+        }
+        let wall = started.elapsed();
+        Ok(Run { machine, wall })
+    }
+
+    /// Execute and verify every initialized-or-assigned array against the
+    /// reference interpreter (exact comparison: the executors are
+    /// deterministic and operation order matches the oracle for stencil
+    /// kernels).
+    pub fn run_verified(self, outputs: &[&str], tol: f64) -> Result<Run, CoreError> {
+        let inits = self.inits.clone();
+        let kernel = self.kernel;
+        let run = self.run()?;
+        let reference = kernel.reference(&inits);
+        for name in outputs {
+            let id = kernel.array_id(name)?;
+            if !run.machine.is_allocated(id) {
+                // The program never references this array; nothing to check.
+                continue;
+            }
+            let got = run.machine.gather(id);
+            let want = &reference.arrays[&id].data;
+            let diff = hpf_exec::max_abs_diff(&got, want);
+            if diff > tol {
+                return Err(CoreError::VerificationFailed {
+                    array: name.to_string(),
+                    max_diff: diff,
+                });
+            }
+        }
+        Ok(run)
+    }
+}
+
+/// A finished run.
+pub struct Run {
+    /// The machine in its final state (arrays, counters).
+    pub machine: Machine,
+    /// Wall-clock time of the executor.
+    pub wall: Duration,
+}
+
+impl Run {
+    /// Gather a named array into a dense row-major buffer.
+    pub fn gather(&self, kernel: &Kernel, name: &str) -> Vec<f64> {
+        let id = kernel.array_id(name).expect("known array");
+        self.machine.gather(id)
+    }
+
+    /// Aggregated execution counters.
+    pub fn stats(&self) -> AggStats {
+        self.machine.stats()
+    }
+
+    /// Modeled execution time under the machine's cost model, milliseconds.
+    pub fn modeled_ms(&self) -> f64 {
+        self.machine.modeled_time_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use hpf_passes::Stage;
+
+    #[test]
+    fn compile_run_gather() {
+        let kernel =
+            Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+        let run = kernel
+            .runner(MachineConfig::sp2_2x2())
+            .init("U", |p| (p[0] * 3 + p[1]) as f64)
+            .run()
+            .unwrap();
+        let t = run.gather(&kernel, "T");
+        assert_eq!(t.len(), 256);
+        assert!(run.stats().total_messages() > 0);
+        assert!(run.modeled_ms() > 0.0);
+    }
+
+    #[test]
+    fn verified_run_passes_for_all_stages() {
+        for stage in Stage::all() {
+            let kernel =
+                Kernel::compile(&presets::problem9(12), CompileOptions::upto(stage)).unwrap();
+            kernel
+                .runner(MachineConfig::sp2_2x2())
+                .init("U", |p| ((p[0] * 7 + p[1]) as f64).sin())
+                .run_verified(&["T"], 0.0)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn threaded_engine_equals_sequential() {
+        let kernel = Kernel::compile(&presets::jacobi(16, 5), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| ((p[0] + 2 * p[1]) as f64).cos();
+        let a = kernel
+            .runner(MachineConfig::sp2_2x2())
+            .init("U", init)
+            .engine(Engine::Sequential)
+            .run()
+            .unwrap();
+        let b = kernel
+            .runner(MachineConfig::sp2_2x2())
+            .init("U", init)
+            .engine(Engine::Threaded)
+            .run()
+            .unwrap();
+        assert_eq!(a.gather(&kernel, "U"), b.gather(&kernel, "U"));
+    }
+
+    #[test]
+    fn unknown_array_error() {
+        let kernel = Kernel::compile(&presets::five_point(8), CompileOptions::full()).unwrap();
+        assert!(matches!(
+            kernel.runner(MachineConfig::sp2_2x2()).init("NOPE", |_| 0.0).run(),
+            Err(CoreError::UnknownArray(_))
+        ));
+    }
+
+    #[test]
+    fn front_error_propagates() {
+        let err = Kernel::compile("REAL A(\n", CompileOptions::full()).unwrap_err();
+        assert!(matches!(err, CoreError::Front(_)));
+    }
+
+    #[test]
+    fn listing_shows_paper_notation() {
+        let kernel = Kernel::compile(&presets::problem9(8), CompileOptions::full()).unwrap();
+        let listing = kernel.listing();
+        assert!(listing.contains("CALL OVERLAP_CSHIFT(U,SHIFT=+1,DIM=1)"), "{listing}");
+        assert!(listing.contains("U<+1,-1>"), "{listing}");
+    }
+}

@@ -1,0 +1,28 @@
+#![allow(clippy::needless_range_loop)] // index-based dimension math reads clearer here
+#![warn(missing_docs)]
+
+//! # hpf-exec — executors for the lowered node program
+//!
+//! Three ways to run a stencil kernel, all agreeing bit-for-bit:
+//!
+//! * [`mod@reference`] — the correctness oracle: a direct sequential interpreter
+//!   of the checked source program on dense global arrays, implementing
+//!   Fortran90 array-statement semantics (`CSHIFT`/`EOSHIFT`, sections,
+//!   full-RHS-before-assignment);
+//! * [`seq`] — the sequential machine executor: runs the node program on the
+//!   `hpf-runtime` machine simulator one PE at a time, with all
+//!   communication performed through the shared schedules;
+//! * [`par`] — the SPMD executor: one OS thread per PE, message passing over
+//!   channels, using the *same* deterministic schedules, so results are
+//!   bitwise identical to the sequential engine.
+
+pub mod nest;
+pub mod par;
+pub mod reference;
+pub mod seq;
+pub mod verify;
+
+pub use reference::{DenseArray, Reference};
+pub use seq::{allocate, execute_seq};
+pub use par::execute_par;
+pub use verify::{assert_close, max_abs_diff};

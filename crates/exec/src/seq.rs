@@ -1,0 +1,211 @@
+//! Sequential machine executor.
+
+use crate::nest::{exec_nest, scalar_values};
+use hpf_passes::loopir::{CommOp, NodeItem, NodeProgram};
+use hpf_runtime::{Machine, RtError};
+
+/// Allocate every array the node program references (inputs may already be
+/// allocated by the caller; those are left untouched), after checking that
+/// the machine's overlap width can serve every offset access the program
+/// performs.
+pub fn allocate(machine: &mut Machine, node: &NodeProgram) -> Result<(), RtError> {
+    check_halo(machine, node)?;
+    for id in &node.live_arrays {
+        if !machine.is_allocated(*id) {
+            machine.alloc(*id, node.symbols.array(*id))?;
+        }
+    }
+    Ok(())
+}
+
+/// Reject node programs whose offset accesses exceed the machine's overlap
+/// width — without this, a kernel compiled for a wider halo would silently
+/// read the wrong subgrid cells.
+fn check_halo(machine: &Machine, node: &NodeProgram) -> Result<(), RtError> {
+    let halo = machine.cfg.halo as i64;
+    let mut worst: Option<(i64, usize)> = None;
+    node.for_each_item(&mut |item| {
+        if let NodeItem::Nest(nest) = item {
+            let unit = nest.unroll.as_ref().map_or(&nest.body, |u| &u.unit_body);
+            for i in unit {
+                if let hpf_passes::loopir::Instr::Load { offsets, .. } = i {
+                    for (d, &o) in offsets.iter().enumerate() {
+                        if o.abs() > halo && worst.is_none_or(|(w, _)| o.abs() > w) {
+                            worst = Some((o, d));
+                        }
+                    }
+                }
+            }
+        }
+    });
+    match worst {
+        Some((o, d)) => Err(RtError::ShiftTooWide {
+            shift: o,
+            dim: d,
+            limit: machine.cfg.halo,
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Execute the node program on the machine, one PE at a time, with all
+/// communication applied through the shared schedules. Allocates referenced
+/// arrays first.
+pub fn execute_seq(machine: &mut Machine, node: &NodeProgram) -> Result<(), RtError> {
+    allocate(machine, node)?;
+    let scalars = scalar_values(&node.symbols);
+    exec_items(machine, &node.items, &scalars)
+}
+
+fn exec_items(machine: &mut Machine, items: &[NodeItem], scalars: &[f64]) -> Result<(), RtError> {
+    for item in items {
+        match item {
+            NodeItem::Comm(CommOp::FullShift { dst, src, shift, dim, kind }) => {
+                machine.cshift(*dst, *src, *shift, *dim, *kind)?;
+            }
+            NodeItem::Comm(CommOp::Overlap { array, shift, dim, rsd, kind }) => {
+                machine.overlap_shift(*array, *shift, *dim, rsd.as_ref(), *kind)?;
+            }
+            NodeItem::Nest(nest) => {
+                for pe in 0..machine.num_pes() {
+                    exec_nest(&mut machine.pes[pe], nest, scalars);
+                }
+            }
+            NodeItem::TimeLoop { iters, body } => {
+                for _ in 0..*iters {
+                    exec_items(machine, body, scalars)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::Reference;
+    use crate::verify::max_abs_diff;
+    use hpf_frontend::compile_source;
+    use hpf_passes::{compile, CompileOptions, Stage};
+    use hpf_runtime::MachineConfig;
+
+    const PROBLEM9: &str = r#"
+PROGRAM p9
+PARAM N = 8
+REAL U(N,N), T(N,N), RIP(N,N), RIN(N,N)
+RIP = CSHIFT(U,SHIFT=+1,DIM=1)
+RIN = CSHIFT(U,SHIFT=-1,DIM=1)
+T = U + RIP + RIN
+T = T + CSHIFT(U,SHIFT=-1,DIM=2)
+T = T + CSHIFT(U,SHIFT=+1,DIM=2)
+T = T + CSHIFT(RIP,SHIFT=-1,DIM=2)
+T = T + CSHIFT(RIP,SHIFT=+1,DIM=2)
+T = T + CSHIFT(RIN,SHIFT=-1,DIM=2)
+T = T + CSHIFT(RIN,SHIFT=+1,DIM=2)
+END
+"#;
+
+    fn check_against_reference(src: &str, stage: Stage, grid: &[usize], out: &str) {
+        let checked = compile_source(src).unwrap();
+        // Oracle.
+        let mut r = Reference::new(&checked);
+        let init = |p: &[i64]| {
+            p.iter()
+                .enumerate()
+                .map(|(d, &i)| (i * (31 + d as i64)) as f64)
+                .sum::<f64>()
+                .sin()
+        };
+        r.fill_named("U", init);
+        r.run(&checked);
+        // Machine execution.
+        let compiled = compile(&checked, CompileOptions::upto(stage));
+        let mut m = hpf_runtime::Machine::new(MachineConfig::with_grid(grid.to_vec()));
+        let u = checked.symbols.lookup_array("U").unwrap();
+        m.alloc(u, checked.symbols.array(u)).unwrap();
+        m.fill(u, init);
+        execute_seq(&mut m, &compiled.node).unwrap();
+        let id = checked.symbols.lookup_array(out).unwrap();
+        let got = m.gather(id);
+        let want = &r.arrays[&id].data;
+        assert_eq!(
+            max_abs_diff(&got, want),
+            0.0,
+            "stage {stage:?} grid {grid:?} differs from reference"
+        );
+    }
+
+    #[test]
+    fn problem9_every_stage_matches_reference_2x2() {
+        for stage in Stage::all() {
+            check_against_reference(PROBLEM9, stage, &[2, 2], "T");
+        }
+    }
+
+    #[test]
+    fn problem9_other_grids() {
+        for grid in [&[1usize, 1][..], &[1, 4], &[4, 1], &[4, 2]] {
+            check_against_reference(PROBLEM9, Stage::MemOpt, grid, "T");
+        }
+    }
+
+    #[test]
+    fn five_point_array_syntax_matches() {
+        let src = r#"
+PARAM N = 12
+REAL U(N,N), T(N,N)
+REAL C1 = 0.1, C2 = 0.2, C3 = 0.4, C4 = 0.2, C5 = 0.1
+T(2:N-1,2:N-1) = C1 * U(1:N-2,2:N-1) + C2 * U(2:N-1,1:N-2) &
+               + C3 * U(2:N-1,2:N-1) + C4 * U(3:N,2:N-1) + C5 * U(2:N-1,3:N)
+"#;
+        for stage in Stage::all() {
+            check_against_reference(src, stage, &[2, 2], "T");
+        }
+    }
+
+    #[test]
+    fn eoshift_kernel_matches() {
+        let src = r#"
+PARAM N = 8
+REAL U(N,N), T(N,N)
+T = EOSHIFT(U, SHIFT=1, DIM=1, BOUNDARY=3.5) + EOSHIFT(U, SHIFT=-1, DIM=2) + U
+"#;
+        for stage in Stage::all() {
+            check_against_reference(src, stage, &[2, 2], "T");
+        }
+    }
+
+    #[test]
+    fn jacobi_time_loop_matches() {
+        let src = r#"
+PARAM N = 8
+REAL U(N,N), T(N,N)
+REAL C = 0.25
+DO 5 TIMES
+T = C * (CSHIFT(U,1,1) + CSHIFT(U,-1,1) + CSHIFT(U,1,2) + CSHIFT(U,-1,2))
+U = T
+ENDDO
+"#;
+        for stage in Stage::all() {
+            check_against_reference(src, stage, &[2, 2], "U");
+        }
+    }
+
+    #[test]
+    fn memory_budget_error_propagates() {
+        let checked = compile_source(PROBLEM9).unwrap();
+        // FreshPerShift: 6 temps + 4 user arrays = 10 arrays of 8x8.
+        let mut opts = CompileOptions::upto(Stage::Original);
+        opts.temp_policy = hpf_passes::TempPolicy::FreshPerShift;
+        let compiled = compile(&checked, opts);
+        // 8x8 over 2x2 halo 1: 36 elems = 288 B per array per PE.
+        let mut m = hpf_runtime::Machine::new(MachineConfig::sp2_2x2().budget(5 * 288));
+        let err = execute_seq(&mut m, &compiled.node).unwrap_err();
+        assert!(matches!(err, RtError::MemoryExhausted { .. }));
+        // The optimized version allocates only U and T: fits.
+        let compiled_opt = compile(&checked, CompileOptions::full());
+        let mut m2 = hpf_runtime::Machine::new(MachineConfig::sp2_2x2().budget(5 * 288));
+        execute_seq(&mut m2, &compiled_opt.node).unwrap();
+    }
+}

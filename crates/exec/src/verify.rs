@@ -1,0 +1,49 @@
+//! Result comparison utilities.
+
+/// Maximum absolute element-wise difference between two equal-length slices.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Panic with a helpful message when two results differ by more than `tol`.
+pub fn assert_close(got: &[f64], want: &[f64], tol: f64, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= tol,
+            "{what}: element {i} differs: got {g}, want {w} (tol {tol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_basics() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn diff_length_mismatch_panics() {
+        max_abs_diff(&[1.0], &[]);
+    }
+
+    #[test]
+    fn close_passes_within_tol() {
+        assert_close(&[1.0, 2.0], &[1.0, 2.0 + 1e-12], 1e-9, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "element 1 differs")]
+    fn close_fails_outside_tol() {
+        assert_close(&[1.0, 2.0], &[1.0, 3.0], 1e-9, "x");
+    }
+}

@@ -1,0 +1,157 @@
+//! Abstract syntax tree produced by the parser.
+
+use crate::error::Span;
+
+/// An integer expression usable in declarations and section bounds:
+/// a literal, a `PARAM`, or `param ± literal` chains (e.g. `N-1`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum IntExpr {
+    /// Integer literal.
+    Lit(i64),
+    /// Reference to a `PARAM`.
+    Param(String),
+    /// Sum of two integer expressions.
+    Add(Box<IntExpr>, Box<IntExpr>),
+    /// Difference of two integer expressions.
+    Sub(Box<IntExpr>, Box<IntExpr>),
+}
+
+/// One dimension of an array section: a `lo:hi` range or `:` (whole dim).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstRange {
+    /// Explicit bounds `lo:hi`.
+    Range(IntExpr, IntExpr),
+    /// `:` — the whole dimension.
+    Full,
+    /// A single index `i` (degenerate range `i:i`).
+    Index(IntExpr),
+}
+
+/// Array declaration before semantic analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstArrayDecl {
+    /// Array name (uppercased).
+    pub name: String,
+    /// Per-dimension extents.
+    pub dims: Vec<IntExpr>,
+    /// Declaration location.
+    pub span: Span,
+}
+
+/// Per-dimension distribution spec in a `DISTRIBUTE` directive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AstDist {
+    /// `BLOCK`
+    Block,
+    /// `*`
+    Collapsed,
+}
+
+/// Expression grammar of the source language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstExpr {
+    /// Numeric literal.
+    Num(f64),
+    /// Identifier, optionally with a section: scalar ref, whole-array ref,
+    /// or array-section ref (resolved during semantic analysis).
+    Ident {
+        /// Name (uppercased).
+        name: String,
+        /// Optional section subscript.
+        section: Option<Vec<AstRange>>,
+        /// Location.
+        span: Span,
+    },
+    /// `CSHIFT(arg, SHIFT=s, DIM=d)` or `EOSHIFT(…, BOUNDARY=b)`.
+    Shift {
+        /// Shifted expression (often a whole array, possibly nested shifts).
+        arg: Box<AstExpr>,
+        /// Shift amount (sign included).
+        shift: i64,
+        /// Dimension, 1-based as written.
+        dim: usize,
+        /// `None` for CSHIFT, `Some(boundary)` for EOSHIFT.
+        boundary: Option<f64>,
+        /// Location.
+        span: Span,
+    },
+    /// Binary arithmetic.
+    Bin(hpf_ir::BinOp, Box<AstExpr>, Box<AstExpr>),
+    /// Unary negation.
+    Neg(Box<AstExpr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstStmt {
+    /// `[WHERE (a op b)] LHS[(section)] = expr`
+    Assign {
+        /// Assigned identifier (array expected).
+        lhs: String,
+        /// Optional LHS section.
+        section: Option<Vec<AstRange>>,
+        /// Right-hand side.
+        rhs: AstExpr,
+        /// Optional `WHERE` mask.
+        mask: Option<Box<(hpf_ir::expr::CmpOp, AstExpr, AstExpr)>>,
+        /// Location.
+        span: Span,
+    },
+    /// `DO k TIMES … ENDDO`
+    Do {
+        /// Iteration count.
+        iters: IntExpr,
+        /// Loop body.
+        body: Vec<AstStmt>,
+        /// Location.
+        span: Span,
+    },
+}
+
+/// A parsed program.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Ast {
+    /// Program name from the `PROGRAM` line.
+    pub name: String,
+    /// `PARAM` constants in declaration order.
+    pub params: Vec<(String, i64)>,
+    /// Array declarations.
+    pub arrays: Vec<AstArrayDecl>,
+    /// Scalar declarations `(name, initial value)`.
+    pub scalars: Vec<(String, Option<f64>)>,
+    /// `DISTRIBUTE` directives `(array, dists, span)`.
+    pub distributes: Vec<(String, Vec<AstDist>, Span)>,
+    /// Executable statements.
+    pub stmts: Vec<AstStmt>,
+}
+
+impl IntExpr {
+    /// Evaluate against the parameter environment.
+    pub fn eval(&self, params: &[(String, i64)]) -> Result<i64, String> {
+        match self {
+            IntExpr::Lit(v) => Ok(*v),
+            IntExpr::Param(name) => params
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("unknown parameter '{name}'")),
+            IntExpr::Add(a, b) => Ok(a.eval(params)? + b.eval(params)?),
+            IntExpr::Sub(a, b) => Ok(a.eval(params)? - b.eval(params)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_expr_eval() {
+        let params = vec![("N".to_string(), 16)];
+        let e = IntExpr::Sub(Box::new(IntExpr::Param("N".into())), Box::new(IntExpr::Lit(1)));
+        assert_eq!(e.eval(&params).unwrap(), 15);
+        let e2 = IntExpr::Add(Box::new(e), Box::new(IntExpr::Lit(2)));
+        assert_eq!(e2.eval(&params).unwrap(), 17);
+        assert!(IntExpr::Param("M".into()).eval(&params).is_err());
+    }
+}

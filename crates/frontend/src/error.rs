@@ -1,0 +1,60 @@
+//! Source spans and frontend error reporting.
+
+use std::fmt;
+
+/// A half-open source location: line and column (both 1-based).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error produced while lexing, parsing or checking a source program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl FrontError {
+    /// Construct an error at a location.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        FrontError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = FrontError::new(Span::new(3, 7), "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+}

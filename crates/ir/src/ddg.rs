@@ -1,0 +1,349 @@
+//! Statement-level data dependence graph (DDG) over a basic block.
+//!
+//! Context partitioning (paper §3.2) runs the Kennedy–McKinley typed-fusion
+//! algorithm on this graph. Because the graph is built over the statements
+//! of a basic block it contains only loop-independent dependences and is
+//! therefore acyclic, which is the precondition the paper notes.
+
+use crate::stmt::{Resource, Stmt};
+use std::collections::{HashMap, HashSet};
+
+/// Dependence classification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DepKind {
+    /// Flow (true) dependence: earlier statement writes, later reads.
+    True,
+    /// Anti dependence: earlier reads, later writes.
+    Anti,
+    /// Output dependence: both write.
+    Output,
+}
+
+/// A dependence edge between two statements of a block, identified by their
+/// indices; `src < dst` always holds (program order).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DepEdge {
+    /// Index of the earlier statement.
+    pub src: usize,
+    /// Index of the later statement.
+    pub dst: usize,
+    /// Dependence kind.
+    pub kind: DepKind,
+}
+
+/// The dependence graph of one basic block.
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    /// Number of statements.
+    pub n: usize,
+    /// All dependence edges.
+    pub edges: Vec<DepEdge>,
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Build the dependence graph of a block from statement read/write sets.
+    ///
+    /// Overlap-area refills are idempotent: two `OVERLAP_SHIFT`s of the same
+    /// array fill overlapping ghost cells with identical values (both derive
+    /// them from the array's interior, and interior updates create their own
+    /// `Interior` dependences). Following the paper — whose Problem 9 DDG
+    /// contains only shift→use true dependences and the T chain (§4.3) —
+    /// anti and output conflicts on ghost resources whose writer is an
+    /// `OVERLAP_SHIFT` are therefore not edges, *unless* the block mixes
+    /// shift kinds (circular vs end-off) on that array, where refills are
+    /// not value-identical.
+    pub fn build(block: &[Stmt]) -> DepGraph {
+        let n = block.len();
+        let reads: Vec<Vec<Resource>> = block.iter().map(|s| s.reads()).collect();
+        let writes: Vec<Vec<Resource>> = block.iter().map(|s| s.writes()).collect();
+        // Arrays whose overlap shifts in this block all share one kind.
+        let mut kind_of: HashMap<crate::ArrayId, Option<crate::ShiftKind>> = HashMap::new();
+        for s in block {
+            if let Stmt::OverlapShift { array, kind, .. } = s {
+                match kind_of.entry(*array).or_insert(Some(*kind)) {
+                    Some(k) if *k == *kind => {}
+                    slot => *slot = None, // mixed kinds: stay conservative
+                }
+            }
+        }
+        let idempotent_ghost_write = |stmt: &Stmt, r: &Resource| -> bool {
+            match (stmt, r) {
+                (Stmt::OverlapShift { array, .. }, Resource::Ghost(a, ..)) => {
+                    a == array && matches!(kind_of.get(array), Some(Some(_)))
+                }
+                _ => false,
+            }
+        };
+        let mut edges = Vec::new();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        for j in 0..n {
+            let rj: HashSet<&Resource> = reads[j].iter().collect();
+            let wj: HashSet<&Resource> = writes[j].iter().collect();
+            for i in 0..j {
+                let wi: HashSet<&Resource> = writes[i].iter().collect();
+                let ri: HashSet<&Resource> = reads[i].iter().collect();
+                let mut kinds = Vec::new();
+                if wi.iter().any(|r| rj.contains(*r)) {
+                    kinds.push(DepKind::True);
+                }
+                if ri
+                    .iter()
+                    .any(|r| wj.contains(*r) && !idempotent_ghost_write(&block[j], r))
+                {
+                    kinds.push(DepKind::Anti);
+                }
+                if wi.iter().any(|r| {
+                    wj.contains(*r)
+                        && !(idempotent_ghost_write(&block[i], r)
+                            && idempotent_ghost_write(&block[j], r))
+                }) {
+                    kinds.push(DepKind::Output);
+                }
+                for kind in kinds {
+                    edges.push(DepEdge { src: i, dst: j, kind });
+                }
+                if edges.iter().any(|e| e.src == i && e.dst == j) && seen.insert((i, j)) {
+                    succ[i].push(j);
+                    pred[j].push(i);
+                }
+            }
+        }
+        DepGraph { n, edges, succ, pred }
+    }
+
+    /// Direct successors of a statement.
+    pub fn succ(&self, i: usize) -> &[usize] {
+        &self.succ[i]
+    }
+
+    /// Direct predecessors of a statement.
+    pub fn pred(&self, i: usize) -> &[usize] {
+        &self.pred[i]
+    }
+
+    /// True when an edge `src → dst` of any kind exists.
+    pub fn has_edge(&self, src: usize, dst: usize) -> bool {
+        self.succ[src].contains(&dst)
+    }
+
+    /// Transitive reachability: is `to` reachable from `from`?
+    pub fn reaches(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut visited = vec![false; self.n];
+        while let Some(v) = stack.pop() {
+            for &s in &self.succ[v] {
+                if s == to {
+                    return true;
+                }
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological order of the statements (program order is always one
+    /// because edges only point forward, but this validates acyclicity).
+    pub fn topo_order(&self) -> Vec<usize> {
+        let mut indeg: Vec<usize> = (0..self.n).map(|i| self.pred[i].len()).collect();
+        let mut ready: Vec<usize> = (0..self.n).filter(|&i| indeg[i] == 0).collect();
+        ready.reverse();
+        let mut out = Vec::with_capacity(self.n);
+        while let Some(v) = ready.pop() {
+            out.push(v);
+            for &s in &self.succ[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        assert_eq!(out.len(), self.n, "dependence graph must be acyclic");
+        out
+    }
+
+    /// Check whether a permutation of the block preserves every dependence
+    /// (each edge's source is placed before its destination).
+    pub fn order_is_valid(&self, order: &[usize]) -> bool {
+        if order.len() != self.n {
+            return false;
+        }
+        let mut pos: HashMap<usize, usize> = HashMap::new();
+        for (p, &s) in order.iter().enumerate() {
+            if pos.insert(s, p).is_some() {
+                return false;
+            }
+        }
+        self.edges
+            .iter()
+            .all(|e| pos.get(&e.src).zip(pos.get(&e.dst)).is_some_and(|(a, b)| a < b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayId;
+    use crate::expr::{BinOp, Expr, OperandRef};
+    use crate::section::{Offsets, Section};
+    use crate::stmt::ShiftKind;
+
+    const U: ArrayId = ArrayId(0);
+    const T: ArrayId = ArrayId(1);
+    const RIP: ArrayId = ArrayId(2);
+
+    fn space() -> Section {
+        Section::new([(1, 8), (1, 8)])
+    }
+
+    /// RIP = CSHIFT(U,+1,1); T = U + RIP; T = T + CSHIFT-style use.
+    fn sample_block() -> Vec<Stmt> {
+        vec![
+            Stmt::ShiftAssign { dst: RIP, src: U, shift: 1, dim: 0, kind: ShiftKind::Circular },
+            Stmt::Compute {
+                lhs: T,
+                space: space(),
+                rhs: Expr::bin(
+                    BinOp::Add,
+                    Expr::Ref(OperandRef::aligned(U, 2)),
+                    Expr::Ref(OperandRef::aligned(RIP, 2)),
+                ),
+            },
+            Stmt::Compute {
+                lhs: T,
+                space: space(),
+                rhs: Expr::bin(
+                    BinOp::Add,
+                    Expr::Ref(OperandRef::aligned(T, 2)),
+                    Expr::Ref(OperandRef::aligned(RIP, 2)),
+                ),
+            },
+        ]
+    }
+
+    #[test]
+    fn true_anti_output_edges() {
+        let g = DepGraph::build(&sample_block());
+        // shift -> first compute: true dep on RIP.
+        assert!(g.edges.iter().any(|e| e.src == 0 && e.dst == 1 && e.kind == DepKind::True));
+        // compute1 -> compute2: true (T), output (T).
+        assert!(g.edges.iter().any(|e| e.src == 1 && e.dst == 2 && e.kind == DepKind::True));
+        assert!(g.edges.iter().any(|e| e.src == 1 && e.dst == 2 && e.kind == DepKind::Output));
+        assert!(g.has_edge(0, 1));
+        assert!(g.reaches(0, 2));
+    }
+
+    #[test]
+    fn anti_dependence_detected() {
+        // T = U ; U = CSHIFT(T): read of U before write of U.
+        let block = vec![
+            Stmt::Compute { lhs: T, space: space(), rhs: Expr::Ref(OperandRef::aligned(U, 2)) },
+            Stmt::ShiftAssign { dst: U, src: T, shift: 1, dim: 0, kind: ShiftKind::Circular },
+        ];
+        let g = DepGraph::build(&block);
+        assert!(g.edges.iter().any(|e| e.src == 0 && e.dst == 1 && e.kind == DepKind::Anti));
+        // Also a true dep (T written then read).
+        assert!(g.edges.iter().any(|e| e.src == 0 && e.dst == 1 && e.kind == DepKind::True));
+    }
+
+    #[test]
+    fn independent_statements_have_no_edge() {
+        let block = vec![
+            Stmt::ShiftAssign { dst: RIP, src: U, shift: 1, dim: 0, kind: ShiftKind::Circular },
+            Stmt::ShiftAssign { dst: T, src: U, shift: -1, dim: 0, kind: ShiftKind::Circular },
+        ];
+        let g = DepGraph::build(&block);
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.reaches(0, 1));
+    }
+
+    #[test]
+    fn overlap_shift_then_offset_use_is_true_dep() {
+        let block = vec![
+            Stmt::OverlapShift {
+                array: U,
+                src_offsets: Offsets::zero(2),
+                shift: 1,
+                dim: 0,
+                rsd: None,
+                kind: ShiftKind::Circular,
+            },
+            Stmt::Compute {
+                lhs: T,
+                space: space(),
+                rhs: Expr::Ref(OperandRef::offset(U, Offsets::new([1, 0]))),
+            },
+        ];
+        let g = DepGraph::build(&block);
+        assert!(g.edges.iter().any(|e| e.src == 0 && e.dst == 1 && e.kind == DepKind::True));
+    }
+
+    #[test]
+    fn mixed_kind_overlap_shifts_keep_conservative_deps() {
+        // Circular and end-off fills of the same ghost region are NOT
+        // value-identical: the idempotent-refill exception must not apply.
+        let mk = |kind: ShiftKind| Stmt::OverlapShift {
+            array: U,
+            src_offsets: Offsets::zero(2),
+            shift: 1,
+            dim: 0,
+            rsd: None,
+            kind,
+        };
+        let read = Stmt::Compute {
+            lhs: T,
+            space: space(),
+            rhs: Expr::Ref(OperandRef::offset(U, Offsets::new([1, 0]))),
+        };
+        let block = vec![mk(ShiftKind::Circular), read, mk(ShiftKind::EndOff(0.0))];
+        let g = DepGraph::build(&block);
+        // The anti dependence (read of the ghost before the end-off refill)
+        // must be present, pinning the refill after the read.
+        assert!(g.edges.iter().any(|e| e.src == 1 && e.dst == 2 && e.kind == DepKind::Anti));
+        // And the two fills carry an output dependence.
+        assert!(g.edges.iter().any(|e| e.src == 0 && e.dst == 2 && e.kind == DepKind::Output));
+        // Same-kind refills stay exempt.
+        let block2 = vec![
+            mk(ShiftKind::Circular),
+            block[1].clone(),
+            mk(ShiftKind::Circular),
+        ];
+        let g2 = DepGraph::build(&block2);
+        assert!(!g2.edges.iter().any(|e| e.dst == 2 && e.kind != DepKind::True));
+    }
+
+    #[test]
+    fn overlap_shifts_different_sides_independent() {
+        let mk = |shift: i64| Stmt::OverlapShift {
+            array: U,
+            src_offsets: Offsets::zero(2),
+            shift,
+            dim: 0,
+            rsd: None,
+            kind: ShiftKind::Circular,
+        };
+        let g = DepGraph::build(&[mk(1), mk(-1)]);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn topo_order_and_validity() {
+        let g = DepGraph::build(&sample_block());
+        let order = g.topo_order();
+        assert!(g.order_is_valid(&order));
+        assert!(g.order_is_valid(&[0, 1, 2]));
+        assert!(!g.order_is_valid(&[1, 0, 2])); // violates shift->use
+        assert!(!g.order_is_valid(&[0, 2, 1])); // violates T chain
+        assert!(!g.order_is_valid(&[0, 0, 1])); // duplicate
+        assert!(!g.order_is_valid(&[0, 1])); // wrong length
+    }
+}

@@ -1,0 +1,246 @@
+//! Right-hand-side expressions of compute statements.
+
+use crate::array::{ArrayId, ScalarId};
+use crate::section::Offsets;
+
+/// Binary arithmetic operators available in stencil expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl BinOp {
+    /// Apply the operator to two values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+
+    /// Fortran source token.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// A reference to an array operand inside a compute statement.
+///
+/// In normal form the reference is perfectly aligned with the statement's
+/// iteration space; `offsets` is the paper's `<a1,…,ar>` annotation
+/// introduced by the offset-array optimization. An all-zero annotation is a
+/// plain aligned reference.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OperandRef {
+    /// Referenced array.
+    pub array: ArrayId,
+    /// Offset annotation (`U<+1,0>` reads `U(i+1,j)`).
+    pub offsets: Offsets,
+}
+
+impl OperandRef {
+    /// Aligned (zero-offset) reference.
+    pub fn aligned(array: ArrayId, rank: usize) -> Self {
+        OperandRef { array, offsets: Offsets::zero(rank) }
+    }
+
+    /// Offset reference.
+    pub fn offset(array: ArrayId, offsets: Offsets) -> Self {
+        OperandRef { array, offsets }
+    }
+}
+
+/// Comparison operators (used by `WHERE` masks; the result is 1.0 for true and
+/// 0.0 for false).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `/=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the comparison, returning 1.0 (true) or 0.0 (false).
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        let t = match self {
+            CmpOp::Gt => a > b,
+            CmpOp::Lt => a < b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Le => a <= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        };
+        if t { 1.0 } else { 0.0 }
+    }
+
+    /// Fortran source token.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Gt => ">",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "/=",
+        }
+    }
+}
+
+/// Expression tree for the right-hand side of a compute statement.
+///
+/// All array operands are aligned to the statement's iteration space
+/// (modulo their offset annotations), so evaluating the expression requires
+/// no communication — the defining property of the paper's normal form.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Floating-point literal.
+    Const(f64),
+    /// Scalar coefficient reference.
+    Scalar(ScalarId),
+    /// Array operand reference.
+    Ref(OperandRef),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Element-wise comparison yielding 1.0 / 0.0 (from `WHERE` masks).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Element-wise selection: `cond != 0 ? then : else` — the lowering of
+    /// a masked (`WHERE`) assignment.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Visit every operand reference in the expression.
+    pub fn for_each_ref<'a>(&'a self, f: &mut impl FnMut(&'a OperandRef)) {
+        match self {
+            Expr::Const(_) | Expr::Scalar(_) => {}
+            Expr::Ref(r) => f(r),
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.for_each_ref(f);
+                b.for_each_ref(f);
+            }
+            Expr::Neg(a) => a.for_each_ref(f),
+            Expr::Select(c, t, e) => {
+                c.for_each_ref(f);
+                t.for_each_ref(f);
+                e.for_each_ref(f);
+            }
+        }
+    }
+
+    /// Visit every operand reference mutably.
+    pub fn for_each_ref_mut(&mut self, f: &mut impl FnMut(&mut OperandRef)) {
+        match self {
+            Expr::Const(_) | Expr::Scalar(_) => {}
+            Expr::Ref(r) => f(r),
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.for_each_ref_mut(f);
+                b.for_each_ref_mut(f);
+            }
+            Expr::Neg(a) => a.for_each_ref_mut(f),
+            Expr::Select(c, t, e) => {
+                c.for_each_ref_mut(f);
+                t.for_each_ref_mut(f);
+                e.for_each_ref_mut(f);
+            }
+        }
+    }
+
+    /// Collect the distinct arrays referenced by the expression.
+    pub fn referenced_arrays(&self) -> Vec<ArrayId> {
+        let mut out = Vec::new();
+        self.for_each_ref(&mut |r| {
+            if !out.contains(&r.array) {
+                out.push(r.array);
+            }
+        });
+        out
+    }
+
+    /// Count the operand references (with multiplicity).
+    pub fn ref_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_ref(&mut |_| n += 1);
+        n
+    }
+
+    /// Number of arithmetic operations in the tree.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Scalar(_) | Expr::Ref(_) => 0,
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => 1 + a.op_count() + b.op_count(),
+            Expr::Neg(a) => 1 + a.op_count(),
+            Expr::Select(c, t, e) => 1 + c.op_count() + t.op_count() + e.op_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // C1 * U<+1,0> + U<0,0>
+        Expr::bin(
+            BinOp::Add,
+            Expr::bin(
+                BinOp::Mul,
+                Expr::Scalar(ScalarId(0)),
+                Expr::Ref(OperandRef::offset(ArrayId(0), Offsets::new([1, 0]))),
+            ),
+            Expr::Ref(OperandRef::aligned(ArrayId(0), 2)),
+        )
+    }
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+    }
+
+    #[test]
+    fn walk_refs() {
+        let e = sample();
+        assert_eq!(e.ref_count(), 2);
+        assert_eq!(e.referenced_arrays(), vec![ArrayId(0)]);
+        assert_eq!(e.op_count(), 2);
+    }
+
+    #[test]
+    fn mutate_refs() {
+        let mut e = sample();
+        e.for_each_ref_mut(&mut |r| r.array = ArrayId(7));
+        assert_eq!(e.referenced_arrays(), vec![ArrayId(7)]);
+    }
+}

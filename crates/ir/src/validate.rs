@@ -1,0 +1,290 @@
+//! IR validation: structural well-formedness checks run between passes.
+
+use crate::array::ArrayId;
+use crate::program::{Program, SymbolTable};
+use crate::section::Section;
+use crate::stmt::Stmt;
+
+/// A validation failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidateError(pub String);
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IR validation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn err(msg: String) -> Result<(), ValidateError> {
+    Err(ValidateError(msg))
+}
+
+fn check_array(symbols: &SymbolTable, id: ArrayId) -> Result<(), ValidateError> {
+    if (id.0 as usize) < symbols.num_arrays() {
+        Ok(())
+    } else {
+        err(format!("dangling array id {id:?}"))
+    }
+}
+
+/// Validate a program against the normal-form invariants:
+///
+/// * every referenced array/scalar id is declared;
+/// * shift dimensions are within rank and operand ranks agree;
+/// * compute iteration spaces lie within the LHS array bounds;
+/// * operand references inside a compute statement have the rank of their
+///   array and, translated by their offsets, the referenced section lies
+///   within the array extended by the given overlap width;
+/// * offset annotations never exceed the machine's overlap width.
+pub fn validate(p: &Program, overlap_width: i64) -> Result<(), ValidateError> {
+    let mut result = Ok(());
+    p.for_each_stmt(&mut |s| {
+        if result.is_err() {
+            return;
+        }
+        result = validate_stmt(&p.symbols, s, overlap_width);
+    });
+    result
+}
+
+fn validate_stmt(symbols: &SymbolTable, s: &Stmt, w: i64) -> Result<(), ValidateError> {
+    match s {
+        Stmt::ShiftAssign { dst, src, dim, .. } => {
+            check_array(symbols, *dst)?;
+            check_array(symbols, *src)?;
+            let d = symbols.array(*dst);
+            let r = symbols.array(*src);
+            if d.shape != r.shape {
+                return err(format!(
+                    "shift assign shape mismatch: {} {:?} vs {} {:?}",
+                    d.name, d.shape, r.name, r.shape
+                ));
+            }
+            if *dim >= d.rank() {
+                return err(format!("shift dim {} out of rank {}", dim + 1, d.rank()));
+            }
+            Ok(())
+        }
+        Stmt::OverlapShift { array, src_offsets, shift, dim, rsd, .. } => {
+            check_array(symbols, *array)?;
+            let a = symbols.array(*array);
+            if *dim >= a.rank() {
+                return err(format!("overlap shift dim {} out of rank {}", dim + 1, a.rank()));
+            }
+            if src_offsets.rank() != a.rank() {
+                return err(format!("offset annotation rank mismatch on {}", a.name));
+            }
+            if shift.abs() > w {
+                return err(format!(
+                    "overlap shift amount {shift} exceeds overlap width {w} on {}",
+                    a.name
+                ));
+            }
+            if let Some(rsd) = rsd {
+                if rsd.rank() != a.rank() {
+                    return err(format!("RSD rank mismatch on {}", a.name));
+                }
+                if rsd.ext.iter().any(|&(lo, hi)| lo as i64 > w || hi as i64 > w) {
+                    return err(format!("RSD extension exceeds overlap width on {}", a.name));
+                }
+                if rsd.ext[*dim] != (0, 0) {
+                    return err(format!(
+                        "RSD must not extend the shifted dimension itself on {}",
+                        a.name
+                    ));
+                }
+            }
+            Ok(())
+        }
+        Stmt::Compute { lhs, space, rhs } => {
+            check_array(symbols, *lhs)?;
+            let l = symbols.array(*lhs);
+            if space.rank() != l.rank() {
+                return err(format!("iteration space rank mismatch on {}", l.name));
+            }
+            if !space.within(&l.shape) {
+                return err(format!(
+                    "iteration space {space:?} outside bounds of {} {:?}",
+                    l.name, l.shape
+                ));
+            }
+            let mut inner = Ok(());
+            rhs.for_each_ref(&mut |r| {
+                if inner.is_err() {
+                    return;
+                }
+                if let Err(e) = check_array(symbols, r.array) {
+                    inner = Err(e);
+                    return;
+                }
+                let a = symbols.array(r.array);
+                if r.offsets.rank() != a.rank() {
+                    inner = err(format!("operand offset rank mismatch on {}", a.name));
+                    return;
+                }
+                if r.offsets.max_abs() > w {
+                    inner = err(format!(
+                        "operand offset {:?} exceeds overlap width {w} on {}",
+                        r.offsets, a.name
+                    ));
+                    return;
+                }
+                if a.shape != l.shape {
+                    inner = err(format!(
+                        "operand {} not conformant with LHS {}",
+                        a.name, l.name
+                    ));
+                }
+            });
+            inner
+        }
+        Stmt::Copy { dst, src } => {
+            check_array(symbols, *dst)?;
+            check_array(symbols, src.array)?;
+            let d = symbols.array(*dst);
+            let s = symbols.array(src.array);
+            if d.shape != s.shape {
+                return err(format!("copy shape mismatch {} vs {}", d.name, s.name));
+            }
+            if src.offsets.rank() != s.rank() {
+                return err(format!("copy offset rank mismatch on {}", s.name));
+            }
+            if src.offsets.max_abs() > w {
+                return err(format!("copy offset exceeds overlap width on {}", s.name));
+            }
+            Ok(())
+        }
+        Stmt::TimeLoop { .. } => Ok(()), // bodies visited by the caller
+    }
+}
+
+/// Check the *normal form* property of §2.1: every shift is a singleton
+/// whole-array assignment (guaranteed by construction here), and every
+/// compute statement's operands are declared with identical distributions as
+/// the LHS (perfect alignment ⇒ no communication).
+pub fn check_normal_form(p: &Program) -> Result<(), ValidateError> {
+    let mut result = Ok(());
+    p.for_each_stmt(&mut |s| {
+        if result.is_err() {
+            return;
+        }
+        if let Stmt::Compute { lhs, rhs, .. } = s {
+            let ldist = &p.symbols.array(*lhs).dist;
+            rhs.for_each_ref(&mut |r| {
+                if result.is_err() {
+                    return;
+                }
+                let rd = &p.symbols.array(r.array).dist;
+                if rd != ldist {
+                    result = err(format!(
+                        "compute operand {} not aligned with {} (distributions differ)",
+                        p.symbols.array(r.array).name,
+                        p.symbols.array(*lhs).name
+                    ));
+                }
+            });
+        }
+    });
+    result
+}
+
+/// Full iteration space of an array (used by kill analysis and validation).
+pub fn full_space(symbols: &SymbolTable, id: ArrayId) -> Section {
+    Section::full(&symbols.array(id).shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{ArrayDecl, Distribution, Shape};
+    use crate::expr::{Expr, OperandRef};
+    use crate::section::Offsets;
+    use crate::stmt::ShiftKind;
+
+    fn prog() -> (Program, ArrayId, ArrayId) {
+        let mut t = SymbolTable::new();
+        let u = t.add_array(ArrayDecl::user("U", Shape::new([8, 8]), Distribution::block(2)));
+        let v = t.add_array(ArrayDecl::user("T", Shape::new([8, 8]), Distribution::block(2)));
+        (Program::new(t), u, v)
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let (mut p, u, v) = prog();
+        p.body.push(Stmt::ShiftAssign { dst: v, src: u, shift: 1, dim: 0, kind: ShiftKind::Circular });
+        p.body.push(Stmt::Compute {
+            lhs: v,
+            space: Section::new([(2, 7), (2, 7)]),
+            rhs: Expr::Ref(OperandRef::offset(u, Offsets::new([1, -1]))),
+        });
+        assert!(validate(&p, 1).is_ok());
+        assert!(check_normal_form(&p).is_ok());
+    }
+
+    #[test]
+    fn shift_dim_out_of_rank_fails() {
+        let (mut p, u, v) = prog();
+        p.body.push(Stmt::ShiftAssign { dst: v, src: u, shift: 1, dim: 2, kind: ShiftKind::Circular });
+        assert!(validate(&p, 1).is_err());
+    }
+
+    #[test]
+    fn offset_exceeding_overlap_fails() {
+        let (mut p, u, v) = prog();
+        p.body.push(Stmt::Compute {
+            lhs: v,
+            space: Section::new([(3, 6), (1, 8)]),
+            rhs: Expr::Ref(OperandRef::offset(u, Offsets::new([2, 0]))),
+        });
+        assert!(validate(&p, 1).is_err());
+        assert!(validate(&p, 2).is_ok());
+    }
+
+    #[test]
+    fn space_outside_bounds_fails() {
+        let (mut p, u, v) = prog();
+        p.body.push(Stmt::Compute {
+            lhs: v,
+            space: Section::new([(0, 8), (1, 8)]),
+            rhs: Expr::Ref(OperandRef::aligned(u, 2)),
+        });
+        assert!(validate(&p, 1).is_err());
+    }
+
+    #[test]
+    fn misaligned_operand_fails_normal_form() {
+        let mut t = SymbolTable::new();
+        let u = t.add_array(ArrayDecl::user(
+            "U",
+            Shape::new([8, 8]),
+            Distribution(vec![crate::DimDist::Block, crate::DimDist::Collapsed]),
+        ));
+        let v = t.add_array(ArrayDecl::user("T", Shape::new([8, 8]), Distribution::block(2)));
+        let mut p = Program::new(t);
+        p.body.push(Stmt::Compute {
+            lhs: v,
+            space: Section::new([(1, 8), (1, 8)]),
+            rhs: Expr::Ref(OperandRef::aligned(u, 2)),
+        });
+        assert!(validate(&p, 1).is_ok(), "structurally fine");
+        assert!(check_normal_form(&p).is_err(), "but not aligned");
+    }
+
+    #[test]
+    fn rsd_must_not_extend_shift_dim() {
+        let (mut p, u, _) = prog();
+        let mut rsd = crate::Rsd::none(2);
+        rsd.extend(1, 1);
+        p.body.push(Stmt::OverlapShift {
+            array: u,
+            src_offsets: Offsets::zero(2),
+            shift: 1,
+            dim: 1,
+            rsd: Some(rsd),
+            kind: ShiftKind::Circular,
+        });
+        assert!(validate(&p, 1).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Analytical cost model.
+//!
+//! The paper reports wall-clock seconds on a 4-processor IBM SP-2. We cannot
+//! rerun that machine, so alongside real wall-clock of the simulated
+//! execution we compute a *modeled time* from the counters, with constants
+//! flavoured after 1997-era SP-2 characteristics: large per-message software
+//! overhead (MPI + strided pack/unpack), moderate memory-copy bandwidth, and
+//! cheap flops relative to memory accesses (stencil subgrid loops are
+//! memory-bound, paper §2.2).
+//!
+//! The modeled time of a run is `max` over PEs of each PE's accumulated
+//! nanoseconds — the SPMD critical path under barrier-synchronised steps.
+
+use crate::stats::{AggStats, PeStats};
+
+/// Per-operation costs in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost per message (software overhead + latency), each side.
+    pub alpha_ns: f64,
+    /// Per-byte transfer cost (pack + wire + unpack), each side.
+    pub beta_ns_per_byte: f64,
+    /// Per-byte cost of intraprocessor copies (local memcpy through memory).
+    pub copy_ns_per_byte: f64,
+    /// Cost of one array-element load in a subgrid loop.
+    pub load_ns: f64,
+    /// Extra cost per load when the innermost loop is not stride-1 (cache
+    /// lines wasted; what loop permutation removes).
+    pub strided_load_extra_ns: f64,
+    /// Cost of one array-element store.
+    pub store_ns: f64,
+    /// Cost of one floating-point operation.
+    pub flop_ns: f64,
+    /// Loop-iteration overhead (index updates, branch).
+    pub iter_ns: f64,
+    /// Cost of allocating a distributed temporary (per PE, per array).
+    pub alloc_ns: f64,
+}
+
+impl CostModel {
+    /// SP-2-flavoured defaults. With these constants communication and
+    /// computation are of comparable magnitude for mid-size problems on a
+    /// 2×2 grid, which is the regime the paper's Figure 17 percentages come
+    /// from (each pipeline stage visibly reduces total time).
+    pub fn sp2() -> Self {
+        CostModel {
+            alpha_ns: 300_000.0,     // ~300 µs per message incl. library overhead
+            beta_ns_per_byte: 60.0,  // ~16 MB/s effective strided pack+send
+            copy_ns_per_byte: 10.0,  // ~100 MB/s local copy
+            load_ns: 20.0,
+            strided_load_extra_ns: 60.0,
+            store_ns: 20.0,
+            flop_ns: 5.0,
+            iter_ns: 5.0,
+            alloc_ns: 50_000.0,      // temp allocation + page touch
+        }
+    }
+
+    /// A model where communication is free — isolates computation effects
+    /// (used by ablation benches).
+    pub fn compute_only() -> Self {
+        CostModel { alpha_ns: 0.0, beta_ns_per_byte: 0.0, copy_ns_per_byte: 0.0, alloc_ns: 0.0, ..Self::sp2() }
+    }
+
+    /// Modeled nanoseconds attributable to one PE's counters.
+    pub fn pe_time_ns(&self, s: &PeStats) -> f64 {
+        (s.msgs_sent + s.msgs_recv) as f64 * self.alpha_ns
+            + (s.bytes_sent + s.bytes_recv) as f64 * self.beta_ns_per_byte
+            + (s.intra_bytes + s.wrap_bytes) as f64 * self.copy_ns_per_byte
+            + s.loads as f64 * self.load_ns
+            + s.strided_loads as f64 * self.strided_load_extra_ns
+            + s.stores as f64 * self.store_ns
+            + s.flops as f64 * self.flop_ns
+            + s.iters as f64 * self.iter_ns
+            + s.allocs as f64 * self.alloc_ns
+    }
+
+    /// Modeled time of a run: the slowest PE (critical path).
+    pub fn modeled_time_ns(&self, agg: &AggStats) -> f64 {
+        agg.per_pe
+            .iter()
+            .map(|s| self.pe_time_ns(s))
+            .fold(0.0, f64::max)
+    }
+
+    /// Modeled time in milliseconds.
+    pub fn modeled_time_ms(&self, agg: &AggStats) -> f64 {
+        self.modeled_time_ns(agg) / 1e6
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::sp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_time_combines_terms() {
+        let m = CostModel {
+            alpha_ns: 100.0,
+            beta_ns_per_byte: 1.0,
+            copy_ns_per_byte: 2.0,
+            load_ns: 3.0,
+            strided_load_extra_ns: 0.0,
+            store_ns: 4.0,
+            flop_ns: 5.0,
+            iter_ns: 6.0,
+            alloc_ns: 7.0,
+        };
+        let s = PeStats {
+            msgs_sent: 1,
+            msgs_recv: 1,
+            bytes_sent: 10,
+            bytes_recv: 10,
+            intra_bytes: 5,
+            wrap_bytes: 5,
+            loads: 2,
+            strided_loads: 0,
+            stores: 2,
+            flops: 2,
+            iters: 2,
+            allocs: 1,
+        };
+        let t = m.pe_time_ns(&s);
+        assert_eq!(t, 200.0 + 20.0 + 20.0 + 6.0 + 8.0 + 10.0 + 12.0 + 7.0);
+    }
+
+    #[test]
+    fn modeled_time_is_max_over_pes() {
+        let m = CostModel::sp2();
+        let slow = PeStats { loads: 1_000_000, ..Default::default() };
+        let fast = PeStats { loads: 10, ..Default::default() };
+        let agg = AggStats { per_pe: vec![fast, slow, fast], peak_bytes: vec![] };
+        assert_eq!(m.modeled_time_ns(&agg), m.pe_time_ns(&slow));
+    }
+
+    #[test]
+    fn compute_only_zeroes_comm() {
+        let m = CostModel::compute_only();
+        let s = PeStats { msgs_sent: 100, bytes_sent: 1 << 20, intra_bytes: 1 << 20, ..Default::default() };
+        assert_eq!(m.pe_time_ns(&s), 0.0);
+    }
+
+    #[test]
+    fn sp2_message_dominates_small_transfers() {
+        let m = CostModel::sp2();
+        // One 2 KB message: latency term should dominate the byte term.
+        let s = PeStats { msgs_sent: 1, bytes_sent: 2048, ..Default::default() };
+        assert!(m.alpha_ns > 2048.0 * m.beta_ns_per_byte);
+        assert!(m.pe_time_ns(&s) > m.alpha_ns);
+    }
+}

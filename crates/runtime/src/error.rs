@@ -1,0 +1,80 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// Errors raised by the machine simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtError {
+    /// A PE's memory budget was exceeded — the mechanism behind Figure 11's
+    /// missing data points (the single-statement 9-point stencil exhausts
+    /// 256 MB/PE through its twelve CSHIFT temporaries).
+    MemoryExhausted {
+        /// PE that failed the allocation.
+        pe: usize,
+        /// Bytes the allocation would have brought the PE to.
+        needed: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// An array operation referenced an unallocated array.
+    NotAllocated(String),
+    /// An array id was allocated twice without an intervening free.
+    AlreadyAllocated(String),
+    /// A shift distance does not fit the overlap width or block extents.
+    ShiftTooWide {
+        /// Offending shift amount.
+        shift: i64,
+        /// Along dimension.
+        dim: usize,
+        /// The limiting width (overlap width or minimum block extent).
+        limit: usize,
+    },
+    /// Array distribution incompatible with the machine (e.g. a collapsed
+    /// dimension on a grid axis with more than one PE).
+    BadDistribution(String),
+    /// Mismatched ranks between machine grid and arrays.
+    RankMismatch {
+        /// Machine grid rank.
+        machine: usize,
+        /// Array rank.
+        array: usize,
+    },
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::MemoryExhausted { pe, needed, budget } => write!(
+                f,
+                "memory exhausted on PE {pe}: needs {needed} bytes, budget {budget}"
+            ),
+            RtError::NotAllocated(name) => write!(f, "array {name} is not allocated"),
+            RtError::AlreadyAllocated(name) => write!(f, "array {name} is already allocated"),
+            RtError::ShiftTooWide { shift, dim, limit } => write!(
+                f,
+                "shift {shift} along dim {} exceeds limit {limit}",
+                dim + 1
+            ),
+            RtError::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
+            RtError::RankMismatch { machine, array } => {
+                write!(f, "machine grid rank {machine} != array rank {array}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RtError::MemoryExhausted { pe: 2, needed: 1000, budget: 512 };
+        assert!(e.to_string().contains("PE 2"));
+        assert!(RtError::ShiftTooWide { shift: 3, dim: 1, limit: 1 }
+            .to_string()
+            .contains("dim 2"));
+    }
+}

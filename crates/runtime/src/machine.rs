@@ -1,0 +1,708 @@
+//! The machine: PE states, distributed arrays, and data-movement operations.
+
+use crate::cost::CostModel;
+use crate::dist::{BlockDim, PeGrid};
+use crate::error::RtError;
+use crate::schedule::{cshift_plan, overlap_shift_plan, CommAction, Geometry, Transfer};
+use crate::stats::{AggStats, PeStats};
+use crate::subgrid::Subgrid;
+use hpf_ir::{ArrayDecl, ArrayId, DimDist, Offsets, Rsd, Section, Shape, ShiftKind};
+
+/// Machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// PE mesh; rank must match the program's array rank.
+    pub grid: PeGrid,
+    /// Overlap-area width (ghost layers per side per dimension).
+    pub halo: usize,
+    /// Optional per-PE memory budget in bytes (Figure 11's 256 MB/PE).
+    pub mem_budget: Option<usize>,
+    /// Cost model used for modeled time.
+    pub cost: CostModel,
+}
+
+impl MachineConfig {
+    /// The paper's machine: a 4-processor SP-2 arranged 2×2, overlap width 1.
+    pub fn sp2_2x2() -> Self {
+        MachineConfig {
+            grid: PeGrid::new([2, 2]),
+            halo: 1,
+            mem_budget: None,
+            cost: CostModel::sp2(),
+        }
+    }
+
+    /// Arbitrary grid with defaults.
+    pub fn with_grid(grid: impl Into<Vec<usize>>) -> Self {
+        MachineConfig {
+            grid: PeGrid::new(grid),
+            halo: 1,
+            mem_budget: None,
+            cost: CostModel::sp2(),
+        }
+    }
+
+    /// Set the overlap width.
+    pub fn halo(mut self, halo: usize) -> Self {
+        self.halo = halo;
+        self
+    }
+
+    /// Set the per-PE memory budget.
+    pub fn budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+}
+
+/// Metadata of an allocated distributed array.
+#[derive(Clone, Debug)]
+pub struct ArrayMeta {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Global shape.
+    pub shape: Shape,
+    /// Geometry (distribution arithmetic on the PE grid).
+    pub geom: Geometry,
+}
+
+/// Per-PE mutable state: subgrids, counters, memory accounting.
+#[derive(Clone, Debug)]
+pub struct PeState {
+    /// Linear PE index.
+    pub pe: usize,
+    /// Subgrids indexed by `ArrayId`.
+    pub subgrids: Vec<Option<Subgrid>>,
+    /// Execution counters.
+    pub stats: PeStats,
+    /// Currently allocated bytes.
+    pub cur_bytes: usize,
+    /// Peak allocated bytes.
+    pub peak_bytes: usize,
+}
+
+impl PeState {
+    /// Borrow a subgrid.
+    pub fn subgrid(&self, id: ArrayId) -> &Subgrid {
+        self.subgrids
+            .get(id.0 as usize)
+            .and_then(|s| s.as_ref())
+            .unwrap_or_else(|| panic!("array {id:?} not allocated on PE {}", self.pe))
+    }
+
+    /// Borrow a subgrid mutably.
+    pub fn subgrid_mut(&mut self, id: ArrayId) -> &mut Subgrid {
+        let pe = self.pe;
+        self.subgrids
+            .get_mut(id.0 as usize)
+            .and_then(|s| s.as_mut())
+            .unwrap_or_else(|| panic!("array {id:?} not allocated on PE {pe}"))
+    }
+}
+
+/// How to account a data-movement plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveKind {
+    /// Full shift: self-transfers are the intraprocessor component.
+    FullShift,
+    /// Overlap shift: self-transfers are local wrap copies into the halo.
+    Overlap,
+}
+
+/// The simulated distributed-memory machine (sequential engine; the SPMD
+/// threaded engine in `hpf-exec` reuses the same schedules and per-PE state).
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Configuration.
+    pub cfg: MachineConfig,
+    metas: Vec<Option<ArrayMeta>>,
+    /// Per-PE state, indexed by linear PE id.
+    pub pes: Vec<PeState>,
+}
+
+impl Machine {
+    /// Build a machine with no arrays allocated.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let n = cfg.grid.num_pes();
+        let pes = (0..n)
+            .map(|pe| PeState {
+                pe,
+                subgrids: Vec::new(),
+                stats: PeStats::default(),
+                cur_bytes: 0,
+                peak_bytes: 0,
+            })
+            .collect();
+        Machine { cfg, metas: Vec::new(), pes }
+    }
+
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.cfg.grid.num_pes()
+    }
+
+    /// Geometry for a declaration on this machine.
+    pub fn geometry_for(&self, decl: &ArrayDecl) -> Result<Geometry, RtError> {
+        if decl.rank() != self.cfg.grid.rank() {
+            return Err(RtError::RankMismatch {
+                machine: self.cfg.grid.rank(),
+                array: decl.rank(),
+            });
+        }
+        let mut dims = Vec::with_capacity(decl.rank());
+        for d in 0..decl.rank() {
+            let p = match decl.dist.dim(d) {
+                DimDist::Block => self.cfg.grid.dims[d],
+                DimDist::Collapsed => {
+                    if self.cfg.grid.dims[d] != 1 {
+                        return Err(RtError::BadDistribution(format!(
+                            "array {}: collapsed dim {} on a grid axis of {} PEs",
+                            decl.name,
+                            d + 1,
+                            self.cfg.grid.dims[d]
+                        )));
+                    }
+                    1
+                }
+            };
+            dims.push(BlockDim::new(decl.shape.extent(d), p));
+        }
+        Ok(Geometry::new(dims, self.cfg.grid.clone()))
+    }
+
+    /// Allocate a distributed array. All-or-nothing: fails without side
+    /// effects when any PE would exceed its memory budget.
+    pub fn alloc(&mut self, id: ArrayId, decl: &ArrayDecl) -> Result<(), RtError> {
+        let idx = id.0 as usize;
+        if self.metas.len() > idx && self.metas[idx].is_some() {
+            return Err(RtError::AlreadyAllocated(decl.name.clone()));
+        }
+        let geom = self.geometry_for(decl)?;
+        // Pre-check budgets.
+        if let Some(budget) = self.cfg.mem_budget {
+            for pe in 0..self.num_pes() {
+                let owned = Section::new(geom.owned(pe));
+                let sub = Subgrid::new(owned, self.cfg.halo);
+                let needed = self.pes[pe].cur_bytes + sub.bytes();
+                if needed > budget {
+                    return Err(RtError::MemoryExhausted { pe, needed, budget });
+                }
+            }
+        }
+        if self.metas.len() <= idx {
+            self.metas.resize(idx + 1, None);
+        }
+        for pe in 0..self.num_pes() {
+            let owned = Section::new(geom.owned(pe));
+            let sub = Subgrid::new(owned, self.cfg.halo);
+            let st = &mut self.pes[pe];
+            st.cur_bytes += sub.bytes();
+            st.peak_bytes = st.peak_bytes.max(st.cur_bytes);
+            st.stats.allocs += 1;
+            if st.subgrids.len() <= idx {
+                st.subgrids.resize(idx + 1, None);
+            }
+            st.subgrids[idx] = Some(sub);
+        }
+        self.metas[idx] = Some(ArrayMeta {
+            name: decl.name.clone(),
+            shape: decl.shape.clone(),
+            geom,
+        });
+        Ok(())
+    }
+
+    /// Free a distributed array.
+    pub fn free(&mut self, id: ArrayId) {
+        let idx = id.0 as usize;
+        if self.metas.get(idx).is_none_or(|m| m.is_none()) {
+            return;
+        }
+        for st in &mut self.pes {
+            if let Some(sub) = st.subgrids[idx].take() {
+                st.cur_bytes -= sub.bytes();
+            }
+        }
+        self.metas[idx] = None;
+    }
+
+    /// True when the array is allocated.
+    pub fn is_allocated(&self, id: ArrayId) -> bool {
+        self.metas
+            .get(id.0 as usize)
+            .is_some_and(|m| m.is_some())
+    }
+
+    /// Snapshot of all array metadata (indexed by `ArrayId`), for executors
+    /// that need geometry while PE states are mutably borrowed by threads.
+    pub fn metas_snapshot(&self) -> Vec<Option<ArrayMeta>> {
+        self.metas.clone()
+    }
+
+    /// Metadata of an allocated array.
+    pub fn meta(&self, id: ArrayId) -> &ArrayMeta {
+        self.metas[id.0 as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("array {id:?} not allocated"))
+    }
+
+    /// Fill every element from a function of the global coordinates.
+    pub fn fill(&mut self, id: ArrayId, f: impl Fn(&[i64]) -> f64) {
+        let geom = self.meta(id).geom.clone();
+        for pe in 0..self.num_pes() {
+            let owned = Section::new(geom.owned(pe));
+            if owned.is_empty() {
+                continue;
+            }
+            let sub = self.pes[pe].subgrid_mut(id);
+            for p in owned.points() {
+                sub.set_global(&p, f(&p));
+            }
+        }
+    }
+
+    /// Read one element by global coordinates.
+    pub fn get(&self, id: ArrayId, point: &[i64]) -> f64 {
+        let geom = &self.meta(id).geom;
+        let pe = self.owner_pe(geom, point);
+        self.pes[pe].subgrid(id).get_global(point)
+    }
+
+    /// Write one element by global coordinates.
+    pub fn set(&mut self, id: ArrayId, point: &[i64], v: f64) {
+        let geom = self.meta(id).geom.clone();
+        let pe = self.owner_pe(&geom, point);
+        self.pes[pe].subgrid_mut(id).set_global(point, v);
+    }
+
+    fn owner_pe(&self, geom: &Geometry, point: &[i64]) -> usize {
+        let coords: Vec<usize> = point
+            .iter()
+            .zip(&geom.dims)
+            .map(|(&i, b)| b.owner(i).expect("point out of bounds"))
+            .collect();
+        geom.grid.linear(&coords)
+    }
+
+    /// Gather an array into a dense global row-major buffer.
+    pub fn gather(&self, id: ArrayId) -> Vec<f64> {
+        let meta = self.meta(id);
+        let shape = meta.shape.clone();
+        let mut out = vec![0.0; shape.len()];
+        let full = Section::full(&shape);
+        let strides = row_major_strides(&shape);
+        for pe in 0..self.num_pes() {
+            let owned = Section::new(meta.geom.owned(pe));
+            let owned = owned.intersect(&full);
+            if owned.is_empty() {
+                continue;
+            }
+            let sub = self.pes[pe].subgrid(id);
+            for p in owned.points() {
+                let mut idx = 0usize;
+                for d in 0..p.len() {
+                    idx += (p[d] - 1) as usize * strides[d];
+                }
+                out[idx] = sub.get_global(&p);
+            }
+        }
+        out
+    }
+
+    /// Scatter a dense global row-major buffer into a distributed array.
+    pub fn scatter(&mut self, id: ArrayId, data: &[f64]) {
+        let meta = self.meta(id).clone();
+        assert_eq!(data.len(), meta.shape.len());
+        let strides = row_major_strides(&meta.shape);
+        for pe in 0..self.num_pes() {
+            let owned = Section::new(meta.geom.owned(pe));
+            if owned.is_empty() {
+                continue;
+            }
+            let sub = self.pes[pe].subgrid_mut(id);
+            for p in owned.points() {
+                let mut idx = 0usize;
+                for d in 0..p.len() {
+                    idx += (p[d] - 1) as usize * strides[d];
+                }
+                sub.set_global(&p, data[idx]);
+            }
+        }
+    }
+
+    /// Apply a communication plan moving data from `src` into `dst` (which
+    /// may be the same array, as in overlap shifts), updating counters.
+    pub fn apply_plan(
+        &mut self,
+        dst: ArrayId,
+        src: ArrayId,
+        plan: &[CommAction],
+        kind: MoveKind,
+    ) {
+        for action in plan {
+            match action {
+                CommAction::Transfer(t) => self.apply_transfer(dst, src, t, kind),
+                CommAction::Fill { pe, local, value } => {
+                    self.pes[*pe].subgrid_mut(dst).fill_region(local, *value);
+                }
+            }
+        }
+    }
+
+    fn apply_transfer(&mut self, dst: ArrayId, src: ArrayId, t: &Transfer, kind: MoveKind) {
+        let buf = self.pes[t.src_pe].subgrid(src).read_region(&t.src_local);
+        let bytes = (buf.len() * std::mem::size_of::<f64>()) as u64;
+        self.pes[t.dst_pe]
+            .subgrid_mut(dst)
+            .write_region(&t.dst_local, &buf);
+        if t.src_pe == t.dst_pe {
+            match kind {
+                MoveKind::FullShift => self.pes[t.src_pe].stats.intra_bytes += bytes,
+                MoveKind::Overlap => self.pes[t.src_pe].stats.wrap_bytes += bytes,
+            }
+        } else {
+            let s = &mut self.pes[t.src_pe].stats;
+            s.msgs_sent += 1;
+            s.bytes_sent += bytes;
+            let r = &mut self.pes[t.dst_pe].stats;
+            r.msgs_recv += 1;
+            r.bytes_recv += bytes;
+        }
+    }
+
+    /// Full `DST = CSHIFT(SRC, SHIFT=s, DIM=d)` (or `EOSHIFT`): both the
+    /// interprocessor and the intraprocessor component (paper §2.2).
+    pub fn cshift(
+        &mut self,
+        dst: ArrayId,
+        src: ArrayId,
+        shift: i64,
+        dim: usize,
+        kind: ShiftKind,
+    ) -> Result<(), RtError> {
+        let geom = self.meta(src).geom.clone();
+        let plan = cshift_plan(&geom, shift, dim, kind);
+        self.apply_plan(dst, src, &plan, MoveKind::FullShift);
+        Ok(())
+    }
+
+    /// `CALL OVERLAP_SHIFT(A, SHIFT=s, DIM=d [, rsd])`: interprocessor
+    /// movement only, into the overlap areas.
+    pub fn overlap_shift(
+        &mut self,
+        id: ArrayId,
+        shift: i64,
+        dim: usize,
+        rsd: Option<&Rsd>,
+        kind: ShiftKind,
+    ) -> Result<(), RtError> {
+        let geom = self.meta(id).geom.clone();
+        let plan = overlap_shift_plan(&geom, shift, dim, rsd, kind, self.cfg.halo)?;
+        self.apply_plan(id, id, &plan, MoveKind::Overlap);
+        Ok(())
+    }
+
+    /// Whole-array copy `DST = SRC<offsets>`; purely local (reads halo cells
+    /// for non-zero offsets). Counts as a subgrid loop.
+    pub fn copy_offset(&mut self, dst: ArrayId, src: ArrayId, offsets: &Offsets) {
+        for pe in 0..self.num_pes() {
+            let sub_src = match &self.pes[pe].subgrids[src.0 as usize] {
+                Some(s) => s.clone(),
+                None => panic!("src not allocated"),
+            };
+            if sub_src.is_empty() {
+                continue;
+            }
+            let ext = sub_src.ext.clone();
+            let st = &mut self.pes[pe];
+            let sub_dst = st.subgrid_mut(dst);
+            let ranges: Vec<(i64, i64)> = ext.iter().map(|&e| (1, e as i64)).collect();
+            let mut cur: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
+            let mut n = 0u64;
+            loop {
+                let from: Vec<i64> = cur
+                    .iter()
+                    .zip(&offsets.0)
+                    .map(|(&l, &o)| l + o)
+                    .collect();
+                sub_dst.set(&cur, sub_src.get(&from));
+                n += 1;
+                let mut done = true;
+                for d in (0..cur.len()).rev() {
+                    cur[d] += 1;
+                    if cur[d] <= ranges[d].1 {
+                        done = false;
+                        break;
+                    }
+                    cur[d] = ranges[d].0;
+                }
+                if done {
+                    break;
+                }
+            }
+            st.stats.loads += n;
+            st.stats.stores += n;
+            st.stats.iters += n;
+        }
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> AggStats {
+        AggStats {
+            per_pe: self.pes.iter().map(|p| p.stats).collect(),
+            peak_bytes: self.pes.iter().map(|p| p.peak_bytes).collect(),
+        }
+    }
+
+    /// Reset all counters (memory peaks included).
+    pub fn reset_stats(&mut self) {
+        for p in &mut self.pes {
+            p.stats = PeStats::default();
+            p.peak_bytes = p.cur_bytes;
+        }
+    }
+
+    /// Modeled execution time of the counters so far, in milliseconds.
+    pub fn modeled_time_ms(&self) -> f64 {
+        self.cfg.cost.modeled_time_ms(&self.stats())
+    }
+}
+
+/// Row-major strides of a shape.
+pub fn row_major_strides(shape: &Shape) -> Vec<usize> {
+    let r = shape.rank();
+    let mut s = vec![1usize; r];
+    for d in (0..r.saturating_sub(1)).rev() {
+        s[d] = s[d + 1] * shape.extent(d + 1);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_ir::Distribution;
+
+    fn decl(name: &str, n: usize) -> ArrayDecl {
+        ArrayDecl::user(name, Shape::new([n, n]), Distribution::block(2))
+    }
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::sp2_2x2())
+    }
+
+    const U: ArrayId = ArrayId(0);
+    const T: ArrayId = ArrayId(1);
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        assert!(m.is_allocated(U));
+        // 8x8 over 2x2: subgrid 4x4 halo 1 -> 6x6 = 36 elems = 288 bytes.
+        assert_eq!(m.pes[0].cur_bytes, 288);
+        m.alloc(T, &decl("T", 8)).unwrap();
+        assert_eq!(m.pes[0].cur_bytes, 576);
+        assert_eq!(m.pes[0].peak_bytes, 576);
+        m.free(U);
+        assert!(!m.is_allocated(U));
+        assert_eq!(m.pes[0].cur_bytes, 288);
+        assert_eq!(m.pes[0].peak_bytes, 576, "peak persists");
+        assert_eq!(m.stats().per_pe[0].allocs, 2);
+    }
+
+    #[test]
+    fn double_alloc_fails() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        assert!(matches!(m.alloc(U, &decl("U", 8)), Err(RtError::AlreadyAllocated(_))));
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let mut m = Machine::new(MachineConfig::sp2_2x2().budget(500));
+        m.alloc(U, &decl("U", 8)).unwrap(); // 288 bytes/PE
+        let err = m.alloc(T, &decl("T", 8)).unwrap_err();
+        assert!(matches!(err, RtError::MemoryExhausted { needed: 576, budget: 500, .. }));
+        // All-or-nothing: T not partially allocated.
+        assert!(!m.is_allocated(T));
+        assert_eq!(m.pes[0].cur_bytes, 288);
+    }
+
+    #[test]
+    fn rank_and_distribution_validation() {
+        let mut m = machine();
+        let bad_rank = ArrayDecl::user("A", Shape::new([8]), Distribution::block(1));
+        assert!(matches!(m.alloc(U, &bad_rank), Err(RtError::RankMismatch { .. })));
+        let bad_dist = ArrayDecl::user(
+            "B",
+            Shape::new([8, 8]),
+            Distribution(vec![DimDist::Block, DimDist::Collapsed]),
+        );
+        assert!(matches!(m.alloc(U, &bad_dist), Err(RtError::BadDistribution(_))));
+        // (BLOCK,*) works on a (4,1) grid.
+        let mut m2 = Machine::new(MachineConfig::with_grid([4, 1]));
+        assert!(m2.alloc(U, &bad_dist).is_ok());
+    }
+
+    #[test]
+    fn fill_get_set_gather_scatter() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.fill(U, |p| (p[0] * 10 + p[1]) as f64);
+        assert_eq!(m.get(U, &[3, 7]), 37.0);
+        m.set(U, &[3, 7], -1.0);
+        assert_eq!(m.get(U, &[3, 7]), -1.0);
+        let g = m.gather(U);
+        assert_eq!(g.len(), 64);
+        assert_eq!(g[(3 - 1) * 8 + (7 - 1)], -1.0);
+        assert_eq!(g[0], 11.0);
+        let mut m2 = machine();
+        m2.alloc(T, &decl("T", 8)).unwrap();
+        // T has id 1; alloc only T.
+        m2.scatter(T, &g);
+        assert_eq!(m2.get(T, &[3, 7]), -1.0);
+    }
+
+    #[test]
+    fn cshift_matches_global_semantics() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.alloc(T, &decl("T", 8)).unwrap();
+        m.fill(U, |p| (p[0] * 100 + p[1]) as f64);
+        for (s, d) in [(1i64, 0usize), (-1, 0), (3, 1), (-5, 1), (8, 0)] {
+            m.cshift(T, U, s, d, ShiftKind::Circular).unwrap();
+            for p in Section::new([(1, 8), (1, 8)]).points() {
+                let mut q = p.clone();
+                q[d] = (q[d] - 1 + s).rem_euclid(8) + 1;
+                assert_eq!(
+                    m.get(T, &p),
+                    m.get(U, &q),
+                    "cshift s={s} d={d} at {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eoshift_matches_global_semantics() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.alloc(T, &decl("T", 8)).unwrap();
+        m.fill(U, |p| (p[0] * 100 + p[1]) as f64);
+        m.cshift(T, U, 3, 1, ShiftKind::EndOff(-7.0)).unwrap();
+        for p in Section::new([(1, 8), (1, 8)]).points() {
+            let j = p[1] + 3;
+            let want = if (1..=8).contains(&j) {
+                m.get(U, &[p[0], j])
+            } else {
+                -7.0
+            };
+            assert_eq!(m.get(T, &p), want, "at {p:?}");
+        }
+    }
+
+    #[test]
+    fn cshift_counts_messages_and_intra() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.alloc(T, &decl("T", 8)).unwrap();
+        m.reset_stats();
+        m.cshift(T, U, 1, 0, ShiftKind::Circular).unwrap();
+        let agg = m.stats();
+        // Each PE sends one 4-element row: 4 messages, 32 bytes each.
+        assert_eq!(agg.total_messages(), 4);
+        assert_eq!(agg.total_comm_bytes(), 4 * 4 * 8);
+        // Each PE copies 3 rows of 4 locally.
+        assert_eq!(agg.total_intra_bytes(), 4 * 3 * 4 * 8);
+    }
+
+    #[test]
+    fn overlap_shift_fills_halo_and_counts() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.fill(U, |p| (p[0] * 100 + p[1]) as f64);
+        m.reset_stats();
+        m.overlap_shift(U, 1, 0, None, ShiftKind::Circular).unwrap();
+        // PE 0 owns (1:4,1:4); its dim-0 high ghost row should now hold
+        // global row 5 (owned by PE 2).
+        let sub = m.pes[0].subgrid(U);
+        for j in 1..=4i64 {
+            assert_eq!(sub.get(&[5, j]), (500 + j) as f64);
+        }
+        let agg = m.stats();
+        assert_eq!(agg.total_messages(), 4);
+        assert_eq!(agg.total_intra_bytes(), 0, "no intraprocessor movement");
+    }
+
+    #[test]
+    fn overlap_shift_wraps_at_boundary() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.fill(U, |p| (p[0] * 100 + p[1]) as f64);
+        m.overlap_shift(U, 1, 0, None, ShiftKind::Circular).unwrap();
+        // PE 2 owns (5:8, 1:4); its high ghost should hold global row 1.
+        let sub = m.pes[2].subgrid(U);
+        for j in 1..=4i64 {
+            assert_eq!(sub.get(&[5, j]), (100 + j) as f64);
+        }
+    }
+
+    #[test]
+    fn overlap_shift_endoff_boundary_fill() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.fill(U, |_| 1.0);
+        m.overlap_shift(U, -1, 1, None, ShiftKind::EndOff(42.0)).unwrap();
+        // PE 0 owns (1:4,1:4) and is at the low edge of dim 1.
+        let sub = m.pes[0].subgrid(U);
+        for i in 1..=4i64 {
+            assert_eq!(sub.get(&[i, 0]), 42.0);
+        }
+        // PE 1 owns (1:4,5:8): interior edge, receives data.
+        let sub1 = m.pes[1].subgrid(U);
+        for i in 1..=4i64 {
+            assert_eq!(sub1.get(&[i, 0]), 1.0);
+        }
+    }
+
+    #[test]
+    fn copy_offset_reads_halo() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.alloc(T, &decl("T", 8)).unwrap();
+        m.fill(U, |p| (p[0] * 100 + p[1]) as f64);
+        m.overlap_shift(U, 1, 0, None, ShiftKind::Circular).unwrap();
+        m.copy_offset(T, U, &Offsets::new([1, 0]));
+        // T(i,j) = U(i+1,j) with circular wrap via the halo.
+        assert_eq!(m.get(T, &[4, 2]), 502.0);
+        assert_eq!(m.get(T, &[8, 3]), 103.0); // wraps to row 1
+        let agg = m.stats();
+        assert!(agg.total().loads >= 64);
+    }
+
+    #[test]
+    fn modeled_time_positive_after_comm() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.alloc(T, &decl("T", 8)).unwrap();
+        m.reset_stats();
+        assert_eq!(m.modeled_time_ms(), 0.0);
+        m.cshift(T, U, 1, 0, ShiftKind::Circular).unwrap();
+        assert!(m.modeled_time_ms() > 0.0);
+    }
+
+    #[test]
+    fn shift_too_wide_reports_error() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        let err = m.overlap_shift(U, 2, 0, None, ShiftKind::Circular).unwrap_err();
+        assert!(matches!(err, RtError::ShiftTooWide { .. }));
+    }
+
+    #[test]
+    fn row_major_strides_shape() {
+        assert_eq!(row_major_strides(&Shape::new([4, 6, 2])), vec![12, 2, 1]);
+        assert_eq!(row_major_strides(&Shape::new([5])), vec![1]);
+    }
+}

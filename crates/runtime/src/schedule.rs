@@ -1,0 +1,495 @@
+//! Deterministic communication schedules.
+//!
+//! Every data-movement operation (full `CSHIFT`, `OVERLAP_SHIFT`) is planned
+//! as a list of [`CommAction`]s — rectangular region transfers between PEs
+//! plus constant fills for `EOSHIFT` boundaries. The plan is a pure function
+//! of the array geometry and the operation, so the sequential executor and
+//! every thread of the SPMD executor compute identical schedules, which is
+//! what makes threaded runs deterministic and bitwise equal to sequential
+//! runs.
+
+use crate::dist::{BlockDim, PeGrid};
+use crate::error::RtError;
+use hpf_ir::{Rsd, ShiftKind};
+
+/// A rectangular region copy between two PEs (or within one PE when
+/// `src_pe == dst_pe`). Ranges are local 1-based per-dimension bounds and
+/// may extend into halo cells on either side.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transfer {
+    /// Sending PE.
+    pub src_pe: usize,
+    /// Receiving PE.
+    pub dst_pe: usize,
+    /// Region in the sender's local coordinates.
+    pub src_local: Vec<(i64, i64)>,
+    /// Region in the receiver's local coordinates (same extents).
+    pub dst_local: Vec<(i64, i64)>,
+}
+
+impl Transfer {
+    /// Number of elements moved.
+    pub fn elements(&self) -> usize {
+        crate::subgrid::region_len(&self.src_local)
+    }
+
+    /// Bytes moved.
+    pub fn bytes(&self) -> usize {
+        self.elements() * std::mem::size_of::<f64>()
+    }
+}
+
+/// One step of a communication plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CommAction {
+    /// Copy a region between PEs (a message) or within a PE (a local copy).
+    Transfer(Transfer),
+    /// Fill a local region of one PE with a constant (`EOSHIFT` boundary).
+    Fill {
+        /// PE whose subgrid is filled.
+        pe: usize,
+        /// Region in local coordinates.
+        local: Vec<(i64, i64)>,
+        /// Fill value.
+        value: f64,
+    },
+}
+
+/// Geometry of one distributed array on a machine: a [`BlockDim`] per
+/// dimension (collapsed dimensions use `p = 1`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Geometry {
+    /// Per-dimension distribution arithmetic.
+    pub dims: Vec<BlockDim>,
+    /// The PE grid.
+    pub grid: PeGrid,
+}
+
+impl Geometry {
+    /// Construct; grid rank must equal the number of dimensions.
+    pub fn new(dims: Vec<BlockDim>, grid: PeGrid) -> Self {
+        assert_eq!(dims.len(), grid.rank());
+        Geometry { dims, grid }
+    }
+
+    /// Owned global section of a PE.
+    pub fn owned(&self, pe: usize) -> Vec<(i64, i64)> {
+        let c = self.grid.coords(pe);
+        (0..self.dims.len()).map(|d| self.dims[d].owned(c[d])).collect()
+    }
+
+    /// Local extents of a PE.
+    pub fn extents(&self, pe: usize) -> Vec<usize> {
+        let c = self.grid.coords(pe);
+        (0..self.dims.len()).map(|d| self.dims[d].extent(c[d])).collect()
+    }
+
+    /// True when the PE owns no elements.
+    pub fn is_empty(&self, pe: usize) -> bool {
+        self.extents(pe).contains(&0)
+    }
+}
+
+/// Plan an `OVERLAP_SHIFT(A, SHIFT=s, DIM=d [, rsd])`: fill `|s|` ghost
+/// layers on the `sign(s)` side of dimension `d` of every PE, transferring
+/// from the circular neighbour (or filling the boundary value for
+/// [`ShiftKind::EndOff`] at the global edge). The RSD extends the
+/// transferred section into other dimensions' overlap areas so corner
+/// elements ride along (paper §3.3).
+pub fn overlap_shift_plan(
+    geom: &Geometry,
+    shift: i64,
+    dim: usize,
+    rsd: Option<&Rsd>,
+    kind: ShiftKind,
+    halo: usize,
+) -> Result<Vec<CommAction>, RtError> {
+    let s = shift;
+    if s == 0 {
+        return Ok(Vec::new());
+    }
+    let mag = s.unsigned_abs() as usize;
+    let limit = halo.min(geom.dims[dim].min_extent());
+    if mag > limit {
+        return Err(RtError::ShiftTooWide { shift: s, dim, limit });
+    }
+    let rank = geom.dims.len();
+    let mut plan = Vec::new();
+    for pe in 0..geom.grid.num_pes() {
+        if geom.is_empty(pe) {
+            continue;
+        }
+        let c = geom.grid.coords(pe);
+        let ext = geom.extents(pe);
+        // Ghost region being filled, in receiver-local coordinates.
+        let ghost_d: (i64, i64) = if s > 0 {
+            (ext[dim] as i64 + 1, ext[dim] as i64 + s)
+        } else {
+            (1 - mag as i64, 0)
+        };
+        // Section in the other dimensions, optionally RSD-extended.
+        let mut region: Vec<(i64, i64)> = Vec::with_capacity(rank);
+        for e in 0..rank {
+            if e == dim {
+                region.push(ghost_d);
+            } else {
+                let (mut lo, mut hi) = (1i64, ext[e] as i64);
+                if let Some(r) = rsd {
+                    lo -= r.ext[e].0 as i64;
+                    hi += r.ext[e].1 as i64;
+                }
+                region.push((lo, hi));
+            }
+        }
+        // Which PE supplies the data? The circular neighbour along `dim`
+        // among non-empty PEs. Because BLOCK owners are contiguous from
+        // coordinate 0, the non-empty PEs along the axis are 0..occ.
+        let occ = (0..geom.grid.dims[dim])
+            .filter(|&k| geom.dims[dim].extent(k) > 0)
+            .count();
+        let at_high_edge = c[dim] + 1 == occ;
+        let at_low_edge = c[dim] == 0;
+        let boundary_side = (s > 0 && at_high_edge) || (s < 0 && at_low_edge);
+        if boundary_side {
+            if let ShiftKind::EndOff(value) = kind {
+                plan.push(CommAction::Fill { pe, local: region, value });
+                continue;
+            }
+        }
+        // Circular source coordinate along the axis.
+        let src_k = if s > 0 {
+            if at_high_edge { 0 } else { c[dim] + 1 }
+        } else if at_low_edge {
+            occ - 1
+        } else {
+            c[dim] - 1
+        };
+        let src_pe = geom.grid.with_coord(pe, dim, src_k);
+        let src_ext_d = geom.dims[dim].extent(src_k) as i64;
+        // Sender-side rows: its first |s| rows for s>0, last |s| for s<0.
+        let src_d: (i64, i64) = if s > 0 { (1, s) } else { (src_ext_d + s + 1, src_ext_d) };
+        let mut src_local = region.clone();
+        src_local[dim] = src_d;
+        plan.push(CommAction::Transfer(Transfer {
+            src_pe,
+            dst_pe: pe,
+            src_local,
+            dst_local: region,
+        }));
+    }
+    Ok(plan)
+}
+
+/// Plan a full `DST = CSHIFT(SRC, SHIFT=s, DIM=d)` / `EOSHIFT`: every owned
+/// element of the destination receives `SRC(i + s)` along `d` (circular
+/// wrap, or the boundary value when `i + s` falls outside the array for
+/// end-off shifts). Transfers with `src_pe == dst_pe` are the shift's
+/// *intraprocessor* component — the movement the offset-array optimization
+/// eliminates.
+pub fn cshift_plan(geom: &Geometry, shift: i64, dim: usize, kind: ShiftKind) -> Vec<CommAction> {
+    let n = geom.dims[dim].n as i64;
+    let rank = geom.dims.len();
+    let mut plan = Vec::new();
+    // Normalize circular shifts to [0, n); handle |s| >= n end-off fills.
+    let (s, full_fill) = match kind {
+        ShiftKind::Circular => (((shift % n) + n) % n, false),
+        ShiftKind::EndOff(_) => (shift, shift.abs() >= n),
+    };
+    for pe in 0..geom.grid.num_pes() {
+        if geom.is_empty(pe) {
+            continue;
+        }
+        let c = geom.grid.coords(pe);
+        let ext = geom.extents(pe);
+        let (dlo, dhi) = geom.dims[dim].owned(c[dim]);
+        let full_local: Vec<(i64, i64)> = (0..rank).map(|e| (1, ext[e] as i64)).collect();
+        if full_fill {
+            if let ShiftKind::EndOff(value) = kind {
+                plan.push(CommAction::Fill { pe, local: full_local, value });
+            }
+            continue;
+        }
+        // Needed source rows: [dlo+s, dhi+s]; split into wrap pieces.
+        let (k_range, wrap_allowed): (&[i64], bool) = match kind {
+            ShiftKind::Circular => (&[0, 1], true),
+            ShiftKind::EndOff(_) => (&[0], false),
+        };
+        for &k in k_range {
+            let plo = (dlo + s).max(1 + k * n);
+            let phi = (dhi + s).min(n + k * n);
+            if phi < plo {
+                continue;
+            }
+            // Actual global source rows.
+            let (slo_g, shi_g) = (plo - k * n, phi - k * n);
+            // Find owning PEs along the axis.
+            for src_k in 0..geom.grid.dims[dim] {
+                let (olo, ohi) = geom.dims[dim].owned(src_k);
+                if ohi < olo {
+                    continue;
+                }
+                let a = slo_g.max(olo);
+                let b = shi_g.min(ohi);
+                if b < a {
+                    continue;
+                }
+                let src_pe = geom.grid.with_coord(pe, dim, src_k);
+                // Destination global rows for this sub-piece.
+                let (tlo, thi) = (a + k * n - s, b + k * n - s);
+                let mut src_local = full_local.clone();
+                let mut dst_local = full_local.clone();
+                src_local[dim] = (a - olo + 1, b - olo + 1);
+                dst_local[dim] = (tlo - dlo + 1, thi - dlo + 1);
+                plan.push(CommAction::Transfer(Transfer {
+                    src_pe,
+                    dst_pe: pe,
+                    src_local,
+                    dst_local,
+                }));
+            }
+            let _ = wrap_allowed;
+        }
+        // End-off boundary fills: destination rows whose source falls
+        // outside [1, n].
+        if let ShiftKind::EndOff(value) = kind {
+            // dst global rows g in [dlo, dhi] with g+s < 1 or g+s > n.
+            let mut fills: Vec<(i64, i64)> = Vec::new();
+            if s > 0 {
+                let lo = (n - s + 1).max(dlo);
+                if lo <= dhi {
+                    fills.push((lo, dhi));
+                }
+            } else if s < 0 {
+                let hi = (-s).min(dhi);
+                if dlo <= hi {
+                    fills.push((dlo, hi));
+                }
+            }
+            for (glo, ghi) in fills {
+                let mut local = full_local.clone();
+                local[dim] = (glo - dlo + 1, ghi - dlo + 1);
+                plan.push(CommAction::Fill { pe, local, value });
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom_2x2_8x8() -> Geometry {
+        Geometry::new(
+            vec![BlockDim::new(8, 2), BlockDim::new(8, 2)],
+            PeGrid::new([2, 2]),
+        )
+    }
+
+    #[test]
+    fn geometry_owned_sections() {
+        let g = geom_2x2_8x8();
+        assert_eq!(g.owned(0), vec![(1, 4), (1, 4)]);
+        assert_eq!(g.owned(3), vec![(5, 8), (5, 8)]);
+        assert_eq!(g.extents(1), vec![4, 4]);
+        assert!(!g.is_empty(2));
+    }
+
+    #[test]
+    fn overlap_shift_plus_one_dim0() {
+        let g = geom_2x2_8x8();
+        let plan = overlap_shift_plan(&g, 1, 0, None, ShiftKind::Circular, 1).unwrap();
+        // Every PE receives one transfer.
+        assert_eq!(plan.len(), 4);
+        // PE 0 (coords 0,0) receives from PE (1,0) = 2 into ghost row 5.
+        let t = plan
+            .iter()
+            .find_map(|a| match a {
+                CommAction::Transfer(t) if t.dst_pe == 0 => Some(t),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(t.src_pe, 2);
+        assert_eq!(t.dst_local[0], (5, 5));
+        assert_eq!(t.src_local[0], (1, 1));
+        assert_eq!(t.src_local[1], (1, 4));
+        assert_eq!(t.bytes(), 4 * 8);
+    }
+
+    #[test]
+    fn overlap_shift_wraps_at_global_edge() {
+        let g = geom_2x2_8x8();
+        let plan = overlap_shift_plan(&g, 1, 0, None, ShiftKind::Circular, 1).unwrap();
+        // PE 2 (coords 1,0) is at the high edge; circular source is (0,0)=0.
+        let t = plan
+            .iter()
+            .find_map(|a| match a {
+                CommAction::Transfer(t) if t.dst_pe == 2 => Some(t),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(t.src_pe, 0);
+    }
+
+    #[test]
+    fn overlap_shift_endoff_fills_boundary() {
+        let g = geom_2x2_8x8();
+        let plan = overlap_shift_plan(&g, -1, 1, None, ShiftKind::EndOff(9.0), 1).unwrap();
+        // PEs at the low edge of dim 1 (coords (_,0): PEs 0 and 2) get fills.
+        let fills: Vec<_> = plan
+            .iter()
+            .filter_map(|a| match a {
+                CommAction::Fill { pe, local, value } => Some((*pe, local.clone(), *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fills.len(), 2);
+        for (pe, local, value) in fills {
+            assert!(pe == 0 || pe == 2);
+            assert_eq!(local[1], (0, 0));
+            assert_eq!(value, 9.0);
+        }
+    }
+
+    #[test]
+    fn overlap_shift_rsd_extends_other_dim() {
+        let g = geom_2x2_8x8();
+        let mut rsd = Rsd::none(2);
+        rsd.extend(0, -1);
+        rsd.extend(0, 1);
+        let plan = overlap_shift_plan(&g, -1, 1, Some(&rsd), ShiftKind::Circular, 1).unwrap();
+        for a in &plan {
+            if let CommAction::Transfer(t) = a {
+                assert_eq!(t.src_local[0], (0, 5), "extended into dim-0 halo");
+                assert_eq!(t.dst_local[0], (0, 5));
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_shift_too_wide_fails() {
+        let g = geom_2x2_8x8();
+        let err = overlap_shift_plan(&g, 2, 0, None, ShiftKind::Circular, 1).unwrap_err();
+        assert!(matches!(err, RtError::ShiftTooWide { limit: 1, .. }));
+        // Wider halo allows it.
+        assert!(overlap_shift_plan(&g, 2, 0, None, ShiftKind::Circular, 2).is_ok());
+    }
+
+    #[test]
+    fn overlap_shift_single_pe_axis_is_local_wrap() {
+        let g = Geometry::new(
+            vec![BlockDim::new(8, 1), BlockDim::new(8, 4)],
+            PeGrid::new([1, 4]),
+        );
+        let plan = overlap_shift_plan(&g, 1, 0, None, ShiftKind::Circular, 1).unwrap();
+        for a in plan {
+            match a {
+                CommAction::Transfer(t) => {
+                    assert_eq!(t.src_pe, t.dst_pe, "wrap within the PE");
+                    assert_eq!(t.src_local[0], (1, 1));
+                    assert_eq!(t.dst_local[0], (9, 9));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cshift_unit_shift_splits_intra_and_inter() {
+        let g = geom_2x2_8x8();
+        let plan = cshift_plan(&g, 1, 0, ShiftKind::Circular);
+        let (intra, inter): (Vec<_>, Vec<_>) = plan
+            .iter()
+            .filter_map(|a| match a {
+                CommAction::Transfer(t) => Some(t),
+                _ => None,
+            })
+            .partition(|t| t.src_pe == t.dst_pe);
+        // Each PE keeps 3 of its 4 rows locally and receives 1 row.
+        assert_eq!(intra.len(), 4);
+        assert_eq!(inter.len(), 4);
+        for t in intra {
+            assert_eq!(t.elements(), 3 * 4);
+        }
+        for t in inter {
+            assert_eq!(t.elements(), 4);
+        }
+    }
+
+    #[test]
+    fn cshift_covers_all_destination_rows() {
+        // Uneven distribution: 10 rows over 4 PEs along dim 0.
+        let g = Geometry::new(vec![BlockDim::new(10, 4)], PeGrid::new([4]));
+        for s in [-11i64, -3, -1, 0, 1, 2, 5, 9, 10, 23] {
+            let plan = cshift_plan(&g, s, 0, ShiftKind::Circular);
+            // Collect destination coverage per PE.
+            let mut covered = vec![Vec::new(); 4];
+            for a in &plan {
+                if let CommAction::Transfer(t) = a {
+                    covered[t.dst_pe].push(t.dst_local[0]);
+                }
+            }
+            for pe in 0..4 {
+                let ext = g.extents(pe)[0] as i64;
+                let mut cells = vec![false; ext as usize];
+                for (lo, hi) in &covered[pe] {
+                    for i in *lo..=*hi {
+                        assert!(!cells[(i - 1) as usize], "overlapping transfer s={s}");
+                        cells[(i - 1) as usize] = true;
+                    }
+                }
+                assert!(cells.iter().all(|&c| c), "pe {pe} not covered for s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn cshift_endoff_fills_and_covers() {
+        let g = Geometry::new(vec![BlockDim::new(8, 2)], PeGrid::new([2]));
+        let plan = cshift_plan(&g, 3, 0, ShiftKind::EndOff(5.0));
+        // dst rows 6..8 (global) take the boundary: dst(i) = src(i+3).
+        let mut filled = 0i64;
+        let mut transferred = 0i64;
+        for a in &plan {
+            match a {
+                CommAction::Fill { local, value, .. } => {
+                    assert_eq!(*value, 5.0);
+                    filled += local[0].1 - local[0].0 + 1;
+                }
+                CommAction::Transfer(t) => {
+                    transferred += t.dst_local[0].1 - t.dst_local[0].0 + 1;
+                }
+            }
+        }
+        assert_eq!(filled, 3);
+        assert_eq!(transferred, 5);
+    }
+
+    #[test]
+    fn cshift_endoff_huge_shift_fills_everything() {
+        let g = Geometry::new(vec![BlockDim::new(8, 2)], PeGrid::new([2]));
+        let plan = cshift_plan(&g, 8, 0, ShiftKind::EndOff(1.0));
+        assert!(plan.iter().all(|a| matches!(a, CommAction::Fill { .. })));
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn cshift_zero_is_pure_intra() {
+        let g = geom_2x2_8x8();
+        let plan = cshift_plan(&g, 0, 0, ShiftKind::Circular);
+        for a in plan {
+            match a {
+                CommAction::Transfer(t) => assert_eq!(t.src_pe, t.dst_pe),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cshift_full_cycle_equals_zero_shift() {
+        let g = geom_2x2_8x8();
+        let a = cshift_plan(&g, 8, 0, ShiftKind::Circular);
+        let b = cshift_plan(&g, 0, 0, ShiftKind::Circular);
+        assert_eq!(a, b);
+    }
+}

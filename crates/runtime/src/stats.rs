@@ -1,0 +1,123 @@
+//! Execution counters, per PE and aggregated.
+
+/// Counters for one PE. The executors and the machine's data-movement
+/// operations increment these; the cost model converts them to modeled time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PeStats {
+    /// Messages sent to another PE.
+    pub msgs_sent: u64,
+    /// Messages received from another PE.
+    pub msgs_recv: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_recv: u64,
+    /// Bytes copied within the PE by the intraprocessor component of full
+    /// `CSHIFT`s (the cost the offset-array optimization eliminates).
+    pub intra_bytes: u64,
+    /// Bytes of local wrap-around halo copies (grid extent 1 along an axis).
+    pub wrap_bytes: u64,
+    /// Array-element loads executed by subgrid loops.
+    pub loads: u64,
+    /// Loads issued while the innermost loop did not run over the
+    /// storage-contiguous dimension (pay a stride penalty in the model).
+    pub strided_loads: u64,
+    /// Array-element stores executed by subgrid loops.
+    pub stores: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Loop iterations executed (loop overhead proxy).
+    pub iters: u64,
+    /// Array allocations performed.
+    pub allocs: u64,
+}
+
+impl PeStats {
+    /// Add another PE's counters into this one.
+    pub fn merge(&mut self, other: &PeStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_recv += other.bytes_recv;
+        self.intra_bytes += other.intra_bytes;
+        self.wrap_bytes += other.wrap_bytes;
+        self.loads += other.loads;
+        self.strided_loads += other.strided_loads;
+        self.stores += other.stores;
+        self.flops += other.flops;
+        self.iters += other.iters;
+        self.allocs += other.allocs;
+    }
+}
+
+/// Aggregated statistics across the machine.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AggStats {
+    /// Per-PE counters.
+    pub per_pe: Vec<PeStats>,
+    /// Peak memory use per PE in bytes.
+    pub peak_bytes: Vec<usize>,
+}
+
+impl AggStats {
+    /// Sum of all PE counters.
+    pub fn total(&self) -> PeStats {
+        let mut t = PeStats::default();
+        for s in &self.per_pe {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Total messages (each message counted once, on the sending side).
+    pub fn total_messages(&self) -> u64 {
+        self.per_pe.iter().map(|s| s.msgs_sent).sum()
+    }
+
+    /// Total bytes moved between PEs.
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.per_pe.iter().map(|s| s.bytes_sent).sum()
+    }
+
+    /// Total intraprocessor copy bytes.
+    pub fn total_intra_bytes(&self) -> u64 {
+        self.per_pe.iter().map(|s| s.intra_bytes).sum()
+    }
+
+    /// Largest peak memory over PEs.
+    pub fn max_peak_bytes(&self) -> usize {
+        self.peak_bytes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PeStats { msgs_sent: 1, bytes_sent: 100, loads: 5, ..Default::default() };
+        let b = PeStats { msgs_sent: 2, bytes_sent: 50, flops: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 3);
+        assert_eq!(a.bytes_sent, 150);
+        assert_eq!(a.loads, 5);
+        assert_eq!(a.flops, 7);
+    }
+
+    #[test]
+    fn aggregate_totals() {
+        let agg = AggStats {
+            per_pe: vec![
+                PeStats { msgs_sent: 2, bytes_sent: 10, intra_bytes: 4, ..Default::default() },
+                PeStats { msgs_sent: 1, bytes_sent: 20, intra_bytes: 6, ..Default::default() },
+            ],
+            peak_bytes: vec![100, 300],
+        };
+        assert_eq!(agg.total_messages(), 3);
+        assert_eq!(agg.total_comm_bytes(), 30);
+        assert_eq!(agg.total_intra_bytes(), 10);
+        assert_eq!(agg.max_peak_bytes(), 300);
+        assert_eq!(agg.total().msgs_sent, 3);
+    }
+}

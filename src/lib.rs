@@ -1,0 +1,8 @@
+#![warn(missing_docs)]
+
+//! # hpf-stencil — root facade
+//!
+//! Re-exports the public API of [`hpf_core`]; see the crate-level
+//! documentation there and the `examples/` directory for usage.
+
+pub use hpf_core::*;

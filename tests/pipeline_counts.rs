@@ -1,0 +1,103 @@
+//! Figure-level structural assertions: the communication and storage counts
+//! the paper reports in its text and figures.
+
+use hpf_stencil::baselines::naive;
+use hpf_stencil::frontend::compile_source;
+use hpf_stencil::passes::{compile, CompileOptions, Stage, TempPolicy};
+use hpf_stencil::presets;
+
+/// Figure 6/15: twelve CSHIFTs reduce to four OVERLAP_SHIFTs, two carrying
+/// RSDs, for every 9-point specification.
+#[test]
+fn nine_point_reaches_four_overlap_shifts() {
+    for src in [
+        presets::nine_point_cshift(64),
+        presets::nine_point_array(64),
+        presets::problem9(64),
+    ] {
+        let c = compile(&compile_source(&src).unwrap(), CompileOptions::full());
+        assert_eq!(c.stats.comm_ops, 4);
+        assert_eq!(c.stats.unioning.with_rsd, 2);
+        assert_eq!(c.stats.nests, 1, "single fused subgrid loop nest");
+    }
+}
+
+/// §4: 12 CSHIFT temporaries for the naive single-statement translation.
+#[test]
+fn naive_single_statement_needs_twelve_temps() {
+    let c = compile(
+        &compile_source(&presets::nine_point_cshift(64)).unwrap(),
+        naive::naive_options(),
+    );
+    assert_eq!(c.stats.normalize.temps, 12);
+    assert_eq!(c.stats.normalize.shifts, 12);
+    assert_eq!(c.stats.arrays_allocated, 14); // + SRC and DST
+}
+
+/// §4.1: Problem 9 runs in 3 temporary arrays (RIP, RIN, one shared TMP).
+#[test]
+fn problem9_three_temporaries() {
+    let mut opts = naive::naive_options();
+    opts.temp_policy = TempPolicy::Reuse;
+    let c = compile(&compile_source(&presets::problem9(64)).unwrap(), opts);
+    assert_eq!(c.stats.normalize.temps, 1, "one compiler temp");
+    assert_eq!(c.stats.arrays_allocated, 5, "U, T, RIP, RIN, TMP1");
+}
+
+/// §4.2: after offset arrays, no temporaries remain allocated.
+#[test]
+fn optimized_problem9_allocates_only_u_and_t() {
+    let c = compile(
+        &compile_source(&presets::problem9(64)).unwrap(),
+        CompileOptions::full(),
+    );
+    assert_eq!(c.stats.arrays_allocated, 2);
+    assert_eq!(c.stats.offset.converted, 8);
+    assert_eq!(c.stats.offset.copies_inserted, 0);
+}
+
+/// Figure 17's structural trajectory: per-stage communication operation and
+/// loop-nest counts for Problem 9.
+#[test]
+fn problem9_stage_trajectory() {
+    let checked = compile_source(&presets::problem9(64)).unwrap();
+    let counts: Vec<(usize, usize, u64)> = Stage::all()
+        .iter()
+        .map(|s| {
+            let c = compile(&checked, CompileOptions::upto(*s));
+            (c.stats.comm_ops, c.stats.nests, c.stats.offset.converted as u64)
+        })
+        .collect();
+    assert_eq!(counts[0], (8, 7, 0), "original: 8 full shifts, 7 loops");
+    assert_eq!(counts[1].0, 8);
+    assert_eq!(counts[1].2, 8, "all shifts become overlap shifts");
+    assert_eq!(counts[2], (8, 1, 8), "partitioning fuses the computes");
+    assert_eq!(counts[3], (4, 1, 8), "unioning: 4 messages");
+    assert_eq!(counts[4], (4, 1, 8));
+}
+
+/// The paper's §5 punchline: memory optimization halves the per-point loads
+/// of the fused Problem 9 nest (15 -> 9 unit loads, and unroll-and-jam
+/// shares 6 more across row pairs).
+#[test]
+fn memopt_reduces_per_point_traffic() {
+    let checked = compile_source(&presets::problem9(64)).unwrap();
+    let before = compile(&checked, CompileOptions::upto(Stage::Unioning));
+    let after = compile(&checked, CompileOptions::upto(Stage::MemOpt));
+    assert_eq!(before.stats.memopt.loads_before, 15);
+    assert_eq!(before.stats.memopt.loads_after, 15, "memopt disabled");
+    assert_eq!(after.stats.memopt.loads_after, 9);
+    assert_eq!(after.stats.memopt.stores_after, 1);
+    assert_eq!(after.stats.memopt.unrolled, 1);
+}
+
+/// EOSHIFT kernels union like circular ones but never mix with them.
+#[test]
+fn eoshift_unioning_counts() {
+    let c = compile(
+        &compile_source(&presets::image_blur(32, 1)).unwrap(),
+        CompileOptions::full(),
+    );
+    assert_eq!(c.stats.comm_ops, 4, "8 EOSHIFTs union to 4");
+    assert_eq!(c.stats.unioning.with_rsd, 2);
+}
