@@ -96,11 +96,7 @@ pub fn recognize(checked: &Checked) -> Result<StencilPattern, RecognizeError> {
     let mut taps = Vec::new();
     let mut src: Option<ArrayId> = None;
     collect_terms(checked, rhs, rank, &mut src, &mut taps)?;
-    Ok(StencilPattern {
-        dst: *lhs,
-        src: src.ok_or(RecognizeError::NotSumOfProducts)?,
-        taps,
-    })
+    Ok(StencilPattern { dst: *lhs, src: src.ok_or(RecognizeError::NotSumOfProducts)?, taps })
 }
 
 fn collect_terms(

@@ -18,14 +18,8 @@ fn bench_memopts(c: &mut Criterion) {
     let variants: Vec<(&str, CompileOptions)> = vec![
         ("no_memopt", base),
         ("scalar_replacement", CompileOptions { scalar_replacement: true, ..base }),
-        (
-            "sr_unroll2",
-            CompileOptions { scalar_replacement: true, unroll_factor: 2, ..base },
-        ),
-        (
-            "sr_unroll4",
-            CompileOptions { scalar_replacement: true, unroll_factor: 4, ..base },
-        ),
+        ("sr_unroll2", CompileOptions { scalar_replacement: true, unroll_factor: 2, ..base }),
+        ("sr_unroll4", CompileOptions { scalar_replacement: true, unroll_factor: 4, ..base }),
         (
             "fortran_order_no_permute",
             CompileOptions {
@@ -37,12 +31,7 @@ fn bench_memopts(c: &mut Criterion) {
         ),
         (
             "fortran_order_permuted",
-            CompileOptions {
-                fortran_order: true,
-                permute: true,
-                scalar_replacement: true,
-                ..base
-            },
+            CompileOptions { fortran_order: true, permute: true, scalar_replacement: true, ..base },
         ),
     ];
     for (name, opts) in variants {

@@ -17,7 +17,8 @@ fn bench_fig11(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1200));
     for n in [64usize, 128, 256] {
         group.throughput(Throughput::Elements((n * n) as u64));
-        let single = Kernel::compile(&presets::nine_point_cshift(n), naive::naive_options()).unwrap();
+        let single =
+            Kernel::compile(&presets::nine_point_cshift(n), naive::naive_options()).unwrap();
         group.bench_function(BenchmarkId::new("single_stmt_cshift", n), |b| {
             b.iter(|| {
                 single

@@ -26,8 +26,7 @@ fn bench_fig18(c: &mut Criterion) {
         });
     };
 
-    let single =
-        Kernel::compile(&presets::nine_point_cshift(n), naive::naive_options()).unwrap();
+    let single = Kernel::compile(&presets::nine_point_cshift(n), naive::naive_options()).unwrap();
     group.bench_function(BenchmarkId::from_parameter("xlhpf_cshift_single"), |b| {
         run(b, &single, "SRC")
     });
@@ -35,23 +34,15 @@ fn bench_fig18(c: &mut Criterion) {
     let mut multi_opts = naive::naive_options();
     multi_opts.temp_policy = TempPolicy::Reuse;
     let multi = Kernel::compile(&presets::problem9(n), multi_opts).unwrap();
-    group.bench_function(BenchmarkId::from_parameter("xlhpf_multi_stmt"), |b| {
-        run(b, &multi, "U")
-    });
+    group.bench_function(BenchmarkId::from_parameter("xlhpf_multi_stmt"), |b| run(b, &multi, "U"));
 
-    let arr = Kernel::compile(
-        &presets::nine_point_array(n),
-        CompileOptions::upto(Stage::Unioning),
-    )
-    .unwrap();
-    group.bench_function(BenchmarkId::from_parameter("xlhpf_array_syntax"), |b| {
-        run(b, &arr, "SRC")
-    });
+    let arr = Kernel::compile(&presets::nine_point_array(n), CompileOptions::upto(Stage::Unioning))
+        .unwrap();
+    group
+        .bench_function(BenchmarkId::from_parameter("xlhpf_array_syntax"), |b| run(b, &arr, "SRC"));
 
     let ours = Kernel::compile(&presets::problem9(n), CompileOptions::full()).unwrap();
-    group.bench_function(BenchmarkId::from_parameter("this_paper"), |b| {
-        run(b, &ours, "U")
-    });
+    group.bench_function(BenchmarkId::from_parameter("this_paper"), |b| run(b, &ours, "U"));
 
     group.finish();
 }

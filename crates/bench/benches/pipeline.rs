@@ -36,9 +36,7 @@ fn bench_data_movement(c: &mut Criterion) {
     let mut machine = Machine::new(MachineConfig::sp2_2x2());
     let decl = ArrayDecl::user("U", Shape::new([n, n]), Distribution::block(2));
     machine.alloc(U, &decl).unwrap();
-    machine
-        .alloc(T, &ArrayDecl::user("T", Shape::new([n, n]), Distribution::block(2)))
-        .unwrap();
+    machine.alloc(T, &ArrayDecl::user("T", Shape::new([n, n]), Distribution::block(2))).unwrap();
     machine.fill(U, |p| (p[0] + p[1]) as f64);
     group.bench_function("full_cshift", |b| {
         b.iter(|| machine.cshift(T, U, 1, 0, ShiftKind::Circular).unwrap());

@@ -1,8 +1,8 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling]
-//!             [--n SIZE] [--sizes a,b,c] [--engine seq|threaded] [--json]
+//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent]
+//!             [--n SIZE] [--sizes a,b,c] [--steps K] [--engine seq|threaded] [--json]
 //! ```
 
 use hpf_bench::table::Table;
@@ -13,6 +13,7 @@ struct Args {
     exp: String,
     n: usize,
     sizes: Vec<usize>,
+    steps: usize,
     engine: Engine,
     json: bool,
 }
@@ -22,6 +23,7 @@ fn parse_args() -> Args {
         exp: "all".to_string(),
         n: 256,
         sizes: vec![64, 128, 256, 512],
+        steps: 10,
         engine: Engine::Sequential,
         json: false,
     };
@@ -30,6 +32,9 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--exp" => args.exp = it.next().expect("--exp VALUE"),
             "--n" => args.n = it.next().expect("--n SIZE").parse().expect("numeric size"),
+            "--steps" => {
+                args.steps = it.next().expect("--steps K").parse().expect("numeric step count")
+            }
             "--sizes" => {
                 args.sizes = it
                     .next()
@@ -48,7 +53,7 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling] [--n SIZE] [--sizes a,b,c] [--engine seq|threaded] [--json]"
+                    "usage: experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent] [--n SIZE] [--sizes a,b,c] [--steps K] [--engine seq|threaded] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -86,6 +91,9 @@ fn main() {
     if want("scaling") {
         tables.push(scaling(args.n, args.engine));
     }
+    if want("persistent") {
+        tables.push(persistent(args.n, args.steps, args.engine));
+    }
     if args.exp == "fig7to10" {
         println!("{}", hpf_bench::figures::figures_7_to_10(4));
         return;
@@ -94,11 +102,7 @@ fn main() {
         let spec = hpf_bench::workload::WorkloadSpec::default();
         let outcomes = hpf_bench::workload::fuzz_sweep(&spec, 32, 42);
         let failures: Vec<_> = outcomes.iter().filter(|o| o.failure.is_some()).collect();
-        println!(
-            "fuzz sweep: {} cases, {} failures",
-            outcomes.len(),
-            failures.len()
-        );
+        println!("fuzz sweep: {} cases, {} failures", outcomes.len(), failures.len());
         for f in failures {
             println!("seed {}: {}", f.seed, f.failure.as_ref().unwrap());
         }
@@ -109,7 +113,7 @@ fn main() {
         std::process::exit(1);
     }
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&tables).unwrap());
+        println!("{}", hpf_bench::table::tables_to_json(&tables));
     } else {
         for t in tables {
             println!("{}", t.render());

@@ -14,7 +14,7 @@ pub fn input(p: &[i64]) -> f64 {
 }
 
 /// Measurements of one run.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Measured {
     /// Modeled SP-2 time (cost model), milliseconds.
     pub modeled_ms: f64,
@@ -47,11 +47,7 @@ pub fn measure(
         .iter()
         .find(|n| kernel.checked.symbols.lookup_array(n).is_some())
         .expect("preset has a known input array");
-    let run = kernel
-        .runner(cfg)
-        .init(input_name, input)
-        .engine(engine)
-        .run()?;
+    let run = kernel.runner(cfg).init(input_name, input).engine(engine).run()?;
     let stats = run.stats();
     let total = stats.total();
     Ok(Measured {
@@ -83,7 +79,13 @@ pub fn fig11(sizes: &[usize], engine: Engine) -> Table {
     let budget = 6 * subgrid_bytes(max);
     let mut t = Table::new(
         "Figure 11 — naive (xlhpf-class) compilation of two 9-point specifications",
-        &["N", "single-stmt CSHIFT [ms]", "multi-stmt Problem 9 [ms]", "single peak MB/PE", "multi peak MB/PE"],
+        &[
+            "N",
+            "single-stmt CSHIFT [ms]",
+            "multi-stmt Problem 9 [ms]",
+            "single peak MB/PE",
+            "multi peak MB/PE",
+        ],
     );
     t.note(format!(
         "per-PE memory budget {:.1} MB (stands in for the SP-2's 256 MB/PE)",
@@ -104,9 +106,7 @@ pub fn fig11(sizes: &[usize], engine: Engine) -> Table {
         };
         let cell = |m: &Result<Measured, CoreError>, f: fn(&Measured) -> String| match m {
             Ok(m) => f(m),
-            Err(CoreError::Runtime(hpf_core::RtError::MemoryExhausted { .. })) => {
-                "OOM".to_string()
-            }
+            Err(CoreError::Runtime(hpf_core::RtError::MemoryExhausted { .. })) => "OOM".to_string(),
             Err(e) => format!("err: {e}"),
         };
         t.row(vec![
@@ -150,14 +150,9 @@ pub fn fig17(n: usize, engine: Engine) -> Table {
     }
     // The 52x-style comparison: naive HPF translation of the
     // single-statement stencil vs our fully optimized Problem 9.
-    let naive_hpf = measure(
-        &presets::nine_point_cshift(n),
-        naive::naive_options(),
-        &[2, 2],
-        None,
-        engine,
-    )
-    .unwrap();
+    let naive_hpf =
+        measure(&presets::nine_point_cshift(n), naive::naive_options(), &[2, 2], None, engine)
+            .unwrap();
     t.note(format!(
         "naive HPF (xlhpf-class) single-statement stencil: {} ms modeled -> {:.1}x slower than the full strategy (paper reports 52x)",
         ms(naive_hpf.modeled_ms),
@@ -174,17 +169,18 @@ pub fn fig17(n: usize, engine: Engine) -> Table {
 pub fn fig18(sizes: &[usize], engine: Engine) -> Table {
     let mut t = Table::new(
         "Figure 18 — three 9-point specifications (modeled ms)",
-        &["N", "xlhpf cshift-1stmt", "xlhpf multi-stmt", "xlhpf array-syntax", "this paper (any spec)"],
+        &[
+            "N",
+            "xlhpf cshift-1stmt",
+            "xlhpf multi-stmt",
+            "xlhpf array-syntax",
+            "this paper (any spec)",
+        ],
     );
     for &n in sizes {
-        let single = measure(
-            &presets::nine_point_cshift(n),
-            naive::naive_options(),
-            &[2, 2],
-            None,
-            engine,
-        )
-        .unwrap();
+        let single =
+            measure(&presets::nine_point_cshift(n), naive::naive_options(), &[2, 2], None, engine)
+                .unwrap();
         let multi = {
             let mut o = naive::naive_options();
             o.temp_policy = TempPolicy::Reuse;
@@ -198,14 +194,8 @@ pub fn fig18(sizes: &[usize], engine: Engine) -> Table {
             engine,
         )
         .unwrap();
-        let ours = measure(
-            &presets::problem9(n),
-            CompileOptions::full(),
-            &[2, 2],
-            None,
-            engine,
-        )
-        .unwrap();
+        let ours =
+            measure(&presets::problem9(n), CompileOptions::full(), &[2, 2], None, engine).unwrap();
         t.row(vec![
             n.to_string(),
             ms(single.modeled_ms),
@@ -252,29 +242,22 @@ pub fn temp_storage() -> Table {
         "Temporary-array storage (9-point stencil, N arbitrary)",
         &["translation", "temp arrays", "arrays allocated"],
     );
-    let single = compile(
-        &compile_source(&presets::nine_point_cshift(64)).unwrap(),
-        naive::naive_options(),
-    );
+    let single =
+        compile(&compile_source(&presets::nine_point_cshift(64)).unwrap(), naive::naive_options());
     t.row(vec![
         "naive, single-statement CSHIFT".into(),
         single.stats.normalize.temps.to_string(),
         single.stats.arrays_allocated.to_string(),
     ]);
-    let multi = compile(
-        &compile_source(&presets::problem9(64)).unwrap(),
-        hand_mpi::hand_mpi_options(),
-    );
+    let multi =
+        compile(&compile_source(&presets::problem9(64)).unwrap(), hand_mpi::hand_mpi_options());
     // Problem 9's RIP and RIN are user temporaries: count them in.
     t.row(vec![
         "Problem 9 (RIP, RIN + shared TMP)".into(),
         (multi.stats.normalize.temps + 2).to_string(),
         multi.stats.arrays_allocated.to_string(),
     ]);
-    let ours = compile(
-        &compile_source(&presets::problem9(64)).unwrap(),
-        CompileOptions::full(),
-    );
+    let ours = compile(&compile_source(&presets::problem9(64)).unwrap(), CompileOptions::full());
     t.row(vec![
         "this paper (offset arrays)".into(),
         (ours.stats.arrays_allocated.saturating_sub(2)).to_string(),
@@ -359,11 +342,121 @@ pub fn ablation(n: usize, engine: Engine) -> Table {
         "naive order + permutation",
         CompileOptions { fortran_order: true, permute: true, scalar_replacement: true, ..base },
     );
-    add(
-        "full, but unioning off",
-        CompileOptions { unioning: false, ..CompileOptions::full() },
-    );
+    add("full, but unioning off", CompileOptions { unioning: false, ..CompileOptions::full() });
     add("full", CompileOptions::full());
+    t
+}
+
+/// Wall-clock and modeled time of `steps` chained one-shot [`Runner`] runs:
+/// every sweep rebuilds the machine, re-allocates temporaries, recompiles
+/// the communication schedules, and carries the state arrays forward by
+/// gather + re-init. This is the per-step re-setup baseline the persistent
+/// [`Plan`] API eliminates.
+///
+/// [`Runner`]: hpf_core::Runner
+/// [`Plan`]: hpf_core::Plan
+pub fn resetup_sweep(
+    kernel: &Kernel,
+    state: &[&str],
+    steps: usize,
+    grid: &[usize],
+    engine: Engine,
+) -> (f64, f64) {
+    let n = extent(kernel, state[0]);
+    let mut fields: Vec<Vec<f64>> = state
+        .iter()
+        .map(|_| {
+            let mut v = vec![0.0; n * n];
+            for (i, slot) in v.iter_mut().enumerate() {
+                *slot = input(&[(i / n + 1) as i64, (i % n + 1) as i64]);
+            }
+            v
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let mut modeled = 0.0;
+    for _ in 0..steps {
+        let mut r = kernel.runner(MachineConfig::grid(grid.to_vec()));
+        for (name, field) in state.iter().zip(&fields) {
+            let f = field.clone();
+            r = r.init(name, move |p| f[(p[0] - 1) as usize * n + (p[1] - 1) as usize]);
+        }
+        let run = r.engine(engine).run().unwrap();
+        modeled += run.modeled_ms();
+        for (name, field) in state.iter().zip(fields.iter_mut()) {
+            *field = run.gather(kernel, name);
+        }
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, modeled)
+}
+
+/// Wall-clock, modeled time, and schedule counters of one [`Plan`] built
+/// once and stepped `steps` times — the persistent-schedule path.
+///
+/// [`Plan`]: hpf_core::Plan
+pub fn plan_sweep(
+    kernel: &Kernel,
+    state: &[&str],
+    steps: usize,
+    grid: &[usize],
+    engine: Engine,
+) -> (f64, f64, u64, u64) {
+    let t0 = std::time::Instant::now();
+    let mut planner = kernel.plan(MachineConfig::grid(grid.to_vec()));
+    for name in state {
+        planner = planner.init(name, input);
+    }
+    let mut plan = planner.engine(engine).build().unwrap();
+    plan.iterate(steps);
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    let st = plan.stats();
+    (wall, plan.modeled_ms(), st.schedules_built, st.schedule_reuses)
+}
+
+fn extent(kernel: &Kernel, name: &str) -> usize {
+    let id = kernel.array_id(name).unwrap();
+    kernel.checked.symbols.array(id).shape.extent(0)
+}
+
+/// **Persistent schedules**: time-stepped sweeps under per-step re-setup
+/// (chained one-shot `Runner::run` calls) vs a persistent `Plan` whose
+/// communication schedules are compiled once and reused every step, across
+/// PE grids, on heat-equation (Jacobi) and wave-equation kernels.
+pub fn persistent(n: usize, steps: usize, engine: Engine) -> Table {
+    let mut t = Table::new(
+        format!("Persistent schedules — per-step re-setup vs Plan::iterate (N={n}, {steps} steps)"),
+        &[
+            "kernel",
+            "grid",
+            "re-setup wall [ms]",
+            "plan wall [ms]",
+            "re-setup modeled [ms]",
+            "plan modeled [ms]",
+            "built",
+            "reused",
+        ],
+    );
+    let jacobi = Kernel::compile(&presets::jacobi(n, 1), CompileOptions::full()).unwrap();
+    let wave = Kernel::compile(&presets::wave2d(n, 1), CompileOptions::full()).unwrap();
+    let cases: [(&str, &Kernel, &[&str]); 2] =
+        [("jacobi (heat)", &jacobi, &["U"]), ("wave2d", &wave, &["U", "UPREV"])];
+    for (name, kernel, state) in cases {
+        for grid in [&[1usize, 1][..], &[2, 2], &[2, 4]] {
+            let (rw, rm) = resetup_sweep(kernel, state, steps, grid, engine);
+            let (pw, pm, built, reuses) = plan_sweep(kernel, state, steps, grid, engine);
+            t.row(vec![
+                name.to_string(),
+                format!("{}x{}", grid[0], grid[1]),
+                ms(rw),
+                ms(pw),
+                ms(rm),
+                ms(pm),
+                built.to_string(),
+                reuses.to_string(),
+            ]);
+        }
+    }
+    t.note("plan: schedules compiled once at build, then every step is pack/send/unpack through pooled buffers (reused = steps x built); re-setup: every sweep rebuilds the machine, recompiles the schedules, and carries state by gather + re-init");
     t
 }
 
@@ -406,17 +499,10 @@ mod tests {
     #[test]
     fn fig17_every_stage_improves() {
         let t = fig17(64, Engine::Sequential);
-        let modeled: Vec<f64> = t
-            .rows
-            .iter()
-            .map(|r| r[1].parse::<f64>().unwrap())
-            .collect();
+        let modeled: Vec<f64> = t.rows.iter().map(|r| r[1].parse::<f64>().unwrap()).collect();
         assert_eq!(modeled.len(), 5);
         for w in modeled.windows(2) {
-            assert!(
-                w[1] < w[0],
-                "each stage must reduce modeled time: {modeled:?}"
-            );
+            assert!(w[1] < w[0], "each stage must reduce modeled time: {modeled:?}");
         }
         // Headline factor: the naive translation is much slower.
         assert!(t.notes[0].contains("x slower"));
@@ -499,6 +585,41 @@ mod tests {
         // 4 PEs beat 1 PE on compute-dominated sizes… at N=64 messages may
         // dominate; just require both produced sane numbers.
         assert!(one > 0.0 && four > 0.0);
+    }
+
+    #[test]
+    fn persistent_plan_beats_per_step_resetup() {
+        // The headline acceptance criterion: a >=10-step Jacobi sweep at
+        // N=512 on a 2x2 grid — a Plan built once and stepped must beat 10
+        // chained one-shot Runner::run() calls on both wall-clock and
+        // modeled cost, with the schedule compiled once and reused on every
+        // step.
+        let kernel = Kernel::compile(&presets::jacobi(512, 1), CompileOptions::full()).unwrap();
+        let steps = 10;
+        let grid = [2, 2];
+        let (resetup_wall, resetup_modeled) =
+            resetup_sweep(&kernel, &["U"], steps, &grid, Engine::Sequential);
+        let (plan_wall, plan_modeled, built, reuses) =
+            plan_sweep(&kernel, &["U"], steps, &grid, Engine::Sequential);
+        assert!(built > 0);
+        assert_eq!(reuses, steps as u64 * built, "schedule reused on every step");
+        assert!(
+            plan_modeled < resetup_modeled,
+            "modeled: plan {plan_modeled} vs re-setup {resetup_modeled}"
+        );
+        assert!(plan_wall < resetup_wall, "wall: plan {plan_wall} vs re-setup {resetup_wall}");
+    }
+
+    #[test]
+    fn persistent_table_shape() {
+        let t = persistent(32, 4, Engine::Sequential);
+        assert_eq!(t.rows.len(), 6); // 2 kernels x 3 grids
+        for row in &t.rows {
+            let built: u64 = row[6].parse().unwrap();
+            let reused: u64 = row[7].parse().unwrap();
+            assert!(built > 0);
+            assert_eq!(reused, 4 * built, "{row:?}");
+        }
     }
 
     #[test]

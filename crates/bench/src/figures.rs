@@ -40,8 +40,7 @@ pub fn figures_7_to_10(pe: usize) -> String {
     compiled.node.for_each_item(&mut |item| {
         if let NodeItem::Comm(CommOp::Overlap { shift, dim, rsd, kind, .. }) = item {
             shift_no += 1;
-            let plan =
-                overlap_shift_plan(&geom, *shift, *dim, rsd.as_ref(), *kind, halo).unwrap();
+            let plan = overlap_shift_plan(&geom, *shift, *dim, rsd.as_ref(), *kind, halo).unwrap();
             for action in &plan {
                 if let CommAction::Transfer(t) = action {
                     if t.dst_pe == pe {
@@ -117,10 +116,8 @@ mod tests {
         // cells: count spaces inside the last grid… simpler: corners belong
         // to shifts 3/4.
         let last_grid: Vec<&str> = s.lines().collect();
-        let corner_lines: Vec<&&str> = last_grid
-            .iter()
-            .filter(|l| l.starts_with("  ") && !l.trim().is_empty())
-            .collect();
+        let corner_lines: Vec<&&str> =
+            last_grid.iter().filter(|l| l.starts_with("  ") && !l.trim().is_empty()).collect();
         assert!(!corner_lines.is_empty());
         // The full text mentions the RSDs on the dim-2 shifts.
         assert!(s.contains("DIM=2,[1-1:n+1,*]"), "{s}");

@@ -1,7 +1,7 @@
 //! Minimal aligned-column table rendering for the experiments binary.
 
 /// A printable table: header plus rows of strings.
-#[derive(Clone, Debug, Default, serde::Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Table {
     /// Table title.
     pub title: String,
@@ -35,6 +35,23 @@ impl Table {
         self.notes.push(note.into());
     }
 
+    /// Render as a JSON object (hand-rolled: the build environment has no
+    /// serde, and the schema is four flat fields).
+    pub fn to_json(&self) -> String {
+        let arr = |xs: &[String]| -> String {
+            let items: Vec<String> = xs.iter().map(|s| json_string(s)).collect();
+            format!("[{}]", items.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"title\": {}, \"header\": {}, \"rows\": [{}], \"notes\": {}}}",
+            json_string(&self.title),
+            arr(&self.header),
+            rows.join(", "),
+            arr(&self.notes)
+        )
+    }
+
     /// Render with aligned columns.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
@@ -66,6 +83,31 @@ impl Table {
         }
         out
     }
+}
+
+/// Escape a string as a JSON literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a slice of tables as a JSON array.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let items: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+    format!("[{}]", items.join(",\n"))
 }
 
 /// Format a milliseconds value compactly.

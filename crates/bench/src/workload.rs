@@ -29,14 +29,7 @@ pub struct WorkloadSpec {
 
 impl Default for WorkloadSpec {
     fn default() -> Self {
-        WorkloadSpec {
-            n: 12,
-            stmts: 3,
-            max_terms: 4,
-            max_chain: 2,
-            eoshift: true,
-            time_loop: None,
-        }
+        WorkloadSpec { n: 12, stmts: 3, max_terms: 4, max_chain: 2, eoshift: true, time_loop: None }
     }
 }
 
@@ -44,10 +37,8 @@ impl Default for WorkloadSpec {
 /// pair always produces the same program.
 pub fn generate(spec: &WorkloadSpec, seed: u64) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut src = format!(
-        "PROGRAM fuzz{seed}\nPARAM N = {}\nREAL U(N,N), V(N,N), T(N,N), S(N,N)\n",
-        spec.n
-    );
+    let mut src =
+        format!("PROGRAM fuzz{seed}\nPARAM N = {}\nREAL U(N,N), V(N,N), T(N,N), S(N,N)\n", spec.n);
     let mut body = String::new();
     for si in 0..spec.stmts {
         // Destinations cycle over T and S; sources draw from U, V, and the
@@ -61,7 +52,7 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> String {
         };
         for _ in 0..n_terms {
             let srcs = ["U", "V", "U", "V", "T", "S"];
-            let base = srcs[rng.gen_range(0..if si == 0 { 4 } else { 6 })];
+            let base = srcs[rng.gen_range(0..if si == 0 { 4usize } else { 6 })];
             let mut operand = base.to_string();
             let chain = rng.gen_range(0..=spec.max_chain);
             for _ in 0..chain {
@@ -82,7 +73,7 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> String {
         if rng.gen_bool(0.2) {
             let ops = [">", "<", ">=", "<=", "==", "/="];
             let op = ops[rng.gen_range(0..ops.len())];
-            let msrc = ["U", "V"][rng.gen_range(0..2)];
+            let msrc = ["U", "V"][rng.gen_range(0..2usize)];
             body.push_str(&format!("WHERE ({msrc} {op} 0.1) {dst} = {rhs}\n"));
         } else {
             body.push_str(&format!("{dst} = {rhs}\n"));
@@ -97,7 +88,7 @@ pub fn generate(spec: &WorkloadSpec, seed: u64) -> String {
 }
 
 /// Outcome of one fuzz case.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct FuzzOutcome {
     /// Seed of the failing or passing case.
     pub seed: u64,
@@ -171,12 +162,7 @@ mod tests {
 
     #[test]
     fn time_loop_workloads_verify() {
-        let spec = WorkloadSpec {
-            n: 8,
-            stmts: 2,
-            time_loop: Some(3),
-            ..Default::default()
-        };
+        let spec = WorkloadSpec { n: 8, stmts: 2, time_loop: Some(3), ..Default::default() };
         let outcomes = fuzz_sweep(&spec, 4, 2000);
         for o in &outcomes {
             assert!(o.failure.is_none(), "seed {}: {}", o.seed, o.failure.as_ref().unwrap());

@@ -1,6 +1,6 @@
 //! The compile-and-run API.
 
-use hpf_exec::{execute_par, execute_seq, Reference};
+use hpf_exec::{plan::apply_swaps, ExecPlan, Reference};
 use hpf_frontend::{compile_source, Checked, FrontError};
 use hpf_ir::ArrayId;
 use hpf_passes::{compile, CompileOptions, Compiled};
@@ -101,24 +101,68 @@ impl Kernel {
 
     /// Start configuring a run of this kernel.
     pub fn runner(&self, config: MachineConfig) -> Runner<'_> {
-        Runner {
+        Runner { kernel: self, config, inits: Vec::new(), engine: Engine::Sequential }
+    }
+
+    /// Start configuring a persistent execution plan for this kernel: the
+    /// machine is built once, every communication schedule is compiled once,
+    /// and the kernel can then be stepped any number of times with zero
+    /// per-step setup ([`Plan::step`] / [`Plan::iterate`]).
+    pub fn plan(&self, config: MachineConfig) -> Planner<'_> {
+        Planner {
             kernel: self,
             config,
             inits: Vec::new(),
             engine: Engine::Sequential,
+            swaps: Vec::new(),
         }
     }
 
-    /// Run the reference interpreter with the same initializers — the
-    /// correctness oracle.
+    /// Start configuring the reference interpreter — the correctness oracle.
+    /// Initializers are supplied exactly like [`Runner::init`]:
+    ///
+    /// ```
+    /// # use hpf_core::{Kernel, CompileOptions};
+    /// # let kernel = Kernel::compile(&hpf_core::presets::five_point(8), CompileOptions::full()).unwrap();
+    /// let oracle = kernel.oracle().init("SRC", |p| (p[0] + p[1]) as f64).run();
+    /// ```
+    pub fn oracle(&self) -> OracleRunner<'_> {
+        OracleRunner { kernel: self, inits: Vec::new() }
+    }
+
+    /// Run the reference interpreter with the given initializers.
+    #[deprecated(since = "0.2.0", note = "use the builder: `kernel.oracle().init(name, f).run()`")]
     pub fn reference(&self, inits: &[(String, InitFn)]) -> Reference {
-        let mut r = Reference::new(&self.checked);
+        let mut o = self.oracle();
         for (name, f) in inits {
+            o.inits.push((name.clone(), f.clone()));
+        }
+        o.run()
+    }
+}
+
+/// Builder for the reference interpreter, mirroring [`Runner`]: the oracle
+/// and the machine take initializers the same way.
+pub struct OracleRunner<'k> {
+    kernel: &'k Kernel,
+    inits: Vec<(String, InitFn)>,
+}
+
+impl OracleRunner<'_> {
+    /// Initialize a named input array from a function of its coordinates.
+    pub fn init(mut self, name: &str, f: impl Fn(&[i64]) -> f64 + Send + Sync + 'static) -> Self {
+        self.inits.push((name.to_string(), std::sync::Arc::new(f)));
+        self
+    }
+
+    /// Interpret the checked source program on dense global arrays.
+    pub fn run(self) -> Reference {
+        let mut r = Reference::new(&self.kernel.checked);
+        for (name, f) in &self.inits {
             r.fill_named(name, |p| f(p));
         }
-        let mut r2 = r;
-        r2.run(&self.checked);
-        r2
+        r.run(&self.kernel.checked);
+        r
     }
 }
 
@@ -146,26 +190,21 @@ impl Runner<'_> {
         self
     }
 
-    /// Execute. Input arrays are allocated and filled first; remaining
-    /// arrays are allocated by the executor (respecting the memory budget,
-    /// which is how Figure 11's exhaustion reproduces).
+    /// Execute one sweep. A thin wrapper over the plan API: builds a
+    /// [`Plan`] (allocating input arrays first, then the remaining arrays —
+    /// respecting the memory budget, which is how Figure 11's exhaustion
+    /// reproduces) and steps it once.
     pub fn run(self) -> Result<Run, CoreError> {
-        let mut machine = Machine::new(self.config);
-        for (name, f) in &self.inits {
-            let id = self.kernel.array_id(name)?;
-            if !machine.is_allocated(id) {
-                machine.alloc(id, self.kernel.checked.symbols.array(id))?;
-            }
-            machine.fill(id, |p| f(p));
+        let mut plan = Planner {
+            kernel: self.kernel,
+            config: self.config,
+            inits: self.inits,
+            engine: self.engine,
+            swaps: Vec::new(),
         }
-        machine.reset_stats();
-        let started = Instant::now();
-        match self.engine {
-            Engine::Sequential => execute_seq(&mut machine, &self.kernel.compiled.node)?,
-            Engine::Threaded => execute_par(&mut machine, &self.kernel.compiled.node)?,
-        }
-        let wall = started.elapsed();
-        Ok(Run { machine, wall })
+        .build()?;
+        plan.step();
+        Ok(plan.into_run())
     }
 
     /// Execute and verify every initialized-or-assigned array against the
@@ -176,7 +215,11 @@ impl Runner<'_> {
         let inits = self.inits.clone();
         let kernel = self.kernel;
         let run = self.run()?;
-        let reference = kernel.reference(&inits);
+        let mut oracle = kernel.oracle();
+        for (name, f) in inits {
+            oracle.inits.push((name, f));
+        }
+        let reference = oracle.run();
         for name in outputs {
             let id = kernel.array_id(name)?;
             if !run.machine.is_allocated(id) {
@@ -194,6 +237,168 @@ impl Runner<'_> {
             }
         }
         Ok(run)
+    }
+}
+
+/// Builder for a persistent execution plan ([`Kernel::plan`]).
+pub struct Planner<'k> {
+    kernel: &'k Kernel,
+    config: MachineConfig,
+    inits: Vec<(String, InitFn)>,
+    engine: Engine,
+    swaps: Vec<(String, String)>,
+}
+
+impl<'k> Planner<'k> {
+    /// Initialize a named input array from a function of its coordinates.
+    pub fn init(mut self, name: &str, f: impl Fn(&[i64]) -> f64 + Send + Sync + 'static) -> Self {
+        self.inits.push((name.to_string(), std::sync::Arc::new(f)));
+        self
+    }
+
+    /// Select the executor.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Swap the storage of two identically-distributed arrays after every
+    /// step — the zero-copy double-buffer flip for Jacobi-style kernels
+    /// whose source computes `b` from `a` without an explicit copy-back.
+    pub fn swap(mut self, a: &str, b: &str) -> Self {
+        self.swaps.push((a.to_string(), b.to_string()));
+        self
+    }
+
+    /// Build the plan: construct the machine, allocate and fill the input
+    /// arrays, allocate every remaining array the kernel references, and
+    /// compile every communication op into a persistent schedule. All
+    /// per-sweep setup cost is paid here, once.
+    pub fn build(self) -> Result<Plan<'k>, CoreError> {
+        let mut machine = Machine::new(self.config);
+        for (name, f) in &self.inits {
+            let id = self.kernel.array_id(name)?;
+            if !machine.is_allocated(id) {
+                machine.alloc(id, self.kernel.checked.symbols.array(id))?;
+            }
+            machine.fill(id, |p| f(p));
+        }
+        machine.reset_stats();
+        let exec = ExecPlan::build(&mut machine, &self.kernel.compiled.node)?;
+        let mut swaps = Vec::with_capacity(self.swaps.len());
+        for (a, b) in &self.swaps {
+            let (ia, ib) = (self.kernel.array_id(a)?, self.kernel.array_id(b)?);
+            if !machine.is_allocated(ia) || !machine.is_allocated(ib) {
+                let missing = if machine.is_allocated(ia) { b } else { a };
+                return Err(CoreError::UnknownArray(missing.clone()));
+            }
+            swaps.push((ia, ib));
+        }
+        Ok(Plan {
+            kernel: self.kernel,
+            machine,
+            exec,
+            engine: self.engine,
+            swaps,
+            steps: 0,
+            wall: Duration::ZERO,
+        })
+    }
+}
+
+/// A kernel bound to one machine with all communication schedules compiled:
+/// step it, inspect or overwrite its warm state, step it again. Dropping the
+/// plan (or [`Plan::into_run`]) releases nothing until the machine goes too —
+/// arrays live on the machine, schedules on the plan.
+pub struct Plan<'k> {
+    kernel: &'k Kernel,
+    /// The machine carrying the arrays and counters (public for direct
+    /// access to subgrids and per-PE state).
+    pub machine: Machine,
+    exec: ExecPlan,
+    engine: Engine,
+    swaps: Vec<(ArrayId, ArrayId)>,
+    steps: u64,
+    wall: Duration,
+}
+
+impl Plan<'_> {
+    /// Run one sweep of the kernel, reusing every compiled schedule, then
+    /// apply the configured double-buffer swaps.
+    pub fn step(&mut self) -> &mut Self {
+        let started = Instant::now();
+        match self.engine {
+            Engine::Sequential => self.exec.step_seq(&mut self.machine),
+            Engine::Threaded => self.exec.step_par(&mut self.machine),
+        }
+        apply_swaps(&mut self.machine, &self.swaps);
+        self.steps += 1;
+        self.wall += started.elapsed();
+        self
+    }
+
+    /// Run `n` sweeps.
+    pub fn iterate(&mut self, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.step();
+        }
+        self
+    }
+
+    /// Gather a named array's current (warm) state into a dense row-major
+    /// buffer.
+    pub fn gather(&self, name: &str) -> Result<Vec<f64>, CoreError> {
+        Ok(self.machine.gather(self.kernel.array_id(name)?))
+    }
+
+    /// Overwrite a named array's warm state from a function of the global
+    /// coordinates (e.g. to re-seed between sweeps without rebuilding).
+    pub fn fill(&mut self, name: &str, f: impl Fn(&[i64]) -> f64) -> Result<(), CoreError> {
+        let id = self.kernel.array_id(name)?;
+        self.machine.fill(id, f);
+        Ok(())
+    }
+
+    /// Overwrite a named array's warm state from a dense row-major buffer.
+    pub fn scatter(&mut self, name: &str, data: &[f64]) -> Result<(), CoreError> {
+        let id = self.kernel.array_id(name)?;
+        self.machine.scatter(id, data);
+        Ok(())
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Cumulative wall-clock time spent stepping (plan build excluded).
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Number of distinct communication schedules compiled at build time.
+    pub fn comm_count(&self) -> usize {
+        self.exec.comm_count()
+    }
+
+    /// Bytes held by the pooled message buffers (allocated once at build).
+    pub fn pooled_bytes(&self) -> usize {
+        self.exec.pooled_bytes()
+    }
+
+    /// Aggregated execution counters since the plan was built.
+    pub fn stats(&self) -> AggStats {
+        self.machine.stats()
+    }
+
+    /// Modeled execution time under the machine's cost model, milliseconds.
+    pub fn modeled_ms(&self) -> f64 {
+        self.machine.modeled_time_ms()
+    }
+
+    /// Finish: convert into a [`Run`] (machine state plus stepping time).
+    pub fn into_run(self) -> Run {
+        Run { machine: self.machine, wall: self.wall }
     }
 }
 
@@ -231,8 +436,7 @@ mod tests {
 
     #[test]
     fn compile_run_gather() {
-        let kernel =
-            Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+        let kernel = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
         let run = kernel
             .runner(MachineConfig::sp2_2x2())
             .init("U", |p| (p[0] * 3 + p[1]) as f64)
@@ -289,6 +493,118 @@ mod tests {
     fn front_error_propagates() {
         let err = Kernel::compile("REAL A(\n", CompileOptions::full()).unwrap_err();
         assert!(matches!(err, CoreError::Front(_)));
+    }
+
+    #[test]
+    fn plan_iterate_matches_chained_runs() {
+        // Plan::iterate(n) must be bitwise-equal to n one-shot Runner::run()
+        // calls whose state is carried forward by hand, on both engines.
+        let kernel = Kernel::compile(&presets::jacobi(16, 1), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| ((p[0] * 5 + p[1] * 3) as f64).sin();
+        for engine in [Engine::Sequential, Engine::Threaded] {
+            let mut plan = kernel
+                .plan(MachineConfig::sp2_2x2())
+                .init("U", init)
+                .engine(engine)
+                .build()
+                .unwrap();
+            plan.iterate(4);
+            assert_eq!(plan.steps(), 4);
+            // Chained one-shot runs: each run's U output seeds the next.
+            let mut state: Vec<f64> = {
+                let n = 16 * 16;
+                let mut v = vec![0.0; n];
+                for (i, slot) in v.iter_mut().enumerate() {
+                    let p = [(i / 16 + 1) as i64, (i % 16 + 1) as i64];
+                    *slot = init(&p);
+                }
+                v
+            };
+            for _ in 0..4 {
+                let s = state.clone();
+                let run = kernel
+                    .runner(MachineConfig::sp2_2x2())
+                    .init("U", move |p| s[((p[0] - 1) * 16 + p[1] - 1) as usize])
+                    .engine(engine)
+                    .run()
+                    .unwrap();
+                state = run.gather(&kernel, "U");
+            }
+            assert_eq!(plan.gather("U").unwrap(), state, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn plan_reuses_schedules_across_steps() {
+        let kernel = Kernel::compile(&presets::jacobi(16, 1), CompileOptions::full()).unwrap();
+        let mut plan = kernel
+            .plan(MachineConfig::sp2_2x2())
+            .init("U", |p| (p[0] + p[1]) as f64)
+            .build()
+            .unwrap();
+        let pooled = plan.pooled_bytes();
+        assert!(pooled > 0, "buffers pooled at build time");
+        plan.iterate(10);
+        let st = plan.stats();
+        // Compiled once, reused on every one of the 10 steps.
+        assert_eq!(st.schedules_built as usize, plan.comm_count());
+        assert_eq!(st.schedule_reuses, 10 * st.schedules_built);
+        assert_eq!(plan.pooled_bytes(), pooled, "no per-step buffer growth");
+        // No allocations after build either: allocs counted at build only.
+        let allocs_after_10 = plan.stats().total().allocs;
+        plan.iterate(5);
+        assert_eq!(plan.stats().total().allocs, allocs_after_10);
+    }
+
+    #[test]
+    fn plan_swap_drives_double_buffer_jacobi() {
+        // five_point computes DST from SRC once; swapping them after each
+        // step makes it a time-stepped Jacobi without a copy-back statement.
+        let kernel = Kernel::compile(&presets::five_point(8), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| ((p[0] * 3 + p[1]) as f64).cos();
+        let mut plan = kernel
+            .plan(MachineConfig::sp2_2x2())
+            .init("SRC", init)
+            .swap("SRC", "DST")
+            .build()
+            .unwrap();
+        plan.step();
+        let src_after_1 = plan.gather("SRC").unwrap();
+        // One unswapped step gives the same values in DST.
+        let run = kernel.runner(MachineConfig::sp2_2x2()).init("SRC", init).run().unwrap();
+        assert_eq!(src_after_1, run.gather(&kernel, "DST"));
+    }
+
+    #[test]
+    fn plan_warm_state_access() {
+        let kernel = Kernel::compile(&presets::five_point(8), CompileOptions::full()).unwrap();
+        let mut plan = kernel.plan(MachineConfig::sp2_2x2()).init("SRC", |_| 1.0).build().unwrap();
+        plan.step();
+        let t1 = plan.gather("DST").unwrap();
+        // Re-seed SRC and zero DST, then step again: same result.
+        plan.fill("SRC", |_| 1.0).unwrap();
+        plan.scatter("DST", &vec![0.0; 64]).unwrap();
+        plan.step();
+        assert_eq!(plan.gather("DST").unwrap(), t1);
+        assert!(plan.gather("NOPE").is_err());
+    }
+
+    #[test]
+    fn plan_propagates_memory_exhaustion() {
+        let kernel = Kernel::compile(&presets::problem9(8), CompileOptions::full()).unwrap();
+        let err = kernel.plan(MachineConfig::sp2_2x2().budget(300)).init("U", |_| 0.0).build();
+        assert!(matches!(err, Err(CoreError::Runtime(_))));
+    }
+
+    #[test]
+    fn oracle_builder_matches_deprecated_reference() {
+        let kernel = Kernel::compile(&presets::five_point(8), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| (p[0] * 2 + p[1]) as f64;
+        let a = kernel.oracle().init("SRC", init).run();
+        #[allow(deprecated)]
+        let b = kernel.reference(&[("SRC".to_string(), std::sync::Arc::new(init))]);
+        let t = kernel.array_id("DST").unwrap();
+        assert_eq!(a.arrays[&t].data, b.arrays[&t].data);
     }
 
     #[test]

@@ -58,10 +58,7 @@ fn main() {
             "--run" => run = true,
             "--grid" => {
                 let g = args.next().unwrap_or_else(|| usage());
-                grid = g
-                    .split(['x', ','])
-                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
-                    .collect();
+                grid = g.split(['x', ',']).map(|s| s.parse().unwrap_or_else(|_| usage())).collect();
             }
             "--halo" => halo = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
             "--engine" => {
@@ -83,11 +80,8 @@ fn main() {
         exit(1)
     });
 
-    let options = if naive_mode {
-        naive::naive_options()
-    } else {
-        CompileOptions::upto(stage).halo(halo)
-    };
+    let options =
+        if naive_mode { naive::naive_options() } else { CompileOptions::upto(stage).halo(halo) };
     let kernel = match Kernel::compile(&source, options) {
         Ok(k) => k,
         Err(e) => {
@@ -159,8 +153,11 @@ fn main() {
         match runner.run_verified(&output_refs, 0.0) {
             Ok(r) => {
                 let stats = r.stats();
-                println!("\n! run on {} PEs ({:?} grid), verified against the oracle",
-                    grid.iter().product::<usize>(), grid);
+                println!(
+                    "\n! run on {} PEs ({:?} grid), verified against the oracle",
+                    grid.iter().product::<usize>(),
+                    grid
+                );
                 println!("messages        : {}", stats.total_messages());
                 println!("comm bytes      : {}", stats.total_comm_bytes());
                 println!("intra bytes     : {}", stats.total_intra_bytes());

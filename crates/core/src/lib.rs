@@ -34,7 +34,7 @@
 pub mod api;
 pub mod presets;
 
-pub use api::{CoreError, Engine, Kernel, Run, Runner};
+pub use api::{CoreError, Engine, Kernel, OracleRunner, Plan, Planner, Run, Runner};
 
 pub use hpf_baselines as baselines;
 pub use hpf_exec as exec;

@@ -3,7 +3,7 @@
 
 //! # hpf-exec — executors for the lowered node program
 //!
-//! Three ways to run a stencil kernel, all agreeing bit-for-bit:
+//! Four ways to run a stencil kernel, all agreeing bit-for-bit:
 //!
 //! * [`mod@reference`] — the correctness oracle: a direct sequential interpreter
 //!   of the checked source program on dense global arrays, implementing
@@ -14,15 +14,22 @@
 //!   communication performed through the shared schedules;
 //! * [`par`] — the SPMD executor: one OS thread per PE, message passing over
 //!   channels, using the *same* deterministic schedules, so results are
-//!   bitwise identical to the sequential engine.
+//!   bitwise identical to the sequential engine;
+//! * [`plan`] — the persistent-schedule driver for time-stepped sweeps: an
+//!   [`ExecPlan`] compiles every communication operation once against the
+//!   allocated subgrids (flat pack/unpack index lists, pooled buffers) and
+//!   then steps the node program any number of times on either engine with
+//!   zero per-step setup.
 
 pub mod nest;
 pub mod par;
+pub mod plan;
 pub mod reference;
 pub mod seq;
 pub mod verify;
 
+pub use par::execute_par;
+pub use plan::ExecPlan;
 pub use reference::{DenseArray, Reference};
 pub use seq::{allocate, execute_seq};
-pub use par::execute_par;
 pub use verify::{assert_close, max_abs_diff};

@@ -26,11 +26,7 @@ enum CInstr {
     Select(Reg, Reg, Reg, Reg),
 }
 
-fn compile_body(
-    body: &[Instr],
-    strides: &[usize],
-    scalars: &[f64],
-) -> Vec<CInstr> {
+fn compile_body(body: &[Instr], strides: &[usize], scalars: &[f64]) -> Vec<CInstr> {
     body.iter()
         .map(|i| match i {
             Instr::Const { dst, value } => CInstr::Const(*dst, *value),
@@ -51,19 +47,12 @@ fn compile_body(
 }
 
 fn delta(offsets: &[i64], strides: &[usize]) -> i64 {
-    offsets
-        .iter()
-        .zip(strides)
-        .map(|(&o, &s)| o * s as i64)
-        .sum()
+    offsets.iter().zip(strides).map(|(&o, &s)| o * s as i64).sum()
 }
 
 /// Resolve a `ScalarId`-indexed value table from the symbol table.
 pub fn scalar_values(symbols: &hpf_ir::SymbolTable) -> Vec<f64> {
-    symbols
-        .scalar_ids()
-        .map(|id| symbols.scalar(id).value)
-        .collect()
+    symbols.scalar_ids().map(|id| symbols.scalar(id).value).collect()
 }
 
 /// Execute one loop nest on one PE. `scalars` is the value table from
@@ -102,23 +91,14 @@ pub fn exec_nest(pe: &mut PeState, nest: &LoopNest, scalars: &[f64]) {
     }
 
     let jammed = compile_body(&nest.body, &strides, scalars);
-    let unit = nest
-        .unroll
-        .as_ref()
-        .map(|u| compile_body(&u.unit_body, &strides, scalars));
+    let unit = nest.unroll.as_ref().map(|u| compile_body(&u.unit_body, &strides, scalars));
 
     // Flat base index of local point `lo` and per-dimension index steps.
     let base_of = |point: &[i64]| -> i64 {
-        point
-            .iter()
-            .zip(&strides)
-            .map(|(&l, &s)| (l + halo as i64 - 1) * s as i64)
-            .sum()
+        point.iter().zip(&strides).map(|(&l, &s)| (l + halo as i64 - 1) * s as i64).sum()
     };
 
-    let max_regs = nest
-        .regs
-        .max(nest.unroll.as_ref().map_or(0, |u| u.unit_regs));
+    let max_regs = nest.regs.max(nest.unroll.as_ref().map_or(0, |u| u.unit_regs));
     let mut regs = vec![0.0f64; max_regs.max(1)];
 
     // Counters (bulk-updated at the end).
@@ -178,18 +158,13 @@ pub fn exec_nest(pe: &mut PeState, nest: &LoopNest, scalars: &[f64]) {
     let count = |body: &[Instr]| {
         let loads = body.iter().filter(|x| matches!(x, Instr::Load { .. })).count() as u64;
         let stores = body.iter().filter(|x| matches!(x, Instr::Store { .. })).count() as u64;
-        let flops = body
-            .iter()
-            .filter(|x| matches!(x, Instr::Bin { .. } | Instr::Neg { .. }))
-            .count() as u64;
+        let flops =
+            body.iter().filter(|x| matches!(x, Instr::Bin { .. } | Instr::Neg { .. })).count()
+                as u64;
         (loads, stores, flops)
     };
     let (jl, js, jf) = count(&nest.body);
-    let (ul, us, uf) = nest
-        .unroll
-        .as_ref()
-        .map(|u| count(&u.unit_body))
-        .unwrap_or((0, 0, 0));
+    let (ul, us, uf) = nest.unroll.as_ref().map(|u| count(&u.unit_body)).unwrap_or((0, 0, 0));
     let s = &mut pe.stats;
     s.loads += jammed_execs * jl + unit_execs * ul;
     s.stores += jammed_execs * js + unit_execs * us;
@@ -226,11 +201,8 @@ fn exec_body(pe: &mut PeState, body: &[CInstr], base: i64, regs: &mut [f64]) {
                 regs[*d as usize] = op.apply(regs[*a as usize], regs[*b as usize]);
             }
             CInstr::Select(d, c, t, e) => {
-                regs[*d as usize] = if regs[*c as usize] != 0.0 {
-                    regs[*t as usize]
-                } else {
-                    regs[*e as usize]
-                };
+                regs[*d as usize] =
+                    if regs[*c as usize] != 0.0 { regs[*t as usize] } else { regs[*e as usize] };
             }
         }
     }

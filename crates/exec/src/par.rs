@@ -10,13 +10,13 @@
 //! out-of-order arrivals.
 
 use crate::nest::{exec_nest, scalar_values};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use hpf_passes::loopir::{CommOp, NodeItem, NodeProgram};
 use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan, CommAction};
 use hpf_runtime::{ArrayMeta, Machine, MachineConfig, PeState, RtError};
 use std::collections::HashMap;
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
-type Msg = (u64, usize, Vec<f64>);
+pub(crate) type Msg = (u64, usize, Vec<f64>);
 
 /// Execute the node program with one thread per PE. Allocates referenced
 /// arrays first (sequentially). Returns the same results, counters and
@@ -30,8 +30,7 @@ pub fn execute_par(machine: &mut Machine, node: &NodeProgram) -> Result<(), RtEr
     let metas = machine.metas_snapshot();
     let scalars = scalar_values(&node.symbols);
     let n = machine.num_pes();
-    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
-        (0..n).map(|_| unbounded()).unzip();
+    let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) = (0..n).map(|_| unbounded()).unzip();
     std::thread::scope(|scope| {
         for (pe_state, rx) in machine.pes.iter_mut().zip(rxs) {
             let txs = txs.clone();
@@ -72,16 +71,16 @@ fn prevalidate(machine: &Machine, items: &[NodeItem]) -> Result<(), RtError> {
     Ok(())
 }
 
-struct Worker<'a> {
-    pe: usize,
-    state: &'a mut PeState,
-    rx: Receiver<Msg>,
-    txs: Vec<Sender<Msg>>,
-    cfg: &'a MachineConfig,
-    metas: &'a [Option<ArrayMeta>],
-    scalars: &'a [f64],
-    seq: u64,
-    stash: HashMap<(u64, usize), Vec<f64>>,
+pub(crate) struct Worker<'a> {
+    pub(crate) pe: usize,
+    pub(crate) state: &'a mut PeState,
+    pub(crate) rx: Receiver<Msg>,
+    pub(crate) txs: Vec<Sender<Msg>>,
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) metas: &'a [Option<ArrayMeta>],
+    pub(crate) scalars: &'a [f64],
+    pub(crate) seq: u64,
+    pub(crate) stash: HashMap<(u64, usize), Vec<f64>>,
 }
 
 impl Worker<'_> {
@@ -110,7 +109,7 @@ impl Worker<'_> {
         }
     }
 
-    fn comm(
+    pub(crate) fn comm(
         &mut self,
         dst: hpf_ir::ArrayId,
         src: hpf_ir::ArrayId,

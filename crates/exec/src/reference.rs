@@ -30,9 +30,7 @@ impl DenseArray {
     /// Build from a function of the 1-based global coordinates.
     pub fn from_fn(shape: Vec<usize>, f: impl Fn(&[i64]) -> f64) -> Self {
         let mut a = DenseArray::zeros(shape.clone());
-        let sec = Section::new(
-            shape.iter().map(|&e| (1i64, e as i64)).collect::<Vec<_>>(),
-        );
+        let sec = Section::new(shape.iter().map(|&e| (1i64, e as i64)).collect::<Vec<_>>());
         for p in sec.points() {
             let v = f(&p);
             a.set(&p, v);
@@ -51,10 +49,7 @@ impl DenseArray {
 
     fn index(&self, p: &[i64]) -> usize {
         let strides = self.strides();
-        p.iter()
-            .zip(&strides)
-            .map(|(&i, &s)| (i - 1) as usize * s)
-            .sum()
+        p.iter().zip(&strides).map(|(&i, &s)| (i - 1) as usize * s).sum()
     }
 
     /// Read a 1-based coordinate.
@@ -209,13 +204,8 @@ impl Reference {
                     Val::Arr(e, d) => (e, d),
                     Val::Scalar(_) => panic!("sema rejects shifts of scalars"),
                 };
-                let sec = Section::new(
-                    extents.iter().map(|&e| (1i64, e)).collect::<Vec<_>>(),
-                );
-                let tmp = DenseArray {
-                    shape: extents.iter().map(|&e| e as usize).collect(),
-                    data,
-                };
+                let sec = Section::new(extents.iter().map(|&e| (1i64, e)).collect::<Vec<_>>());
+                let tmp = DenseArray { shape: extents.iter().map(|&e| e as usize).collect(), data };
                 let n = extents[*dim];
                 let out: Vec<f64> = sec
                     .points()
@@ -254,10 +244,7 @@ fn combine(op: BinOp, a: Val, b: Val) -> Val {
         }
         (Val::Arr(e1, d1), Val::Arr(e2, d2)) => {
             debug_assert_eq!(e1, e2, "sema guarantees conformance");
-            Val::Arr(
-                e1,
-                d1.into_iter().zip(d2).map(|(x, y)| op.apply(x, y)).collect(),
-            )
+            Val::Arr(e1, d1.into_iter().zip(d2).map(|(x, y)| op.apply(x, y)).collect())
         }
     }
 }
@@ -319,10 +306,8 @@ mod tests {
 
     #[test]
     fn section_assignment() {
-        let r = run_src(
-            "PARAM N = 4\nREAL U(N,N), T(N,N)\nT(2:3,2:3) = U(1:2,3:4)\n",
-            &[("U", coord)],
-        );
+        let r =
+            run_src("PARAM N = 4\nREAL U(N,N), T(N,N)\nT(2:3,2:3) = U(1:2,3:4)\n", &[("U", coord)]);
         let t = r.array_named("T");
         assert_eq!(t.get(&[2, 2]), coord(&[1, 3]));
         assert_eq!(t.get(&[3, 3]), coord(&[2, 4]));
@@ -372,10 +357,8 @@ DST(2:N-1,2:N-1) = SRC(1:N-2,2:N-1) + SRC(2:N-1,1:N-2) &
 
     #[test]
     fn do_loop_repeats() {
-        let r = run_src(
-            "PARAM N = 4\nREAL U(N)\nDO 3 TIMES\nU = U + 1\nENDDO\n",
-            &[("U", |_| 0.0)],
-        );
+        let r =
+            run_src("PARAM N = 4\nREAL U(N)\nDO 3 TIMES\nU = U + 1\nENDDO\n", &[("U", |_| 0.0)]);
         assert_eq!(r.array_named("U").get(&[2]), 3.0);
     }
 

@@ -39,11 +39,7 @@ fn check_halo(machine: &Machine, node: &NodeProgram) -> Result<(), RtError> {
         }
     });
     match worst {
-        Some((o, d)) => Err(RtError::ShiftTooWide {
-            shift: o,
-            dim: d,
-            limit: machine.cfg.halo,
-        }),
+        Some((o, d)) => Err(RtError::ShiftTooWide { shift: o, dim: d, limit: machine.cfg.halo }),
         None => Ok(()),
     }
 }
@@ -111,11 +107,7 @@ END
         // Oracle.
         let mut r = Reference::new(&checked);
         let init = |p: &[i64]| {
-            p.iter()
-                .enumerate()
-                .map(|(d, &i)| (i * (31 + d as i64)) as f64)
-                .sum::<f64>()
-                .sin()
+            p.iter().enumerate().map(|(d, &i)| (i * (31 + d as i64)) as f64).sum::<f64>().sin()
         };
         r.fill_named("U", init);
         r.run(&checked);

@@ -3,20 +3,14 @@
 /// Maximum absolute element-wise difference between two equal-length slices.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
 }
 
 /// Panic with a helpful message when two results differ by more than `tol`.
 pub fn assert_close(got: &[f64], want: &[f64], tol: f64, what: &str) {
     assert_eq!(got.len(), want.len(), "{what}: length mismatch");
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
-        assert!(
-            (g - w).abs() <= tol,
-            "{what}: element {i} differs: got {g}, want {w} (tol {tol})"
-        );
+        assert!((g - w).abs() <= tol, "{what}: element {i} differs: got {g}, want {w} (tol {tol})");
     }
 }
 

@@ -246,7 +246,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
             pending_continuation = true;
         } else {
             pending_continuation = false;
-            out.push(Token { tok: Tok::Newline, span: Span::new(line_no, raw_line.len() as u32 + 1) });
+            out.push(Token {
+                tok: Tok::Newline,
+                span: Span::new(line_no, raw_line.len() as u32 + 1),
+            });
         }
     }
     out.push(Token { tok: Tok::Eof, span: Span::new(src.lines().count() as u32 + 1, 1) });

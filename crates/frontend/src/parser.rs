@@ -144,7 +144,11 @@ impl<'a> Parser<'a> {
             let v = match self.peek().clone() {
                 Tok::Int(v) => {
                     self.bump();
-                    if neg { -v } else { v }
+                    if neg {
+                        -v
+                    } else {
+                        v
+                    }
                 }
                 other => return Err(self.err(format!("expected integer, found {other:?}"))),
             };

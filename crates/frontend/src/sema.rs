@@ -122,9 +122,7 @@ pub fn check(ast: &Ast) -> Result<Checked, FrontError> {
     for a in &ast.arrays {
         let mut extents = Vec::new();
         for d in &a.dims {
-            let v = d
-                .eval(&ast.params)
-                .map_err(|m| FrontError::new(a.span, m))?;
+            let v = d.eval(&ast.params).map_err(|m| FrontError::new(a.span, m))?;
             if v < 1 {
                 return Err(FrontError::new(
                     a.span,
@@ -142,9 +140,9 @@ pub fn check(ast: &Ast) -> Result<Checked, FrontError> {
     }
     // DISTRIBUTE directives override the default.
     for (name, dists, span) in &ast.distributes {
-        let id = symbols
-            .lookup_array(name)
-            .ok_or_else(|| FrontError::new(*span, format!("DISTRIBUTE of undeclared array {name}")))?;
+        let id = symbols.lookup_array(name).ok_or_else(|| {
+            FrontError::new(*span, format!("DISTRIBUTE of undeclared array {name}"))
+        })?;
         let rank = symbols.array(id).rank();
         if dists.len() != rank {
             return Err(FrontError::new(
@@ -245,9 +243,7 @@ impl Checker {
                 Ok(CStmt::Assign { lhs: id, section: sec, rhs, mask: cmask })
             }
             AstStmt::Do { iters, body, span } => {
-                let n = iters
-                    .eval(&self.params)
-                    .map_err(|m| FrontError::new(*span, m))?;
+                let n = iters.eval(&self.params).map_err(|m| FrontError::new(*span, m))?;
                 if n < 0 {
                     return Err(FrontError::new(*span, "negative DO count"));
                 }
@@ -404,10 +400,7 @@ mod tests {
     fn distribute_overrides_default() {
         let c = check_src("REAL U(4,4)\n!HPF$ DISTRIBUTE U(BLOCK,*)\n").unwrap();
         let u = c.symbols.lookup_array("U").unwrap();
-        assert_eq!(
-            c.symbols.array(u).dist,
-            Distribution(vec![DimDist::Block, DimDist::Collapsed])
-        );
+        assert_eq!(c.symbols.array(u).dist, Distribution(vec![DimDist::Block, DimDist::Collapsed]));
     }
 
     #[test]
@@ -515,10 +508,8 @@ mod tests {
 
     #[test]
     fn shift_count_helper() {
-        let c = check_src(
-            "REAL A(4,4), B(4,4)\nA = CSHIFT(B,1,1) + CSHIFT(CSHIFT(B,1,1),-1,2)\n",
-        )
-        .unwrap();
+        let c = check_src("REAL A(4,4), B(4,4)\nA = CSHIFT(B,1,1) + CSHIFT(CSHIFT(B,1,1),-1,2)\n")
+            .unwrap();
         match &c.stmts[0] {
             CStmt::Assign { rhs, .. } => assert_eq!(rhs.shift_count(), 3),
             other => panic!("{other:?}"),

@@ -107,11 +107,7 @@ impl Distribution {
 
     /// Indices of the distributed (BLOCK) dimensions.
     pub fn block_dims(&self) -> impl Iterator<Item = usize> + '_ {
-        self.0
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| **d == DimDist::Block)
-            .map(|(i, _)| i)
+        self.0.iter().enumerate().filter(|(_, d)| **d == DimDist::Block).map(|(i, _)| i)
     }
 }
 

@@ -90,10 +90,7 @@ impl DepGraph {
                 if wi.iter().any(|r| rj.contains(*r)) {
                     kinds.push(DepKind::True);
                 }
-                if ri
-                    .iter()
-                    .any(|r| wj.contains(*r) && !idempotent_ghost_write(&block[j], r))
-                {
+                if ri.iter().any(|r| wj.contains(*r) && !idempotent_ghost_write(&block[j], r)) {
                     kinds.push(DepKind::Anti);
                 }
                 if wi.iter().any(|r| {
@@ -183,9 +180,7 @@ impl DepGraph {
                 return false;
             }
         }
-        self.edges
-            .iter()
-            .all(|e| pos.get(&e.src).zip(pos.get(&e.dst)).is_some_and(|(a, b)| a < b))
+        self.edges.iter().all(|e| pos.get(&e.src).zip(pos.get(&e.dst)).is_some_and(|(a, b)| a < b))
     }
 }
 
@@ -312,11 +307,7 @@ mod tests {
         // And the two fills carry an output dependence.
         assert!(g.edges.iter().any(|e| e.src == 0 && e.dst == 2 && e.kind == DepKind::Output));
         // Same-kind refills stay exempt.
-        let block2 = vec![
-            mk(ShiftKind::Circular),
-            block[1].clone(),
-            mk(ShiftKind::Circular),
-        ];
+        let block2 = vec![mk(ShiftKind::Circular), block[1].clone(), mk(ShiftKind::Circular)];
         let g2 = DepGraph::build(&block2);
         assert!(!g2.edges.iter().any(|e| e.dst == 2 && e.kind != DepKind::True));
     }

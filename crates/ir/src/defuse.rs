@@ -60,10 +60,7 @@ pub fn reached_uses(
     let mut out = Vec::new();
     let n = block.len();
     let positions: Vec<(usize, bool)> = if wrap {
-        (def_idx + 1..n)
-            .map(|i| (i, false))
-            .chain((0..def_idx).map(|i| (i, true)))
-            .collect()
+        (def_idx + 1..n).map(|i| (i, false)).chain((0..def_idx).map(|i| (i, true))).collect()
     } else {
         (def_idx + 1..n).map(|i| (i, false)).collect()
     };
@@ -99,9 +96,7 @@ pub fn write_between(
     } else {
         (def_idx + 1..use_site.stmt).collect()
     };
-    positions
-        .into_iter()
-        .find(|&i| writes_interior(&block[i], array))
+    positions.into_iter().find(|&i| writes_interior(&block[i], array))
 }
 
 #[cfg(test)]
@@ -141,11 +136,8 @@ mod tests {
     fn kills_whole_array_writes_only() {
         assert!(kills(&shift(R, U), R, &full()));
         assert!(!kills(&shift(R, U), U, &full()));
-        let partial = Stmt::Compute {
-            lhs: R,
-            space: Section::new([(2, 7), (2, 7)]),
-            rhs: Expr::Const(0.0),
-        };
+        let partial =
+            Stmt::Compute { lhs: R, space: Section::new([(2, 7), (2, 7)]), rhs: Expr::Const(0.0) };
         assert!(!kills(&partial, R, &full()));
         let whole = compute_use(R, U);
         assert!(kills(&whole, R, &full()));
@@ -154,10 +146,10 @@ mod tests {
     #[test]
     fn reached_uses_stop_at_kill() {
         let block = vec![
-            shift(R, U),          // 0: def of R
-            compute_use(T, R),    // 1: use
-            shift(R, T),          // 2: kill of R
-            compute_use(T, R),    // 3: use of the *new* R
+            shift(R, U),       // 0: def of R
+            compute_use(T, R), // 1: use
+            shift(R, T),       // 2: kill of R
+            compute_use(T, R), // 3: use of the *new* R
         ];
         let uses = reached_uses(&block, 0, R, &full(), false);
         assert_eq!(uses, vec![UseSite { stmt: 1, wrapped: false }]);
@@ -179,11 +171,8 @@ mod tests {
 
     #[test]
     fn partial_write_terminates_walk() {
-        let partial = Stmt::Compute {
-            lhs: R,
-            space: Section::new([(2, 7), (2, 7)]),
-            rhs: Expr::Const(0.0),
-        };
+        let partial =
+            Stmt::Compute { lhs: R, space: Section::new([(2, 7), (2, 7)]), rhs: Expr::Const(0.0) };
         let block = vec![shift(R, U), partial, compute_use(T, R)];
         let uses = reached_uses(&block, 0, R, &full(), false);
         assert!(uses.is_empty(), "use after partial redefinition must not be attributed");
@@ -192,9 +181,9 @@ mod tests {
     #[test]
     fn write_between_detects_source_update() {
         let block = vec![
-            shift(R, U),          // 0: R = cshift(U)
-            compute_use(U, T),    // 1: U destructively updated
-            compute_use(T, R),    // 2: use of R
+            shift(R, U),       // 0: R = cshift(U)
+            compute_use(U, T), // 1: U destructively updated
+            compute_use(T, R), // 2: use of R
         ];
         let site = UseSite { stmt: 2, wrapped: false };
         assert_eq!(write_between(&block, 0, site, U), Some(1));
@@ -211,12 +200,7 @@ mod tests {
         let site = UseSite { stmt: 0, wrapped: true };
         assert_eq!(write_between(&block, 2, site, U), None);
         // Extend the body: 2 -> 3 writes U -> wraps to 0.
-        let block2 = vec![
-            compute_use(T, R),
-            compute_use(U, T),
-            shift(R, U),
-            compute_use(U, T),
-        ];
+        let block2 = vec![compute_use(T, R), compute_use(U, T), shift(R, U), compute_use(U, T)];
         assert_eq!(write_between(&block2, 2, site, U), Some(3));
     }
 }

@@ -93,7 +93,11 @@ impl CmpOp {
             CmpOp::Eq => a == b,
             CmpOp::Ne => a != b,
         };
-        if t { 1.0 } else { 0.0 }
+        if t {
+            1.0
+        } else {
+            0.0
+        }
     }
 
     /// Fortran source token.

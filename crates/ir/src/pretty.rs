@@ -201,10 +201,7 @@ mod tests {
             rsd: Some(rsd),
             kind: ShiftKind::Circular,
         };
-        assert_eq!(
-            stmt(&t, &s),
-            "CALL OVERLAP_CSHIFT(U<+1,0>,SHIFT=-1,DIM=2,[1-1:n+1,*])"
-        );
+        assert_eq!(stmt(&t, &s), "CALL OVERLAP_CSHIFT(U<+1,0>,SHIFT=-1,DIM=2,[1-1:n+1,*])");
     }
 
     #[test]

@@ -18,11 +18,7 @@ impl SymbolTable {
 
     /// Add an array declaration, returning its id.
     pub fn add_array(&mut self, decl: ArrayDecl) -> ArrayId {
-        assert!(
-            self.lookup_array(&decl.name).is_none(),
-            "duplicate array {}",
-            decl.name
-        );
+        assert!(self.lookup_array(&decl.name).is_none(), "duplicate array {}", decl.name);
         let id = ArrayId(self.arrays.len() as u32);
         self.arrays.push(decl);
         id
@@ -30,11 +26,7 @@ impl SymbolTable {
 
     /// Add a scalar declaration, returning its id.
     pub fn add_scalar(&mut self, decl: ScalarDecl) -> ScalarId {
-        assert!(
-            self.lookup_scalar(&decl.name).is_none(),
-            "duplicate scalar {}",
-            decl.name
-        );
+        assert!(self.lookup_scalar(&decl.name).is_none(), "duplicate scalar {}", decl.name);
         let id = ScalarId(self.scalars.len() as u32);
         self.scalars.push(decl);
         id
@@ -52,18 +44,12 @@ impl SymbolTable {
 
     /// Find an array by name.
     pub fn lookup_array(&self, name: &str) -> Option<ArrayId> {
-        self.arrays
-            .iter()
-            .position(|a| a.name == name)
-            .map(|i| ArrayId(i as u32))
+        self.arrays.iter().position(|a| a.name == name).map(|i| ArrayId(i as u32))
     }
 
     /// Find a scalar by name.
     pub fn lookup_scalar(&self, name: &str) -> Option<ScalarId> {
-        self.scalars
-            .iter()
-            .position(|s| s.name == name)
-            .map(|i| ScalarId(i as u32))
+        self.scalars.iter().position(|s| s.name == name).map(|i| ScalarId(i as u32))
     }
 
     /// All array ids.
@@ -119,7 +105,11 @@ impl Program {
     /// Apply `f` to every basic block of the program (the top-level block
     /// and each time-loop body, recursively).
     pub fn for_each_block_mut(&mut self, f: &mut impl FnMut(&mut Vec<Stmt>, &mut SymbolTable)) {
-        fn walk(block: &mut Vec<Stmt>, symbols: &mut SymbolTable, f: &mut impl FnMut(&mut Vec<Stmt>, &mut SymbolTable)) {
+        fn walk(
+            block: &mut Vec<Stmt>,
+            symbols: &mut SymbolTable,
+            f: &mut impl FnMut(&mut Vec<Stmt>, &mut SymbolTable),
+        ) {
             // Visit inner blocks first so the callback sees loop bodies in
             // their final shape before reordering the enclosing block.
             for s in block.iter_mut() {

@@ -65,11 +65,7 @@ impl Rsd {
     /// True when this RSD covers (subsumes) `other` in every dimension.
     pub fn covers(&self, other: &Rsd) -> bool {
         self.rank() == other.rank()
-            && self
-                .ext
-                .iter()
-                .zip(&other.ext)
-                .all(|(&(al, ah), &(bl, bh))| al >= bl && ah >= bh)
+            && self.ext.iter().zip(&other.ext).all(|(&(al, ah), &(bl, bh))| al >= bl && ah >= bh)
     }
 }
 

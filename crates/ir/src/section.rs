@@ -22,13 +22,7 @@ impl Section {
     /// Interior section of a shape, shrunk by `margin` on every side:
     /// `(1+margin : n-margin, …)`.
     pub fn interior(shape: &Shape, margin: i64) -> Self {
-        Section(
-            shape
-                .0
-                .iter()
-                .map(|&e| (1 + margin, e as i64 - margin))
-                .collect(),
-        )
+        Section(shape.0.iter().map(|&e| (1 + margin, e as i64 - margin)).collect())
     }
 
     /// Number of dimensions.
@@ -49,10 +43,7 @@ impl Section {
 
     /// Number of points in the section.
     pub fn num_points(&self) -> i64 {
-        self.0
-            .iter()
-            .map(|&(lo, hi)| (hi - lo + 1).max(0))
-            .product()
+        self.0.iter().map(|&(lo, hi)| (hi - lo + 1).max(0)).product()
     }
 
     /// True when some dimension is empty.
@@ -63,44 +54,27 @@ impl Section {
     /// Section translated by `off` (element-wise).
     pub fn translate(&self, off: &Offsets) -> Section {
         assert_eq!(self.rank(), off.rank());
-        Section(
-            self.0
-                .iter()
-                .zip(&off.0)
-                .map(|(&(lo, hi), &o)| (lo + o, hi + o))
-                .collect(),
-        )
+        Section(self.0.iter().zip(&off.0).map(|(&(lo, hi), &o)| (lo + o, hi + o)).collect())
     }
 
     /// Intersection with another section of the same rank.
     pub fn intersect(&self, other: &Section) -> Section {
         assert_eq!(self.rank(), other.rank());
         Section(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(&(a, b), &(c, d))| (a.max(c), b.min(d)))
-                .collect(),
+            self.0.iter().zip(&other.0).map(|(&(a, b), &(c, d))| (a.max(c), b.min(d))).collect(),
         )
     }
 
     /// True when the section lies within the array bounds of `shape`.
     pub fn within(&self, shape: &Shape) -> bool {
         self.rank() == shape.rank()
-            && self
-                .0
-                .iter()
-                .zip(&shape.0)
-                .all(|(&(lo, hi), &e)| lo >= 1 && hi <= e as i64)
+            && self.0.iter().zip(&shape.0).all(|(&(lo, hi), &e)| lo >= 1 && hi <= e as i64)
     }
 
     /// True when `point` (1-based per-dim indices) lies inside the section.
     pub fn contains(&self, point: &[i64]) -> bool {
         point.len() == self.rank()
-            && point
-                .iter()
-                .zip(&self.0)
-                .all(|(&p, &(lo, hi))| p >= lo && p <= hi)
+            && point.iter().zip(&self.0).all(|(&p, &(lo, hi))| p >= lo && p <= hi)
     }
 
     /// Iterate all points of the section in row-major (last dim fastest)
@@ -273,10 +247,7 @@ mod tests {
     fn points_row_major() {
         let s = Section::new([(1, 2), (5, 6)]);
         let pts: Vec<_> = s.points().collect();
-        assert_eq!(
-            pts,
-            vec![vec![1, 5], vec![1, 6], vec![2, 5], vec![2, 6]]
-        );
+        assert_eq!(pts, vec![vec![1, 5], vec![1, 6], vec![2, 5], vec![2, 6]]);
     }
 
     #[test]

@@ -132,10 +132,7 @@ fn validate_stmt(symbols: &SymbolTable, s: &Stmt, w: i64) -> Result<(), Validate
                     return;
                 }
                 if a.shape != l.shape {
-                    inner = err(format!(
-                        "operand {} not conformant with LHS {}",
-                        a.name, l.name
-                    ));
+                    inner = err(format!("operand {} not conformant with LHS {}", a.name, l.name));
                 }
             });
             inner
@@ -213,7 +210,13 @@ mod tests {
     #[test]
     fn valid_program_passes() {
         let (mut p, u, v) = prog();
-        p.body.push(Stmt::ShiftAssign { dst: v, src: u, shift: 1, dim: 0, kind: ShiftKind::Circular });
+        p.body.push(Stmt::ShiftAssign {
+            dst: v,
+            src: u,
+            shift: 1,
+            dim: 0,
+            kind: ShiftKind::Circular,
+        });
         p.body.push(Stmt::Compute {
             lhs: v,
             space: Section::new([(2, 7), (2, 7)]),
@@ -226,7 +229,13 @@ mod tests {
     #[test]
     fn shift_dim_out_of_rank_fails() {
         let (mut p, u, v) = prog();
-        p.body.push(Stmt::ShiftAssign { dst: v, src: u, shift: 1, dim: 2, kind: ShiftKind::Circular });
+        p.body.push(Stmt::ShiftAssign {
+            dst: v,
+            src: u,
+            shift: 1,
+            dim: 2,
+            kind: ShiftKind::Circular,
+        });
         assert!(validate(&p, 1).is_err());
     }
 

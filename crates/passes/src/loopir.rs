@@ -199,7 +199,10 @@ impl LoopNest {
             .filter(|i| {
                 matches!(
                     i,
-                    Instr::Bin { .. } | Instr::Neg { .. } | Instr::Cmp { .. } | Instr::Select { .. }
+                    Instr::Bin { .. }
+                        | Instr::Neg { .. }
+                        | Instr::Cmp { .. }
+                        | Instr::Select { .. }
                 )
             })
             .count()

@@ -110,9 +110,7 @@ pub fn iteration_local(body: &[Instr]) -> bool {
         return true;
     }
     body.iter().all(|i| match i {
-        Instr::Load { array, offsets, .. } => {
-            stored.get(&array.0).is_none_or(|s| *s == offsets)
-        }
+        Instr::Load { array, offsets, .. } => stored.get(&array.0).is_none_or(|s| *s == offsets),
         _ => true,
     })
 }
@@ -218,11 +216,8 @@ pub fn scalar_replace_body(body: &[Instr], regs: usize) -> (Vec<Instr>, usize) {
         dead.push(false);
         out.push(instr);
     }
-    let out: Vec<Instr> = out
-        .into_iter()
-        .zip(dead)
-        .filter_map(|(i, d)| if d { None } else { Some(i) })
-        .collect();
+    let out: Vec<Instr> =
+        out.into_iter().zip(dead).filter_map(|(i, d)| if d { None } else { Some(i) }).collect();
     let out = eliminate_dead_defs(out);
     renumber(out)
 }
@@ -347,10 +342,7 @@ END
         let before = the_nest(&node);
         assert_eq!(before.stores_per_point(), 7);
         assert_eq!(before.loads_per_point(), 9 + 6, "9 U loads + 6 T reloads");
-        run(
-            &mut node,
-            MemOptOptions { scalar_replacement: true, unroll_factor: 1, permute: true },
-        );
+        run(&mut node, MemOptOptions { scalar_replacement: true, unroll_factor: 1, permute: true });
         let after = the_nest(&node);
         assert_eq!(after.stores_per_point(), 1, "dead stores eliminated");
         assert_eq!(after.loads_per_point(), 9, "T reloads forwarded");
@@ -369,11 +361,7 @@ END
         assert_eq!(u.dim, 0);
         // Jammed body covers 2 points: without reuse it would need 18
         // loads; sharing rows i,i+1 of a 3-row stencil leaves 12.
-        let jammed_loads = nest
-            .body
-            .iter()
-            .filter(|i| matches!(i, Instr::Load { .. }))
-            .count();
+        let jammed_loads = nest.body.iter().filter(|i| matches!(i, Instr::Load { .. })).count();
         assert_eq!(jammed_loads, 12, "6 loads shared between the two copies");
         // The unit body (remainder loop) is the scalar-replaced one.
         assert_eq!(u.unit_body.iter().filter(|i| matches!(i, Instr::Load { .. })).count(), 9);
@@ -405,9 +393,7 @@ END
         ];
         let (out, _) = scalar_replace_body(&body, 3);
         // The load is forwarded from the store.
-        assert!(!out.iter().any(
-            |i| matches!(i, Instr::Load { array: ArrayId(0), .. })
-        ));
+        assert!(!out.iter().any(|i| matches!(i, Instr::Load { array: ArrayId(0), .. })));
         // Both stores remain (different arrays).
         assert_eq!(out.iter().filter(|i| matches!(i, Instr::Store { .. })).count(), 2);
     }

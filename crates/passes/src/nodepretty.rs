@@ -114,7 +114,8 @@ fn nest_into(symbols: &SymbolTable, nest: &LoopNest, level: usize, out: &mut Str
     body_into(symbols, &nest.body, body_level, out);
     if let Some(u) = &nest.unroll {
         indent(body_level, out);
-        writeln!(out, "! remainder iterations ({}-unrolled dim {}):", u.factor, ivar(u.dim)).unwrap();
+        writeln!(out, "! remainder iterations ({}-unrolled dim {}):", u.factor, ivar(u.dim))
+            .unwrap();
         body_into(symbols, &u.unit_body, body_level, out);
     }
     for depth in (0..nest.order.len()).rev() {

@@ -117,7 +117,13 @@ impl Normalizer {
                 let mut stmt_temps = Vec::new();
                 let base = self.shift_operand(arg, out, &mut stmt_temps);
                 if base != lhs {
-                    out.push(Stmt::ShiftAssign { dst: lhs, src: base, shift: *shift, dim: *dim, kind: *kind });
+                    out.push(Stmt::ShiftAssign {
+                        dst: lhs,
+                        src: base,
+                        shift: *shift,
+                        dim: *dim,
+                        kind: *kind,
+                    });
                     self.stats.shifts += 1;
                     self.release(&mut stmt_temps);
                     return;
@@ -181,9 +187,8 @@ impl Normalizer {
             CExpr::Sec { array, section } => {
                 // Per-dimension offset of the operand section relative to the
                 // iteration space (Figure 4's translation).
-                let deltas: Vec<i64> = (0..space.rank())
-                    .map(|d| section.dim(d).0 - space.dim(d).0)
-                    .collect();
+                let deltas: Vec<i64> =
+                    (0..space.rank()).map(|d| section.dim(d).0 - space.dim(d).0).collect();
                 let mut base = *array;
                 for (d, &delta) in deltas.iter().enumerate() {
                     if delta != 0 {
@@ -215,10 +220,7 @@ impl Normalizer {
         match arg {
             CExpr::Sec { array, section } => {
                 let full = Section::full(&self.symbols.array(*array).shape);
-                assert_eq!(
-                    *section, full,
-                    "sema guarantees whole-array shift operands"
-                );
+                assert_eq!(*section, full, "sema guarantees whole-array shift operands");
                 *array
             }
             CExpr::Shift { arg: inner, shift, dim, kind } => {
@@ -239,9 +241,8 @@ impl Normalizer {
                 // General expression under a shift: compute it into a temp
                 // over the full space first.
                 let arrays = referenced_arrays(other);
-                let like = *arrays
-                    .first()
-                    .expect("sema guarantees shifts of array-valued expressions");
+                let like =
+                    *arrays.first().expect("sema guarantees shifts of array-valued expressions");
                 let full = Section::full(&self.symbols.array(like).shape);
                 let t = self.temp(like);
                 let mut inner_live = Vec::new();
@@ -413,10 +414,8 @@ END
 
     #[test]
     fn zero_shift_is_elided() {
-        let (p, stats) = norm(
-            "REAL A(4,4), B(4,4)\nA = CSHIFT(B, SHIFT=0, DIM=1)\n",
-            TempPolicy::Reuse,
-        );
+        let (p, stats) =
+            norm("REAL A(4,4), B(4,4)\nA = CSHIFT(B, SHIFT=0, DIM=1)\n", TempPolicy::Reuse);
         assert_eq!(stats.shifts, 0);
         assert_eq!(p.body.len(), 1);
     }

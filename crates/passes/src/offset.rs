@@ -29,9 +29,7 @@
 //! criterion-violation repair.
 
 use hpf_ir::defuse::{reached_uses, write_between, UseSite};
-use hpf_ir::{
-    ArrayId, Offsets, OperandRef, Program, Section, ShiftKind, Stmt, SymbolTable,
-};
+use hpf_ir::{ArrayId, Offsets, OperandRef, Program, Section, ShiftKind, Stmt, SymbolTable};
 use std::collections::HashMap;
 
 /// Statistics reported by the pass.
@@ -62,7 +60,16 @@ pub fn run(program: &mut Program, halo: i64) -> OffsetStats {
     // rewritten use reading the other's values, so claims are exclusive
     // program-wide (conservative but safe).
     let mut claims: HashMap<(ArrayId, usize, i8), ShiftKind> = HashMap::new();
-    process_blocks(&mut program.body, &program.symbols.clone(), false, halo, &block_reads, &mut block_no, &mut claims, &mut stats);
+    process_blocks(
+        &mut program.body,
+        &program.symbols.clone(),
+        false,
+        halo,
+        &block_reads,
+        &mut block_no,
+        &mut claims,
+        &mut stats,
+    );
     let live_after = program.live_arrays().len();
     stats.arrays_freed = live_before.saturating_sub(live_after);
     stats
@@ -116,15 +123,8 @@ fn process_blocks(
     }
 }
 
-fn read_outside_block(
-    array: ArrayId,
-    block_reads: &[Vec<ArrayId>],
-    my_block: usize,
-) -> bool {
-    block_reads
-        .iter()
-        .enumerate()
-        .any(|(i, reads)| i != my_block && reads.contains(&array))
+fn read_outside_block(array: ArrayId, block_reads: &[Vec<ArrayId>], my_block: usize) -> bool {
+    block_reads.iter().enumerate().any(|(i, reads)| i != my_block && reads.contains(&array))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -203,10 +203,7 @@ fn run_block(
                     if alias.contains_key(&src) {
                         block.insert(
                             i,
-                            Stmt::Copy {
-                                dst: src,
-                                src: OperandRef::offset(base, off0),
-                            },
+                            Stmt::Copy { dst: src, src: OperandRef::offset(base, off0) },
                         );
                         alias.remove(&src);
                         stats.copies_inserted += 1;
@@ -274,8 +271,7 @@ fn uses_are_safe(
 }
 
 fn writes_interior_of(stmt: &Stmt, array: ArrayId) -> bool {
-    stmt.writes()
-        .contains(&hpf_ir::stmt::Resource::Interior(array))
+    stmt.writes().contains(&hpf_ir::stmt::Resource::Interior(array))
 }
 
 /// A use is rewritable when every reference to `dst` carries a zero offset
@@ -291,10 +287,9 @@ fn rewritable(stmt: &Stmt, dst: ArrayId) -> bool {
                 }
             });
         }
-        Stmt::Copy { src, .. }
-            if src.array == dst && !src.offsets.is_zero() => {
-                ok = false;
-            }
+        Stmt::Copy { src, .. } if src.array == dst && !src.offsets.is_zero() => {
+            ok = false;
+        }
         _ => {}
     }
     ok
@@ -311,11 +306,10 @@ fn rewrite_use(stmt: &mut Stmt, dst: ArrayId, base: ArrayId, off: &Offsets) {
                 }
             });
         }
-        Stmt::Copy { src, .. }
-            if src.array == dst => {
-                src.array = base;
-                src.offsets = off.clone();
-            }
+        Stmt::Copy { src, .. } if src.array == dst => {
+            src.array = base;
+            src.offsets = off.clone();
+        }
         // Shift uses resolve through the alias map instead.
         _ => {}
     }
@@ -361,14 +355,8 @@ END
         assert_eq!(stats.copies_inserted, 0);
         let printed = pretty::program(&p);
         // The multi-offset shifts carry the source annotation (Figure 13).
-        assert!(
-            printed.contains("CALL OVERLAP_CSHIFT(U<+1,0>,SHIFT=-1,DIM=2)"),
-            "{printed}"
-        );
-        assert!(
-            printed.contains("CALL OVERLAP_CSHIFT(U<-1,0>,SHIFT=+1,DIM=2)"),
-            "{printed}"
-        );
+        assert!(printed.contains("CALL OVERLAP_CSHIFT(U<+1,0>,SHIFT=-1,DIM=2)"), "{printed}");
+        assert!(printed.contains("CALL OVERLAP_CSHIFT(U<-1,0>,SHIFT=+1,DIM=2)"), "{printed}");
         // Corner references appear as composed offsets.
         assert!(printed.contains("U<+1,-1>"), "{printed}");
         assert!(printed.contains("U<-1,+1>"), "{printed}");
@@ -406,28 +394,22 @@ DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,2:N-1) + C2 * SRC(2:N-1,1:N-2) &
 
     #[test]
     fn shift_wider_than_overlap_is_kept() {
-        let (p, stats) = run_src(
-            "PARAM N = 8\nREAL A(N,N), B(N,N)\nA = CSHIFT(B, SHIFT=2, DIM=1)\n",
-            1,
-        );
+        let (p, stats) =
+            run_src("PARAM N = 8\nREAL A(N,N), B(N,N)\nA = CSHIFT(B, SHIFT=2, DIM=1)\n", 1);
         assert_eq!(stats.converted, 0);
         assert_eq!(stats.kept, 1);
         assert_eq!(p.count_stmts(|s| matches!(s, Stmt::ShiftAssign { .. })), 1);
         // With a wider overlap area it transforms.
-        let (_, stats2) = run_src(
-            "PARAM N = 8\nREAL A(N,N), B(N,N)\nA = CSHIFT(B, SHIFT=2, DIM=1)\n",
-            2,
-        );
+        let (_, stats2) =
+            run_src("PARAM N = 8\nREAL A(N,N), B(N,N)\nA = CSHIFT(B, SHIFT=2, DIM=1)\n", 2);
         assert_eq!(stats2.converted, 1);
     }
 
     #[test]
     fn composed_offsets_must_fit_overlap() {
         // Two chained unit shifts along the same dimension compose to 2.
-        let (_, stats) = run_src(
-            "PARAM N = 8\nREAL A(N,N), B(N,N)\nA = CSHIFT(CSHIFT(B,1,1), 1, 1)\n",
-            1,
-        );
+        let (_, stats) =
+            run_src("PARAM N = 8\nREAL A(N,N), B(N,N)\nA = CSHIFT(CSHIFT(B,1,1), 1, 1)\n", 1);
         // The inner shift converts; the outer would need offset 2 > halo and
         // is kept, forcing a repair copy of the inner offset array.
         assert_eq!(stats.converted, 1);
@@ -457,20 +439,15 @@ A = T + B
     fn in_place_style_shift_blocks() {
         // A = CSHIFT(A,…) normalizes to TMP = CSHIFT(A); A = TMP. The use
         // assigns the base, so sharing storage is unsafe.
-        let (p, stats) = run_src(
-            "PARAM N = 8\nREAL A(N,N)\nA = CSHIFT(A, SHIFT=1, DIM=1)\n",
-            1,
-        );
+        let (p, stats) = run_src("PARAM N = 8\nREAL A(N,N)\nA = CSHIFT(A, SHIFT=1, DIM=1)\n", 1);
         assert_eq!(stats.converted, 0, "{}", pretty::program(&p));
         assert_eq!(stats.kept, 1);
     }
 
     #[test]
     fn dead_shift_still_converts() {
-        let (p, stats) = run_src(
-            "PARAM N = 8\nREAL A(N,N), B(N,N)\nA = CSHIFT(B, SHIFT=1, DIM=1)\n",
-            1,
-        );
+        let (p, stats) =
+            run_src("PARAM N = 8\nREAL A(N,N), B(N,N)\nA = CSHIFT(B, SHIFT=1, DIM=1)\n", 1);
         // A's def has no uses in the program; conversion is safe and the
         // overlap shift remains as the only trace.
         assert_eq!(stats.converted, 1);

@@ -127,10 +127,7 @@ pub fn partition_block(symbols: &SymbolTable, block: &[Stmt]) -> (Vec<Stmt>, usi
         for g in earliest..groups.len() {
             if groups[g].0 == classes[s]
                 && !matches!(classes[s], StmtClass::Single)
-                && groups[g]
-                    .1
-                    .iter()
-                    .all(|&m| !fusion_preventing(&block[m], &block[s]))
+                && groups[g].1.iter().all(|&m| !fusion_preventing(&block[m], &block[s]))
             {
                 groups[g].1.push(s);
                 group_of[s] = g;
@@ -210,10 +207,8 @@ END
 
     #[test]
     fn fusion_preventing_detects_offset_read_after_write() {
-        let checked = compile_source(
-            "PARAM N = 8\nREAL A(N,N), B(N,N), C(N,N)\nA = B\nC = A\n",
-        )
-        .unwrap();
+        let checked =
+            compile_source("PARAM N = 8\nREAL A(N,N), B(N,N), C(N,N)\nA = B\nC = A\n").unwrap();
         let (p, _) = normalize(&checked, TempPolicy::Reuse);
         // Zero-offset chain: fusable.
         assert!(!fusion_preventing(&p.body[0], &p.body[1]));
@@ -255,10 +250,9 @@ END
 
     #[test]
     fn congruent_independent_statements_group() {
-        let checked = compile_source(
-            "PARAM N = 8\nREAL A(N,N), B(N,N), C(N,N), D(N,N)\nA = C\nB = D\n",
-        )
-        .unwrap();
+        let checked =
+            compile_source("PARAM N = 8\nREAL A(N,N), B(N,N), C(N,N), D(N,N)\nA = C\nB = D\n")
+                .unwrap();
         let (mut p, _) = normalize(&checked, TempPolicy::Reuse);
         let stats = run(&mut p);
         assert_eq!(stats.groups, 1);
@@ -303,11 +297,7 @@ B = B + C
             .body
             .iter()
             .map(|s| {
-                let i = original
-                    .iter()
-                    .enumerate()
-                    .position(|(i, o)| !used[i] && o == s)
-                    .unwrap();
+                let i = original.iter().enumerate().position(|(i, o)| !used[i] && o == s).unwrap();
                 used[i] = true;
                 i
             })

@@ -33,13 +33,7 @@ pub enum Stage {
 impl Stage {
     /// All stages in pipeline order.
     pub fn all() -> [Stage; 5] {
-        [
-            Stage::Original,
-            Stage::OffsetArrays,
-            Stage::Partition,
-            Stage::Unioning,
-            Stage::MemOpt,
-        ]
+        [Stage::Original, Stage::OffsetArrays, Stage::Partition, Stage::Unioning, Stage::MemOpt]
     }
 
     /// Display label used by the experiment harness.

@@ -45,11 +45,8 @@ pub struct ScalarizeStats {
 pub fn run(program: &Program, opts: ScalarizeOptions) -> (NodeProgram, ScalarizeStats) {
     let mut stats = ScalarizeStats::default();
     let items = lower_block(&program.symbols, &program.body, opts, &mut stats);
-    let node = NodeProgram {
-        symbols: program.symbols.clone(),
-        live_arrays: program.live_arrays(),
-        items,
-    };
+    let node =
+        NodeProgram { symbols: program.symbols.clone(), live_arrays: program.live_arrays(), items };
     (node, stats)
 }
 
@@ -87,7 +84,11 @@ fn lower_block(
                                 r.extend(e, o);
                             }
                         }
-                        if r.is_trivial() { None } else { Some(r) }
+                        if r.is_trivial() {
+                            None
+                        } else {
+                            Some(r)
+                        }
                     }
                 };
                 items.push(NodeItem::Comm(CommOp::Overlap {
@@ -145,11 +146,8 @@ fn build_nest(
         _ => unreachable!("runs contain compute/copy statements only"),
     };
     let rank = space.rank();
-    let order: Vec<usize> = if opts.fortran_order {
-        (0..rank).rev().collect()
-    } else {
-        (0..rank).collect()
-    };
+    let order: Vec<usize> =
+        if opts.fortran_order { (0..rank).rev().collect() } else { (0..rank).collect() };
     let mut body = Vec::new();
     let mut next_reg: Reg = 0;
     for &idx in run {
@@ -161,11 +159,7 @@ fn build_nest(
             Stmt::Copy { dst, src } => {
                 let r = next_reg;
                 next_reg += 1;
-                body.push(Instr::Load {
-                    dst: r,
-                    array: src.array,
-                    offsets: src.offsets.0.clone(),
-                });
+                body.push(Instr::Load { dst: r, array: src.array, offsets: src.offsets.0.clone() });
                 body.push(Instr::Store { array: *dst, offsets: vec![0; rank], src: r });
             }
             _ => unreachable!(),
@@ -367,10 +361,8 @@ T = U + CSHIFT(RIP,SHIFT=-1,DIM=2)
 
     #[test]
     fn expression_codegen_shapes() {
-        let checked = compile_source(
-            "REAL A(4,4), B(4,4)\nREAL C = 2.0\nA = -(C * B) + 1.5\n",
-        )
-        .unwrap();
+        let checked =
+            compile_source("REAL A(4,4), B(4,4)\nREAL C = 2.0\nA = -(C * B) + 1.5\n").unwrap();
         let (p, _) = normalize(&checked, TempPolicy::Reuse);
         let (node, _) = run(&p, ScalarizeOptions::default());
         let mut nest = None;

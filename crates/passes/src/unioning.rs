@@ -121,7 +121,11 @@ pub fn emit_minimal_shifts(
                 .iter()
                 .map(|v| {
                     let c = v.dim(d);
-                    if c.signum() == dir { c.abs() } else { 0 }
+                    if c.signum() == dir {
+                        c.abs()
+                    } else {
+                        0
+                    }
                 })
                 .max()
                 .unwrap_or(0);
@@ -182,9 +186,7 @@ fn covered_one(shifts: &[Stmt], req: &Offsets) -> bool {
                         let c = base.dim(e);
                         match rsd {
                             None => c == 0,
-                            Some(r) => {
-                                (-(r.ext[e].0 as i64)..=(r.ext[e].1 as i64)).contains(&c)
-                            }
+                            Some(r) => (-(r.ext[e].0 as i64)..=(r.ext[e].1 as i64)).contains(&c),
                         }
                     }
                 });
@@ -251,14 +253,8 @@ END
         let printed = pretty::program(&p);
         assert!(printed.contains("CALL OVERLAP_CSHIFT(U,SHIFT=+1,DIM=1)"), "{printed}");
         assert!(printed.contains("CALL OVERLAP_CSHIFT(U,SHIFT=-1,DIM=1)"), "{printed}");
-        assert!(
-            printed.contains("CALL OVERLAP_CSHIFT(U,SHIFT=-1,DIM=2,[1-1:n+1,*])"),
-            "{printed}"
-        );
-        assert!(
-            printed.contains("CALL OVERLAP_CSHIFT(U,SHIFT=+1,DIM=2,[1-1:n+1,*])"),
-            "{printed}"
-        );
+        assert!(printed.contains("CALL OVERLAP_CSHIFT(U,SHIFT=-1,DIM=2,[1-1:n+1,*])"), "{printed}");
+        assert!(printed.contains("CALL OVERLAP_CSHIFT(U,SHIFT=+1,DIM=2,[1-1:n+1,*])"), "{printed}");
     }
 
     /// The single-statement 9-point CSHIFT stencil (Figure 2) reaches the
@@ -373,14 +369,11 @@ C = CSHIFT(A,1,1) + CSHIFT(B,1,1)
     #[test]
     fn emitted_shifts_cover_requirements() {
         // All 8 neighbour offsets of a 9-point stencil.
-        let reqs: Vec<Offsets> = [
-            [-1, -1], [-1, 0], [-1, 1],
-            [0, -1], [0, 1],
-            [1, -1], [1, 0], [1, 1],
-        ]
-        .iter()
-        .map(|v| Offsets::new(v.to_vec()))
-        .collect();
+        let reqs: Vec<Offsets> =
+            [[-1, -1], [-1, 0], [-1, 1], [0, -1], [0, 1], [1, -1], [1, 0], [1, 1]]
+                .iter()
+                .map(|v| Offsets::new(v.to_vec()))
+                .collect();
         let shifts = emit_minimal_shifts(ArrayId(0), ShiftKind::Circular, 2, &reqs);
         assert_eq!(shifts.len(), 4);
         assert!(covers(&shifts, &reqs));

@@ -44,22 +44,28 @@ impl CostModel {
     /// from (each pipeline stage visibly reduces total time).
     pub fn sp2() -> Self {
         CostModel {
-            alpha_ns: 300_000.0,     // ~300 µs per message incl. library overhead
-            beta_ns_per_byte: 60.0,  // ~16 MB/s effective strided pack+send
-            copy_ns_per_byte: 10.0,  // ~100 MB/s local copy
+            alpha_ns: 300_000.0,    // ~300 µs per message incl. library overhead
+            beta_ns_per_byte: 60.0, // ~16 MB/s effective strided pack+send
+            copy_ns_per_byte: 10.0, // ~100 MB/s local copy
             load_ns: 20.0,
             strided_load_extra_ns: 60.0,
             store_ns: 20.0,
             flop_ns: 5.0,
             iter_ns: 5.0,
-            alloc_ns: 50_000.0,      // temp allocation + page touch
+            alloc_ns: 50_000.0, // temp allocation + page touch
         }
     }
 
     /// A model where communication is free — isolates computation effects
     /// (used by ablation benches).
     pub fn compute_only() -> Self {
-        CostModel { alpha_ns: 0.0, beta_ns_per_byte: 0.0, copy_ns_per_byte: 0.0, alloc_ns: 0.0, ..Self::sp2() }
+        CostModel {
+            alpha_ns: 0.0,
+            beta_ns_per_byte: 0.0,
+            copy_ns_per_byte: 0.0,
+            alloc_ns: 0.0,
+            ..Self::sp2()
+        }
     }
 
     /// Modeled nanoseconds attributable to one PE's counters.
@@ -77,10 +83,7 @@ impl CostModel {
 
     /// Modeled time of a run: the slowest PE (critical path).
     pub fn modeled_time_ns(&self, agg: &AggStats) -> f64 {
-        agg.per_pe
-            .iter()
-            .map(|s| self.pe_time_ns(s))
-            .fold(0.0, f64::max)
+        agg.per_pe.iter().map(|s| self.pe_time_ns(s)).fold(0.0, f64::max)
     }
 
     /// Modeled time in milliseconds.
@@ -135,14 +138,20 @@ mod tests {
         let m = CostModel::sp2();
         let slow = PeStats { loads: 1_000_000, ..Default::default() };
         let fast = PeStats { loads: 10, ..Default::default() };
-        let agg = AggStats { per_pe: vec![fast, slow, fast], peak_bytes: vec![] };
+        let agg =
+            AggStats { per_pe: vec![fast, slow, fast], peak_bytes: vec![], ..Default::default() };
         assert_eq!(m.modeled_time_ns(&agg), m.pe_time_ns(&slow));
     }
 
     #[test]
     fn compute_only_zeroes_comm() {
         let m = CostModel::compute_only();
-        let s = PeStats { msgs_sent: 100, bytes_sent: 1 << 20, intra_bytes: 1 << 20, ..Default::default() };
+        let s = PeStats {
+            msgs_sent: 100,
+            bytes_sent: 1 << 20,
+            intra_bytes: 1 << 20,
+            ..Default::default()
+        };
         assert_eq!(m.pe_time_ns(&s), 0.0);
     }
 

@@ -53,11 +53,7 @@ impl BlockDim {
     /// Smallest non-empty local extent over all processors — an upper bound
     /// on usable overlap widths and shift distances through overlap areas.
     pub fn min_extent(&self) -> usize {
-        (0..self.p)
-            .map(|k| self.extent(k))
-            .filter(|&e| e > 0)
-            .min()
-            .unwrap_or(0)
+        (0..self.p).map(|k| self.extent(k)).filter(|&e| e > 0).min().unwrap_or(0)
     }
 }
 

@@ -44,17 +44,14 @@ pub enum RtError {
 impl fmt::Display for RtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RtError::MemoryExhausted { pe, needed, budget } => write!(
-                f,
-                "memory exhausted on PE {pe}: needs {needed} bytes, budget {budget}"
-            ),
+            RtError::MemoryExhausted { pe, needed, budget } => {
+                write!(f, "memory exhausted on PE {pe}: needs {needed} bytes, budget {budget}")
+            }
             RtError::NotAllocated(name) => write!(f, "array {name} is not allocated"),
             RtError::AlreadyAllocated(name) => write!(f, "array {name} is already allocated"),
-            RtError::ShiftTooWide { shift, dim, limit } => write!(
-                f,
-                "shift {shift} along dim {} exceeds limit {limit}",
-                dim + 1
-            ),
+            RtError::ShiftTooWide { shift, dim, limit } => {
+                write!(f, "shift {shift} along dim {} exceeds limit {limit}", dim + 1)
+            }
             RtError::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
             RtError::RankMismatch { machine, array } => {
                 write!(f, "machine grid rank {machine} != array rank {array}")
@@ -73,8 +70,6 @@ mod tests {
     fn display_messages() {
         let e = RtError::MemoryExhausted { pe: 2, needed: 1000, budget: 512 };
         assert!(e.to_string().contains("PE 2"));
-        assert!(RtError::ShiftTooWide { shift: 3, dim: 1, limit: 1 }
-            .to_string()
-            .contains("dim 2"));
+        assert!(RtError::ShiftTooWide { shift: 3, dim: 1, limit: 1 }.to_string().contains("dim 2"));
     }
 }

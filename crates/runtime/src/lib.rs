@@ -33,7 +33,7 @@ pub mod subgrid;
 pub use cost::CostModel;
 pub use dist::{BlockDim, PeGrid};
 pub use error::RtError;
-pub use machine::{ArrayMeta, Machine, MachineConfig, PeState};
-pub use schedule::{CommAction, Transfer};
+pub use machine::{ArrayMeta, Machine, MachineConfig, MoveKind, PeState};
+pub use schedule::{CommAction, CompiledComm, CompiledFill, CompiledTransfer, Transfer};
 pub use stats::{AggStats, PeStats};
 pub use subgrid::Subgrid;

@@ -3,7 +3,10 @@
 use crate::cost::CostModel;
 use crate::dist::{BlockDim, PeGrid};
 use crate::error::RtError;
-use crate::schedule::{cshift_plan, overlap_shift_plan, CommAction, Geometry, Transfer};
+use crate::schedule::{
+    cshift_plan, overlap_shift_plan, CommAction, CompiledComm, CompiledFill, CompiledTransfer,
+    Geometry, Transfer,
+};
 use crate::stats::{AggStats, PeStats};
 use crate::subgrid::Subgrid;
 use hpf_ir::{ArrayDecl, ArrayId, DimDist, Offsets, Rsd, Section, Shape, ShiftKind};
@@ -22,24 +25,27 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
-    /// The paper's machine: a 4-processor SP-2 arranged 2×2, overlap width 1.
-    pub fn sp2_2x2() -> Self {
-        MachineConfig {
-            grid: PeGrid::new([2, 2]),
-            halo: 1,
-            mem_budget: None,
-            cost: CostModel::sp2(),
-        }
+    /// Builder entry point: a PE mesh with the defaults every other knob
+    /// starts from (overlap width 1, no memory budget, SP-2 cost model).
+    ///
+    /// ```
+    /// use hpf_runtime::{CostModel, MachineConfig};
+    /// let cfg = MachineConfig::grid([2, 2]).memory_mb(256).cost(CostModel::sp2());
+    /// assert_eq!(cfg.mem_budget, Some(256 << 20));
+    /// ```
+    pub fn grid(grid: impl Into<Vec<usize>>) -> Self {
+        MachineConfig { grid: PeGrid::new(grid), halo: 1, mem_budget: None, cost: CostModel::sp2() }
     }
 
-    /// Arbitrary grid with defaults.
+    /// The paper's machine: a 4-processor SP-2 arranged 2×2, overlap width 1.
+    pub fn sp2_2x2() -> Self {
+        Self::grid([2, 2]).cost(CostModel::sp2())
+    }
+
+    /// Arbitrary grid with defaults (alias of [`MachineConfig::grid`], kept
+    /// for source compatibility).
     pub fn with_grid(grid: impl Into<Vec<usize>>) -> Self {
-        MachineConfig {
-            grid: PeGrid::new(grid),
-            halo: 1,
-            mem_budget: None,
-            cost: CostModel::sp2(),
-        }
+        Self::grid(grid)
     }
 
     /// Set the overlap width.
@@ -51,6 +57,17 @@ impl MachineConfig {
     /// Set the per-PE memory budget.
     pub fn budget(mut self, bytes: usize) -> Self {
         self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Set the per-PE memory budget in megabytes (Figure 11's 256 MB/PE).
+    pub fn memory_mb(self, mb: usize) -> Self {
+        self.budget(mb << 20)
+    }
+
+    /// Set the cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
         self
     }
 }
@@ -118,6 +135,10 @@ pub struct Machine {
     metas: Vec<Option<ArrayMeta>>,
     /// Per-PE state, indexed by linear PE id.
     pub pes: Vec<PeState>,
+    /// Persistent schedules compiled so far (machine-wide).
+    sched_built: u64,
+    /// Executions of already-compiled schedules (machine-wide).
+    sched_reuses: u64,
 }
 
 impl Machine {
@@ -133,7 +154,7 @@ impl Machine {
                 peak_bytes: 0,
             })
             .collect();
-        Machine { cfg, metas: Vec::new(), pes }
+        Machine { cfg, metas: Vec::new(), pes, sched_built: 0, sched_reuses: 0 }
     }
 
     /// Number of PEs.
@@ -204,11 +225,8 @@ impl Machine {
             }
             st.subgrids[idx] = Some(sub);
         }
-        self.metas[idx] = Some(ArrayMeta {
-            name: decl.name.clone(),
-            shape: decl.shape.clone(),
-            geom,
-        });
+        self.metas[idx] =
+            Some(ArrayMeta { name: decl.name.clone(), shape: decl.shape.clone(), geom });
         Ok(())
     }
 
@@ -228,9 +246,7 @@ impl Machine {
 
     /// True when the array is allocated.
     pub fn is_allocated(&self, id: ArrayId) -> bool {
-        self.metas
-            .get(id.0 as usize)
-            .is_some_and(|m| m.is_some())
+        self.metas.get(id.0 as usize).is_some_and(|m| m.is_some())
     }
 
     /// Snapshot of all array metadata (indexed by `ArrayId`), for executors
@@ -241,9 +257,7 @@ impl Machine {
 
     /// Metadata of an allocated array.
     pub fn meta(&self, id: ArrayId) -> &ArrayMeta {
-        self.metas[id.0 as usize]
-            .as_ref()
-            .unwrap_or_else(|| panic!("array {id:?} not allocated"))
+        self.metas[id.0 as usize].as_ref().unwrap_or_else(|| panic!("array {id:?} not allocated"))
     }
 
     /// Fill every element from a function of the global coordinates.
@@ -330,15 +344,23 @@ impl Machine {
         }
     }
 
+    /// Overwrite the ghost cells of every allocated subgrid with `value`,
+    /// leaving owned elements untouched. Test instrumentation for the
+    /// overlap-coverage invariant: poison the halos, run one communication +
+    /// compute step, and any ghost element the schedules failed to fill
+    /// before a loop nest read it shows up as `value` contaminating the
+    /// output.
+    pub fn poison_halos(&mut self, value: f64) {
+        for st in &mut self.pes {
+            for sub in st.subgrids.iter_mut().flatten() {
+                sub.poison_halo(value);
+            }
+        }
+    }
+
     /// Apply a communication plan moving data from `src` into `dst` (which
     /// may be the same array, as in overlap shifts), updating counters.
-    pub fn apply_plan(
-        &mut self,
-        dst: ArrayId,
-        src: ArrayId,
-        plan: &[CommAction],
-        kind: MoveKind,
-    ) {
+    pub fn apply_plan(&mut self, dst: ArrayId, src: ArrayId, plan: &[CommAction], kind: MoveKind) {
         for action in plan {
             match action {
                 CommAction::Transfer(t) => self.apply_transfer(dst, src, t, kind),
@@ -352,9 +374,7 @@ impl Machine {
     fn apply_transfer(&mut self, dst: ArrayId, src: ArrayId, t: &Transfer, kind: MoveKind) {
         let buf = self.pes[t.src_pe].subgrid(src).read_region(&t.src_local);
         let bytes = (buf.len() * std::mem::size_of::<f64>()) as u64;
-        self.pes[t.dst_pe]
-            .subgrid_mut(dst)
-            .write_region(&t.dst_local, &buf);
+        self.pes[t.dst_pe].subgrid_mut(dst).write_region(&t.dst_local, &buf);
         if t.src_pe == t.dst_pe {
             match kind {
                 MoveKind::FullShift => self.pes[t.src_pe].stats.intra_bytes += bytes,
@@ -367,6 +387,119 @@ impl Machine {
             let r = &mut self.pes[t.dst_pe].stats;
             r.msgs_recv += 1;
             r.bytes_recv += bytes;
+        }
+    }
+
+    /// Compile a communication plan against the allocated subgrids into a
+    /// persistent schedule: every region is resolved into flat pack/unpack
+    /// index lists and each transfer gets a pooled message buffer. Executing
+    /// the result via [`Machine::apply_compiled`] performs zero subgrid
+    /// coordinate math and zero allocation per step.
+    pub fn compile_comm(
+        &mut self,
+        dst: ArrayId,
+        src: ArrayId,
+        plan: Vec<CommAction>,
+        kind: MoveKind,
+    ) -> CompiledComm {
+        let mut transfers = Vec::new();
+        let mut fills = Vec::new();
+        for action in &plan {
+            match action {
+                CommAction::Transfer(t) => {
+                    let src_idx = self.pes[t.src_pe].subgrid(src).region_indices(&t.src_local);
+                    let dst_idx = self.pes[t.dst_pe].subgrid(dst).region_indices(&t.dst_local);
+                    debug_assert_eq!(src_idx.len(), dst_idx.len());
+                    let buf = vec![0.0; src_idx.len()];
+                    transfers.push(CompiledTransfer {
+                        src_pe: t.src_pe,
+                        dst_pe: t.dst_pe,
+                        src_idx,
+                        dst_idx,
+                        buf,
+                    });
+                }
+                CommAction::Fill { pe, local, value } => fills.push(CompiledFill {
+                    pe: *pe,
+                    idx: self.pes[*pe].subgrid(dst).region_indices(local),
+                    value: *value,
+                }),
+            }
+        }
+        self.sched_built += 1;
+        CompiledComm { dst, src, kind, transfers, fills, actions: plan }
+    }
+
+    /// Execute a persistent schedule: pack each transfer through its
+    /// precomputed indices into its pooled buffer, deliver, unpack, apply
+    /// fills. Counter accounting is identical to [`Machine::apply_plan`], so
+    /// a compiled schedule and its uncompiled plan are indistinguishable in
+    /// `AggStats` apart from `schedule_reuses`.
+    pub fn apply_compiled(&mut self, sched: &mut CompiledComm) {
+        for t in &mut sched.transfers {
+            // Pack (sender side).
+            {
+                let raw = self.pes[t.src_pe].subgrid(sched.src).raw();
+                for (slot, &i) in t.buf.iter_mut().zip(&t.src_idx) {
+                    *slot = raw[i];
+                }
+            }
+            // Unpack (receiver side).
+            {
+                let raw = self.pes[t.dst_pe].subgrid_mut(sched.dst).raw_mut();
+                for (&i, &v) in t.dst_idx.iter().zip(&t.buf) {
+                    raw[i] = v;
+                }
+            }
+            let bytes = (t.buf.len() * std::mem::size_of::<f64>()) as u64;
+            if t.src_pe == t.dst_pe {
+                match sched.kind {
+                    MoveKind::FullShift => self.pes[t.src_pe].stats.intra_bytes += bytes,
+                    MoveKind::Overlap => self.pes[t.src_pe].stats.wrap_bytes += bytes,
+                }
+            } else {
+                let s = &mut self.pes[t.src_pe].stats;
+                s.msgs_sent += 1;
+                s.bytes_sent += bytes;
+                let r = &mut self.pes[t.dst_pe].stats;
+                r.msgs_recv += 1;
+                r.bytes_recv += bytes;
+            }
+        }
+        for f in &sched.fills {
+            let raw = self.pes[f.pe].subgrid_mut(sched.dst).raw_mut();
+            for &i in &f.idx {
+                raw[i] = f.value;
+            }
+        }
+        self.sched_reuses += 1;
+    }
+
+    /// Record schedule executions performed outside [`Machine::apply_compiled`]
+    /// (the SPMD engine delivers messages on worker threads but reuses the
+    /// same precompiled plans; its driver credits the reuses here so both
+    /// engines report identical counters).
+    pub fn note_schedule_reuses(&mut self, n: u64) {
+        self.sched_reuses += n;
+    }
+
+    /// Swap the storage of two identically-distributed arrays on every PE —
+    /// the zero-copy double-buffer flip of Jacobi-style time steps. Panics if
+    /// either array is unallocated or their geometries differ.
+    pub fn swap_subgrids(&mut self, a: ArrayId, b: ArrayId) {
+        if a == b {
+            return;
+        }
+        assert_eq!(
+            self.meta(a).geom,
+            self.meta(b).geom,
+            "swap_subgrids: {} and {} have different distributions",
+            self.meta(a).name,
+            self.meta(b).name
+        );
+        let (ia, ib) = (a.0 as usize, b.0 as usize);
+        for st in &mut self.pes {
+            st.subgrids.swap(ia, ib);
         }
     }
 
@@ -420,11 +553,7 @@ impl Machine {
             let mut cur: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
             let mut n = 0u64;
             loop {
-                let from: Vec<i64> = cur
-                    .iter()
-                    .zip(&offsets.0)
-                    .map(|(&l, &o)| l + o)
-                    .collect();
+                let from: Vec<i64> = cur.iter().zip(&offsets.0).map(|(&l, &o)| l + o).collect();
                 sub_dst.set(&cur, sub_src.get(&from));
                 n += 1;
                 let mut done = true;
@@ -451,15 +580,19 @@ impl Machine {
         AggStats {
             per_pe: self.pes.iter().map(|p| p.stats).collect(),
             peak_bytes: self.pes.iter().map(|p| p.peak_bytes).collect(),
+            schedules_built: self.sched_built,
+            schedule_reuses: self.sched_reuses,
         }
     }
 
-    /// Reset all counters (memory peaks included).
+    /// Reset all counters (memory peaks and schedule counters included).
     pub fn reset_stats(&mut self) {
         for p in &mut self.pes {
             p.stats = PeStats::default();
             p.peak_bytes = p.cur_bytes;
         }
+        self.sched_built = 0;
+        self.sched_reuses = 0;
     }
 
     /// Modeled execution time of the counters so far, in milliseconds.
@@ -575,11 +708,7 @@ mod tests {
             for p in Section::new([(1, 8), (1, 8)]).points() {
                 let mut q = p.clone();
                 q[d] = (q[d] - 1 + s).rem_euclid(8) + 1;
-                assert_eq!(
-                    m.get(T, &p),
-                    m.get(U, &q),
-                    "cshift s={s} d={d} at {p:?}"
-                );
+                assert_eq!(m.get(T, &p), m.get(U, &q), "cshift s={s} d={d} at {p:?}");
             }
         }
     }
@@ -593,11 +722,7 @@ mod tests {
         m.cshift(T, U, 3, 1, ShiftKind::EndOff(-7.0)).unwrap();
         for p in Section::new([(1, 8), (1, 8)]).points() {
             let j = p[1] + 3;
-            let want = if (1..=8).contains(&j) {
-                m.get(U, &[p[0], j])
-            } else {
-                -7.0
-            };
+            let want = if (1..=8).contains(&j) { m.get(U, &[p[0], j]) } else { -7.0 };
             assert_eq!(m.get(T, &p), want, "at {p:?}");
         }
     }
@@ -698,6 +823,119 @@ mod tests {
         m.alloc(U, &decl("U", 8)).unwrap();
         let err = m.overlap_shift(U, 2, 0, None, ShiftKind::Circular).unwrap_err();
         assert!(matches!(err, RtError::ShiftTooWide { .. }));
+    }
+
+    #[test]
+    fn compiled_schedule_matches_apply_plan() {
+        use crate::schedule::cshift_plan;
+        // Uncompiled path.
+        let mut m1 = machine();
+        m1.alloc(U, &decl("U", 8)).unwrap();
+        m1.alloc(T, &decl("T", 8)).unwrap();
+        m1.fill(U, |p| (p[0] * 100 + p[1]) as f64);
+        m1.reset_stats();
+        m1.cshift(T, U, 1, 0, ShiftKind::Circular).unwrap();
+        // Compiled path.
+        let mut m2 = machine();
+        m2.alloc(U, &decl("U", 8)).unwrap();
+        m2.alloc(T, &decl("T", 8)).unwrap();
+        m2.fill(U, |p| (p[0] * 100 + p[1]) as f64);
+        m2.reset_stats();
+        let plan = cshift_plan(&m2.meta(U).geom.clone(), 1, 0, ShiftKind::Circular);
+        let mut sched = m2.compile_comm(T, U, plan, MoveKind::FullShift);
+        m2.apply_compiled(&mut sched);
+        assert_eq!(m1.gather(T), m2.gather(T));
+        // Identical per-PE counters; only the schedule counters differ.
+        assert_eq!(m1.stats().per_pe, m2.stats().per_pe);
+        assert_eq!(m2.stats().schedules_built, 1);
+        assert_eq!(m2.stats().schedule_reuses, 1);
+        assert_eq!(m1.stats().schedules_built, 0);
+    }
+
+    #[test]
+    fn compiled_overlap_with_fills_matches() {
+        use crate::schedule::overlap_shift_plan;
+        let mut m1 = machine();
+        m1.alloc(U, &decl("U", 8)).unwrap();
+        m1.fill(U, |p| (p[0] + p[1]) as f64);
+        m1.overlap_shift(U, -1, 1, None, ShiftKind::EndOff(42.0)).unwrap();
+        let mut m2 = machine();
+        m2.alloc(U, &decl("U", 8)).unwrap();
+        m2.fill(U, |p| (p[0] + p[1]) as f64);
+        let plan = overlap_shift_plan(
+            &m2.meta(U).geom.clone(),
+            -1,
+            1,
+            None,
+            ShiftKind::EndOff(42.0),
+            m2.cfg.halo,
+        )
+        .unwrap();
+        let mut sched = m2.compile_comm(U, U, plan, MoveKind::Overlap);
+        m2.apply_compiled(&mut sched);
+        // Compare full subgrid storage (halo included) on every PE.
+        for pe in 0..4 {
+            assert_eq!(m1.pes[pe].subgrid(U).raw(), m2.pes[pe].subgrid(U).raw());
+        }
+        assert_eq!(m1.stats().per_pe, m2.stats().per_pe);
+    }
+
+    #[test]
+    fn compiled_schedule_reuse_counts_and_pools() {
+        use crate::schedule::cshift_plan;
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.alloc(T, &decl("T", 8)).unwrap();
+        m.fill(U, |p| (p[0] * 10 + p[1]) as f64);
+        m.reset_stats();
+        let plan = cshift_plan(&m.meta(U).geom.clone(), 1, 0, ShiftKind::Circular);
+        let mut sched = m.compile_comm(T, U, plan, MoveKind::FullShift);
+        let pooled = sched.pooled_bytes();
+        assert!(pooled > 0);
+        for _ in 0..10 {
+            m.apply_compiled(&mut sched);
+        }
+        // Built once, reused ten times; buffers never grew.
+        assert_eq!(m.stats().schedules_built, 1);
+        assert_eq!(m.stats().schedule_reuses, 10);
+        assert_eq!(sched.pooled_bytes(), pooled);
+        // Ten executions counted like ten uncompiled shifts.
+        assert_eq!(m.stats().total_messages(), 10 * 4);
+    }
+
+    #[test]
+    fn swap_subgrids_flips_storage() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.alloc(T, &decl("T", 8)).unwrap();
+        m.fill(U, |_| 1.0);
+        m.fill(T, |_| 2.0);
+        m.swap_subgrids(U, T);
+        assert_eq!(m.get(U, &[1, 1]), 2.0);
+        assert_eq!(m.get(T, &[1, 1]), 1.0);
+        m.swap_subgrids(U, U); // no-op
+        assert_eq!(m.get(U, &[1, 1]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different distributions")]
+    fn swap_subgrids_rejects_mismatched_geometry() {
+        let mut m = machine();
+        m.alloc(U, &decl("U", 8)).unwrap();
+        m.alloc(T, &decl("T", 12)).unwrap();
+        m.swap_subgrids(U, T);
+    }
+
+    #[test]
+    fn memory_mb_and_cost_builder() {
+        let cfg = MachineConfig::grid([4, 1]).memory_mb(1).cost(CostModel::compute_only());
+        assert_eq!(cfg.mem_budget, Some(1 << 20));
+        assert_eq!(cfg.grid.num_pes(), 4);
+        // sp2_2x2 is the builder with the paper's knobs.
+        let sp2 = MachineConfig::sp2_2x2();
+        assert_eq!(sp2.grid.dims, vec![2, 2]);
+        assert_eq!(sp2.halo, 1);
+        assert_eq!(sp2.mem_budget, None);
     }
 
     #[test]

@@ -7,10 +7,17 @@
 //! every thread of the SPMD executor compute identical schedules, which is
 //! what makes threaded runs deterministic and bitwise equal to sequential
 //! runs.
+//!
+//! For time-stepped kernels the plan can further be *compiled* against the
+//! allocated subgrids into a [`CompiledComm`]: flat pack/unpack element-index
+//! lists plus a pooled message buffer per transfer. Executing a compiled
+//! schedule is then "pack via precomputed indices → deliver → unpack" with
+//! zero per-step subgrid math and zero per-step allocation — the persistent
+//! halo-exchange pattern of GCL-style stencil libraries and persistent MPI.
 
 use crate::dist::{BlockDim, PeGrid};
 use crate::error::RtError;
-use hpf_ir::{Rsd, ShiftKind};
+use hpf_ir::{ArrayId, Rsd, ShiftKind};
 
 /// A rectangular region copy between two PEs (or within one PE when
 /// `src_pe == dst_pe`). Ranges are local 1-based per-dimension bounds and
@@ -53,6 +60,70 @@ pub enum CommAction {
         /// Fill value.
         value: f64,
     },
+}
+
+/// One [`Transfer`] compiled against allocated subgrids: the region bounds
+/// are resolved into flat storage indices (sender side and receiver side, in
+/// matching row-major order) and the message buffer is allocated once and
+/// pooled across executions.
+#[derive(Clone, Debug)]
+pub struct CompiledTransfer {
+    /// Sending PE.
+    pub src_pe: usize,
+    /// Receiving PE.
+    pub dst_pe: usize,
+    /// Flat indices into the sender's raw subgrid storage (pack order).
+    pub src_idx: Vec<usize>,
+    /// Flat indices into the receiver's raw subgrid storage (unpack order).
+    pub dst_idx: Vec<usize>,
+    /// Pooled message buffer, `src_idx.len()` elements, reused every step.
+    pub buf: Vec<f64>,
+}
+
+/// A boundary-value fill compiled to flat storage indices.
+#[derive(Clone, Debug)]
+pub struct CompiledFill {
+    /// PE whose subgrid is filled.
+    pub pe: usize,
+    /// Flat indices into that PE's raw subgrid storage.
+    pub idx: Vec<usize>,
+    /// Fill value.
+    pub value: f64,
+}
+
+/// A communication operation compiled once and executed many times: the
+/// persistent-schedule analogue of `MPI_Send_init`/`MPI_Recv_init`. Built by
+/// [`crate::Machine::compile_comm`]; executed by
+/// [`crate::Machine::apply_compiled`]. The original [`CommAction`] list is
+/// retained for engines (the SPMD executor) that deliver messages themselves
+/// but still want to skip per-step plan recomputation.
+#[derive(Clone, Debug)]
+pub struct CompiledComm {
+    /// Destination array.
+    pub dst: ArrayId,
+    /// Source array (equal to `dst` for overlap shifts).
+    pub src: ArrayId,
+    /// Accounting class of self-transfers.
+    pub kind: crate::machine::MoveKind,
+    /// Transfers with precomputed pack/unpack indices and pooled buffers.
+    pub transfers: Vec<CompiledTransfer>,
+    /// Constant fills with precomputed indices.
+    pub fills: Vec<CompiledFill>,
+    /// The uncompiled plan this was built from.
+    pub actions: Vec<CommAction>,
+}
+
+impl CompiledComm {
+    /// Total elements moved per execution.
+    pub fn elements(&self) -> usize {
+        self.transfers.iter().map(|t| t.src_idx.len()).sum()
+    }
+
+    /// Bytes held by the pooled buffers (the allocation executing the
+    /// schedule avoids re-making every step).
+    pub fn pooled_bytes(&self) -> usize {
+        self.transfers.iter().map(|t| t.buf.len() * std::mem::size_of::<f64>()).sum()
+    }
 }
 
 /// Geometry of one distributed array on a machine: a [`BlockDim`] per
@@ -122,11 +193,8 @@ pub fn overlap_shift_plan(
         let c = geom.grid.coords(pe);
         let ext = geom.extents(pe);
         // Ghost region being filled, in receiver-local coordinates.
-        let ghost_d: (i64, i64) = if s > 0 {
-            (ext[dim] as i64 + 1, ext[dim] as i64 + s)
-        } else {
-            (1 - mag as i64, 0)
-        };
+        let ghost_d: (i64, i64) =
+            if s > 0 { (ext[dim] as i64 + 1, ext[dim] as i64 + s) } else { (1 - mag as i64, 0) };
         // Section in the other dimensions, optionally RSD-extended.
         let mut region: Vec<(i64, i64)> = Vec::with_capacity(rank);
         for e in 0..rank {
@@ -144,9 +212,7 @@ pub fn overlap_shift_plan(
         // Which PE supplies the data? The circular neighbour along `dim`
         // among non-empty PEs. Because BLOCK owners are contiguous from
         // coordinate 0, the non-empty PEs along the axis are 0..occ.
-        let occ = (0..geom.grid.dims[dim])
-            .filter(|&k| geom.dims[dim].extent(k) > 0)
-            .count();
+        let occ = (0..geom.grid.dims[dim]).filter(|&k| geom.dims[dim].extent(k) > 0).count();
         let at_high_edge = c[dim] + 1 == occ;
         let at_low_edge = c[dim] == 0;
         let boundary_side = (s > 0 && at_high_edge) || (s < 0 && at_low_edge);
@@ -158,7 +224,11 @@ pub fn overlap_shift_plan(
         }
         // Circular source coordinate along the axis.
         let src_k = if s > 0 {
-            if at_high_edge { 0 } else { c[dim] + 1 }
+            if at_high_edge {
+                0
+            } else {
+                c[dim] + 1
+            }
         } else if at_low_edge {
             occ - 1
         } else {
@@ -280,10 +350,7 @@ mod tests {
     use super::*;
 
     fn geom_2x2_8x8() -> Geometry {
-        Geometry::new(
-            vec![BlockDim::new(8, 2), BlockDim::new(8, 2)],
-            PeGrid::new([2, 2]),
-        )
+        Geometry::new(vec![BlockDim::new(8, 2), BlockDim::new(8, 2)], PeGrid::new([2, 2]))
     }
 
     #[test]
@@ -377,10 +444,7 @@ mod tests {
 
     #[test]
     fn overlap_shift_single_pe_axis_is_local_wrap() {
-        let g = Geometry::new(
-            vec![BlockDim::new(8, 1), BlockDim::new(8, 4)],
-            PeGrid::new([1, 4]),
-        );
+        let g = Geometry::new(vec![BlockDim::new(8, 1), BlockDim::new(8, 4)], PeGrid::new([1, 4]));
         let plan = overlap_shift_plan(&g, 1, 0, None, ShiftKind::Circular, 1).unwrap();
         for a in plan {
             match a {

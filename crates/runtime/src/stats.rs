@@ -57,6 +57,13 @@ pub struct AggStats {
     pub per_pe: Vec<PeStats>,
     /// Peak memory use per PE in bytes.
     pub peak_bytes: Vec<usize>,
+    /// Persistent communication schedules compiled (index lists + buffers
+    /// precomputed). Machine-wide, incremented once per comm op at plan time.
+    pub schedules_built: u64,
+    /// Executions of an already-compiled schedule — each one is a shift that
+    /// paid zero subgrid math and zero buffer allocation. After `n` steps of
+    /// a plan with `c` comm ops, this reads `n * c`.
+    pub schedule_reuses: u64,
 }
 
 impl AggStats {
@@ -113,6 +120,7 @@ mod tests {
                 PeStats { msgs_sent: 1, bytes_sent: 20, intra_bytes: 6, ..Default::default() },
             ],
             peak_bytes: vec![100, 300],
+            ..Default::default()
         };
         assert_eq!(agg.total_messages(), 3);
         assert_eq!(agg.total_comm_bytes(), 30);

@@ -100,11 +100,7 @@ impl Subgrid {
 
     /// Translate a global coordinate to local (no bounds check on result).
     pub fn to_local(&self, global: &[i64]) -> Vec<i64> {
-        global
-            .iter()
-            .zip(&self.owned.0)
-            .map(|(&g, &(lo, _))| g - lo + 1)
-            .collect()
+        global.iter().zip(&self.owned.0).map(|(&g, &(lo, _))| g - lo + 1).collect()
     }
 
     /// Read a global coordinate owned by (or in the halo of) this PE.
@@ -152,6 +148,39 @@ impl Subgrid {
         }
     }
 
+    /// Flat storage indices of a rectangular local region, in the same
+    /// row-major order as [`Subgrid::read_region`] / [`Subgrid::write_region`].
+    /// This is what persistent communication schedules precompute so that
+    /// executing a shift needs no per-step subgrid coordinate math.
+    pub fn region_indices(&self, ranges: &[(i64, i64)]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(region_len(ranges));
+        if ranges.iter().any(|&(lo, hi)| hi < lo) {
+            return out;
+        }
+        let mut cur: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
+        loop {
+            out.push(self.index(&cur));
+            if !advance(&mut cur, ranges) {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Overwrite every ghost cell with `value`, leaving owned elements
+    /// untouched. Test instrumentation: poisoning the overlap areas before a
+    /// communication step makes any ghost read the schedules failed to fill
+    /// visible in the output.
+    pub fn poison_halo(&mut self, value: f64) {
+        if self.halo == 0 || self.is_empty() {
+            return;
+        }
+        let owned: Vec<(i64, i64)> = self.ext.iter().map(|&e| (1, e as i64)).collect();
+        let saved = self.read_region(&owned);
+        self.data.fill(value);
+        self.write_region(&owned, &saved);
+    }
+
     /// Fill a rectangular local region with a constant (used for `EOSHIFT`
     /// boundary values).
     pub fn fill_region(&mut self, ranges: &[(i64, i64)], value: f64) {
@@ -170,10 +199,7 @@ impl Subgrid {
 
 /// Number of points in a local region.
 pub fn region_len(ranges: &[(i64, i64)]) -> usize {
-    ranges
-        .iter()
-        .map(|&(lo, hi)| (hi - lo + 1).max(0) as usize)
-        .product()
+    ranges.iter().map(|&(lo, hi)| (hi - lo + 1).max(0) as usize).product()
 }
 
 /// Advance a row-major cursor; returns false when exhausted.
@@ -285,6 +311,36 @@ mod tests {
         g.write_region(&[(2, 1), (1, 4)], &[]);
         g.fill_region(&[(2, 1), (1, 4)], 1.0);
         assert_eq!(region_len(&[(2, 1), (1, 4)]), 0);
+    }
+
+    #[test]
+    fn region_indices_match_region_order() {
+        let mut g = grid();
+        let ranges = [(0i64, 2i64), (1, 4)];
+        let mut v = 0.0;
+        // Distinct values over the region (including a halo row).
+        let idx = g.region_indices(&ranges);
+        for &i in &idx {
+            v += 1.0;
+            g.raw_mut()[i] = v;
+        }
+        // read_region enumerates the same cells in the same order.
+        let read = g.read_region(&ranges);
+        assert_eq!(read, (1..=idx.len()).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(g.region_indices(&[(2, 1), (1, 4)]).is_empty());
+    }
+
+    #[test]
+    fn poison_halo_spares_owned() {
+        let mut g = grid();
+        g.set(&[1, 1], 42.0);
+        g.set(&[0, 0], 7.0); // ghost corner, should be overwritten
+        g.poison_halo(f64::MAX);
+        assert_eq!(g.get(&[1, 1]), 42.0);
+        assert_eq!(g.get(&[2, 4]), 0.0);
+        assert_eq!(g.get(&[0, 0]), f64::MAX);
+        assert_eq!(g.get(&[3, 5]), f64::MAX);
+        assert_eq!(g.get(&[0, 2]), f64::MAX);
     }
 
     #[test]

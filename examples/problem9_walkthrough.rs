@@ -33,10 +33,7 @@ fn main() {
     // fused subgrid loop nest).
     let full = Kernel::compile(&source, CompileOptions::upto(Stage::Unioning)).unwrap();
     println!("\n=== Figure 16 — after scalarization (node program) ===");
-    print!(
-        "{}",
-        hpf_stencil::passes::nodepretty::node_program(&full.compiled.node)
-    );
+    print!("{}", hpf_stencil::passes::nodepretty::node_program(&full.compiled.node));
 
     // Staged execution: Figure 17.
     println!("\n=== Figure 17 — step-wise execution (2x2 PEs) ===");

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! provides a minimal wall-clock benchmark harness with the API surface the
+//! workspace's benches use: `Criterion::benchmark_group`, group knobs
+//! (`sample_size`, `warm_up_time`, `measurement_time`, `throughput`),
+//! `bench_function` with `BenchmarkId` or `&str` names, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurements are honest wall-clock medians over `sample_size` samples,
+//! printed as one line per benchmark — no HTML reports, no statistics
+//! beyond min/median/max, but stable enough to compare configurations.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (printed as elements/second).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter (the group provides the function name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a benchmark name by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn label(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, collecting `sample_size` samples after a warm-up phase.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        // Iterations per sample so the measurement budget covers all samples.
+        let budget_per_sample = self.measurement / self.sample_size.max(1) as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u32
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample);
+        }
+    }
+}
+
+/// A named group of benchmarks with shared measurement settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<I: IntoBenchmarkId, O>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher) -> O,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{}/{:<40} (no samples)", self.name, id.label());
+            return self;
+        }
+        s.sort();
+        let median = s[s.len() / 2];
+        let lo = s[0];
+        let hi = s[s.len() - 1];
+        let label = format!("{}/{}", self.name, id.label());
+        let tput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / median.as_secs_f64();
+                format!("  {:>12.0} elem/s", eps)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let bps = n as f64 / median.as_secs_f64();
+                format!("  {:>12.0} B/s", bps)
+            }
+            None => String::new(),
+        };
+        println!("{label:<56} [{} {} {}]{tput}", fmt_dur(lo), fmt_dur(median), fmt_dur(hi));
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("# group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(1000),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declare a group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        g.bench_function(BenchmarkId::new("count", 100), |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                black_box(count)
+            })
+        });
+        g.bench_function("plain_name", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,0 +1,515 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! reimplements the slice of proptest's API this workspace uses:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map` and
+//!   `boxed`;
+//! * strategies for integer ranges, tuples, [`strategy::Just`],
+//!   `any::<bool>()` / `any::<u8>()`, `prop::collection::vec`,
+//!   `prop::array::uniform2`, and regex-character-class string literals of
+//!   the form `"[class]{lo,hi}"`;
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//!   [`prop_oneof!`] (weighted and unweighted), [`prop_assert!`] and
+//!   [`prop_assert_eq!`].
+//!
+//! Cases are generated from a deterministic per-test seed, so failures
+//! reproduce across runs. There is **no shrinking**: a failing case panics
+//! with the ordinary assertion message, which is enough for CI.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// The random source threaded through strategies.
+    pub type TestRng = StdRng;
+
+    /// A value generator. Object-safe core; combinators live in
+    /// [`StrategyExt`]-style provided methods guarded by `Self: Sized`.
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` returns.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// `&str` as a strategy: a regex character class with a bounded
+    /// repetition, `"[class]{lo,hi}"`, producing a random `String`. This is
+    /// the only regex shape the workspace's tests use.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_class_repeat(self);
+            let len = rand::Rng::gen_range(rng, lo..=hi);
+            (0..len).map(|_| chars[rand::Rng::gen_range(rng, 0..chars.len())]).collect()
+        }
+    }
+
+    /// Parse `[class]{lo,hi}` into the expanded character set and bounds.
+    fn parse_class_repeat(pat: &str) -> (Vec<char>, usize, usize) {
+        let bytes: Vec<char> = pat.chars().collect();
+        assert!(
+            bytes.first() == Some(&'['),
+            "string strategy shim only supports \"[class]{{lo,hi}}\" patterns, got {pat:?}"
+        );
+        let close = bytes
+            .iter()
+            .position(|&c| c == ']')
+            .unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+        let class = &bytes[1..close];
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            // `a-z` range (a `-` that is first, last, or not followed by a
+            // range end is a literal).
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                assert!(lo <= hi, "bad range {lo}-{hi} in {pat:?}");
+                for c in lo..=hi {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty class in {pat:?}");
+        let rep: String = bytes[close + 1..].iter().collect();
+        let inner = rep
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("missing {{lo,hi}} repetition in {pat:?}"));
+        let (lo, hi) = match inner.split_once(',') {
+            Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+            None => {
+                let n = inner.trim().parse().unwrap();
+                (n, n)
+            }
+        };
+        (chars, lo, hi)
+    }
+
+    /// One weighted arm of a [`prop_oneof!`]; used by the macro expansion.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Build from weighted boxed arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rand::Rng::gen_range(rng, 0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+}
+
+/// `any::<T>()` support, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary_sample(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut TestRng) -> bool {
+            rand::Rng::gen_bool(rng, 0.5)
+        }
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, <$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_sample(rng)
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// `prop::collection` — sized collections of strategy draws.
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Size bounds accepted by [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` draws from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// `prop::array` — fixed-size arrays of strategy draws.
+pub mod array {
+    use super::strategy::{Strategy, TestRng};
+
+    /// The strategy returned by [`uniform2`].
+    #[derive(Clone, Debug)]
+    pub struct Uniform2<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform2<S> {
+        type Value = [S::Value; 2];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; 2] {
+            [self.0.sample(rng), self.0.sample(rng)]
+        }
+    }
+
+    /// A `[T; 2]` of independent draws.
+    pub fn uniform2<S: Strategy>(element: S) -> Uniform2<S> {
+        Uniform2(element)
+    }
+}
+
+/// Runner configuration and deterministic seeding.
+pub mod test_runner {
+    pub use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Mirror of `proptest::test_runner::Config` (the fields used here).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Unused (kept so `..Config::default()` updates compile).
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_global_rejects: 65536 }
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's name so every
+    /// run (and every machine) generates the same cases.
+    pub fn deterministic_rng(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::arbitrary::any;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests: `proptest! { #[test] fn name(x in strat, ..) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::deterministic_rng(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Choose among strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assertion inside a property test (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_maps_compose() {
+        let mut rng = crate::test_runner::deterministic_rng("compose");
+        let s = (0u8..4, -2i64..=2).prop_map(|(a, b)| (a as i64) + b);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((-2..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_respected() {
+        let mut rng = crate::test_runner::deterministic_rng("weights");
+        let s = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut ones = 0;
+        for _ in 0..1000 {
+            if s.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 800, "{ones}");
+    }
+
+    #[test]
+    fn string_class_strategy() {
+        let mut rng = crate::test_runner::deterministic_rng("strings");
+        let s = "[A-C0-1 -]{2,5}";
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((2..=5).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| "ABC01 -".contains(c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn collection_and_array() {
+        let mut rng = crate::test_runner::deterministic_rng("coll");
+        let s = prop::collection::vec(prop::array::uniform2(0i64..3), 1..4);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.iter().all(|a| a.iter().all(|&x| (0..3).contains(&x))));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_cases(x in 0usize..10, flip in any::<bool>()) {
+            prop_assert!(x < 10);
+            let _ = flip;
+            prop_assert_eq!(x + 1, 1 + x);
+        }
+    }
+}

@@ -9,7 +9,14 @@ fn init(p: &[i64]) -> f64 {
     ((p[0] * 17 + p[1] * 29) as f64 * 0.01).sin() + 0.5
 }
 
-fn check(source: &str, inputs: &[&str], outputs: &[&str], grid: &[usize], stage: Stage, engine: Engine) {
+fn check(
+    source: &str,
+    inputs: &[&str],
+    outputs: &[&str],
+    grid: &[usize],
+    stage: Stage,
+    engine: Engine,
+) {
     let kernel = Kernel::compile(source, CompileOptions::upto(stage)).unwrap();
     let mut runner = kernel.runner(MachineConfig::with_grid(grid.to_vec()));
     for name in inputs {

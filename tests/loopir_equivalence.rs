@@ -67,22 +67,15 @@ fn body_strategy() -> impl Strategy<Value = Vec<Instr>> {
                 };
                 let instr = match g {
                     GenInstr::Const(v) => Instr::Const { dst, value: v },
-                    GenInstr::Load(a, o) => Instr::Load {
-                        dst,
-                        array: ArrayId(a as u32),
-                        offsets: o.to_vec(),
-                    },
+                    GenInstr::Load(a, o) => {
+                        Instr::Load { dst, array: ArrayId(a as u32), offsets: o.to_vec() }
+                    }
                     GenInstr::Bin(op, x, y) => {
                         if defined.is_empty() {
                             Instr::Const { dst, value: 1.0 }
                         } else {
                             let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Add];
-                            Instr::Bin {
-                                op: ops[op as usize % 4],
-                                dst,
-                                a: clamp(x),
-                                b: clamp(y),
-                            }
+                            Instr::Bin { op: ops[op as usize % 4], dst, a: clamp(x), b: clamp(y) }
                         }
                     }
                     GenInstr::Neg(x) => {
@@ -121,8 +114,7 @@ fn body_strategy() -> impl Strategy<Value = Vec<Instr>> {
 fn run_nest(nest: &LoopNest) -> Vec<Vec<f64>> {
     let mut m = Machine::new(MachineConfig::sp2_2x2());
     for (id, name) in [(A, "A"), (B, "B"), (C, "C")] {
-        m.alloc(id, &ArrayDecl::user(name, Shape::new([8, 8]), Distribution::block(2)))
-            .unwrap();
+        m.alloc(id, &ArrayDecl::user(name, Shape::new([8, 8]), Distribution::block(2))).unwrap();
         m.fill(id, |p| ((p[0] * 31 + p[1] * 17 + id.0 as i64 * 7) % 13) as f64 - 6.0);
     }
     // Deterministic halo contents too (offset loads may read ghosts).
@@ -142,11 +134,7 @@ fn run_nest(nest: &LoopNest) -> Vec<Vec<f64>> {
 }
 
 fn nest_from(body: Vec<Instr>, order: Vec<usize>) -> LoopNest {
-    let regs = body
-        .iter()
-        .filter_map(|i| i.dst())
-        .max()
-        .map_or(0, |r| r as usize + 1);
+    let regs = body.iter().filter_map(|i| i.dst()).max().map_or(0, |r| r as usize + 1);
     LoopNest {
         // Interior space: offset accesses stay within the halo.
         space: Section::new([(2, 7), (2, 7)]),

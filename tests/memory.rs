@@ -18,26 +18,20 @@ fn single_statement_exhausts_budget_where_multi_fits() {
     // Budget for 6 arrays/PE: multi-statement needs 5, single needs 14.
     let budget = budget_for(n, 6);
 
-    let single = Kernel::compile(
-        &hpf_stencil::presets::nine_point_cshift(n),
-        naive::naive_options(),
-    )
-    .unwrap();
+    let single =
+        Kernel::compile(&hpf_stencil::presets::nine_point_cshift(n), naive::naive_options())
+            .unwrap();
     let mut cfg = MachineConfig::sp2_2x2();
     cfg.mem_budget = Some(budget);
     let err = match single.runner(cfg.clone()).init("SRC", |_| 1.0).run() {
         Err(e) => e,
         Ok(_) => panic!("expected memory exhaustion"),
     };
-    assert!(matches!(
-        err,
-        CoreError::Runtime(RtError::MemoryExhausted { .. })
-    ));
+    assert!(matches!(err, CoreError::Runtime(RtError::MemoryExhausted { .. })));
 
     let mut multi_opts = naive::naive_options();
     multi_opts.temp_policy = TempPolicy::Reuse;
-    let multi =
-        Kernel::compile(&hpf_stencil::presets::problem9(n), multi_opts).unwrap();
+    let multi = Kernel::compile(&hpf_stencil::presets::problem9(n), multi_opts).unwrap();
     multi
         .runner(cfg.clone())
         .init("U", |_| 1.0)
@@ -45,8 +39,7 @@ fn single_statement_exhausts_budget_where_multi_fits() {
         .expect("multi-statement form fits the budget");
 
     // The optimized translation fits in an even smaller budget (U and T).
-    let ours = Kernel::compile(&hpf_stencil::presets::problem9(n), CompileOptions::full())
-        .unwrap();
+    let ours = Kernel::compile(&hpf_stencil::presets::problem9(n), CompileOptions::full()).unwrap();
     let mut tight = MachineConfig::sp2_2x2();
     tight.mem_budget = Some(budget_for(n, 3));
     ours.runner(tight)
@@ -68,16 +61,13 @@ fn peak_memory_ordering_across_translations() {
             .stats()
             .max_peak_bytes()
     };
-    let single = Kernel::compile(
-        &hpf_stencil::presets::nine_point_cshift(n),
-        naive::naive_options(),
-    )
-    .unwrap();
+    let single =
+        Kernel::compile(&hpf_stencil::presets::nine_point_cshift(n), naive::naive_options())
+            .unwrap();
     let mut multi_opts = naive::naive_options();
     multi_opts.temp_policy = TempPolicy::Reuse;
     let multi = Kernel::compile(&hpf_stencil::presets::problem9(n), multi_opts).unwrap();
-    let ours =
-        Kernel::compile(&hpf_stencil::presets::problem9(n), CompileOptions::full()).unwrap();
+    let ours = Kernel::compile(&hpf_stencil::presets::problem9(n), CompileOptions::full()).unwrap();
 
     let p_single = run(&single, "SRC");
     let p_multi = run(&multi, "U");
@@ -91,18 +81,14 @@ fn peak_memory_ordering_across_translations() {
 #[test]
 fn allocation_failure_is_all_or_nothing() {
     let n = 64;
-    let kernel = Kernel::compile(
-        &hpf_stencil::presets::nine_point_cshift(n),
-        naive::naive_options(),
-    )
-    .unwrap();
+    let kernel =
+        Kernel::compile(&hpf_stencil::presets::nine_point_cshift(n), naive::naive_options())
+            .unwrap();
     let mut cfg = MachineConfig::sp2_2x2();
     cfg.mem_budget = Some(budget_for(n, 6));
     let mut machine = hpf_stencil::Machine::new(cfg);
     let src = kernel.array_id("SRC").unwrap();
-    machine
-        .alloc(src, kernel.checked.symbols.array(src))
-        .unwrap();
+    machine.alloc(src, kernel.checked.symbols.array(src)).unwrap();
     let before = machine.pes[0].cur_bytes;
     let err = hpf_stencil::exec::execute_seq(&mut machine, &kernel.compiled.node).unwrap_err();
     assert!(matches!(err, RtError::MemoryExhausted { .. }));

@@ -77,11 +77,7 @@ T = EOSHIFT(CSHIFT(U,1,1), 1, 2, BOUNDARY=2.5) + U
     // array must not compose (kinds differ).
     assert_eq!(kernel.stats().offset.converted, 1);
     assert_eq!(kernel.stats().offset.kept, 1);
-    kernel
-        .runner(MachineConfig::sp2_2x2())
-        .init("U", init)
-        .run_verified(&["T"], 0.0)
-        .unwrap();
+    kernel.runner(MachineConfig::sp2_2x2()).init("U", init).run_verified(&["T"], 0.0).unwrap();
 }
 
 /// End-off cancellation chains (the truncation-destroys-information case

@@ -1,0 +1,269 @@
+//! Property tests for the persistent-schedule layer and the Plan API.
+//!
+//! Two invariants from the redesign:
+//!
+//! 1. **Overlap coverage** — the compiled schedules fill every ghost element
+//!    the generated loop nests read. Verified by poisoning the overlap areas
+//!    of every subgrid with `f64::MAX` before the step: any ghost read the
+//!    schedules failed to fill contaminates the output, which must still
+//!    match the reference interpreter exactly.
+//! 2. **Iterate ≡ chained runs** — `Plan::iterate(n)` is bitwise-equal to
+//!    `n` independent one-shot `Runner::run()` calls whose state is carried
+//!    forward by hand, on both engines.
+
+use hpf_stencil::passes::CompileOptions;
+use hpf_stencil::{Engine, Kernel, MachineConfig};
+use proptest::prelude::*;
+
+/// One random stencil term: `coeff * CHAIN(src)`, chain of up to two unit
+/// shifts, circular or end-off.
+#[derive(Clone, Debug)]
+struct Term {
+    coeff: f64,
+    src: usize, // index into NAMES
+    shifts: Vec<(i64, usize)>,
+    endoff: bool,
+}
+
+/// One random statement: a full-space assignment of a sum of terms,
+/// optionally accumulating.
+#[derive(Clone, Debug)]
+struct RandStmt {
+    dst: usize, // 1 = T, 2 = V
+    accumulate: bool,
+    terms: Vec<Term>,
+}
+
+#[derive(Clone, Debug)]
+struct RandKernel {
+    n: usize,
+    stmts: Vec<RandStmt>,
+    in_loop: Option<usize>,
+}
+
+const NAMES: [&str; 3] = ["U", "T", "V"];
+
+impl RandKernel {
+    fn source(&self) -> String {
+        let mut s = format!("PROGRAM rand\nPARAM N = {}\nREAL U(N,N), T(N,N), V(N,N)\n", self.n);
+        let mut body = String::new();
+        for st in &self.stmts {
+            let dst = NAMES[st.dst];
+            let mut rhs = if st.accumulate { dst.to_string() } else { String::new() };
+            for t in &st.terms {
+                let mut operand = NAMES[t.src].to_string();
+                for (amt, dim) in &t.shifts {
+                    let intr = if t.endoff { "EOSHIFT" } else { "CSHIFT" };
+                    operand = format!("{intr}({operand},{amt},{})", dim + 1);
+                }
+                let term = format!("{} * {operand}", t.coeff);
+                rhs = if rhs.is_empty() { term } else { format!("{rhs} + {term}") };
+            }
+            if rhs.is_empty() {
+                rhs = "0".to_string();
+            }
+            body.push_str(&format!("{dst} = {rhs}\n"));
+        }
+        if let Some(iters) = self.in_loop {
+            s.push_str(&format!("DO {iters} TIMES\n{body}ENDDO\n"));
+        } else {
+            s.push_str(&body);
+        }
+        s.push_str("END\n");
+        s
+    }
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    (
+        -4i32..=4,
+        0usize..2,
+        prop::collection::vec((prop_oneof![Just(-1i64), Just(1)], 0usize..2), 0..=2),
+        any::<bool>(),
+    )
+        .prop_map(|(c, src, shifts, endoff)| Term {
+            coeff: c as f64 * 0.25,
+            src: if src == 0 { 0 } else { 2 },
+            shifts,
+            endoff,
+        })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = RandStmt> {
+    (
+        prop_oneof![Just(1usize), Just(2)],
+        any::<bool>(),
+        prop::collection::vec(term_strategy(), 1..=4),
+    )
+        .prop_map(|(dst, accumulate, terms)| RandStmt { dst, accumulate, terms })
+}
+
+fn kernel_strategy() -> impl Strategy<Value = RandKernel> {
+    (
+        prop_oneof![Just(6usize), Just(8), Just(12)],
+        prop::collection::vec(stmt_strategy(), 1..=3),
+        prop_oneof![Just(None), Just(Some(2usize)), Just(Some(3))],
+    )
+        .prop_map(|(n, stmts, in_loop)| RandKernel { n, stmts, in_loop })
+}
+
+fn grid_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        Just(vec![1, 1]),
+        Just(vec![2, 2]),
+        Just(vec![1, 2]),
+        Just(vec![2, 1]),
+        Just(vec![3, 2]),
+    ]
+}
+
+fn init_u(p: &[i64]) -> f64 {
+    ((p[0] * 7 + p[1] * 3) as f64 * 0.1).sin()
+}
+
+fn init_v(p: &[i64]) -> f64 {
+    ((p[0] - p[1]) as f64 * 0.05).cos()
+}
+
+/// Dense row-major field of an init function over an n×n global array.
+fn dense(n: usize, f: impl Fn(&[i64]) -> f64) -> Vec<f64> {
+    let mut v = vec![0.0; n * n];
+    for (i, slot) in v.iter_mut().enumerate() {
+        *slot = f(&[(i / n + 1) as i64, (i % n + 1) as i64]);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Invariant 1: the schedules' filled overlap regions are a superset of
+    /// the ghost elements the loop nests read — poisoned halos never leak.
+    #[test]
+    fn poisoned_halos_never_leak(
+        k in kernel_strategy(),
+        grid in grid_strategy(),
+        threaded in any::<bool>(),
+    ) {
+        let src = k.source();
+        let kernel = Kernel::compile(&src, CompileOptions::full())
+            .unwrap_or_else(|e| panic!("compile failed for:\n{src}\n{e}"));
+        let engine = if threaded { Engine::Threaded } else { Engine::Sequential };
+        let mut plan = kernel
+            .plan(MachineConfig::grid(grid.clone()))
+            .init("U", init_u)
+            .init("V", init_v)
+            .engine(engine)
+            .build()
+            .unwrap_or_else(|e| panic!("build failed for:\n{src}\n{e}"));
+        plan.machine.poison_halos(f64::MAX);
+        plan.step();
+        let oracle = kernel.oracle().init("U", init_u).init("V", init_v).run();
+        for name in ["U", "T", "V"] {
+            let id = kernel.array_id(name).unwrap();
+            if !plan.machine.is_allocated(id) {
+                continue; // array never referenced by this random kernel
+            }
+            let got = plan.gather(name).unwrap();
+            prop_assert_eq!(
+                &got,
+                &oracle.arrays[&id].data,
+                "poison leaked into {} (engine {:?}, grid {:?}) for:\n{}",
+                name, engine, &grid, &src
+            );
+        }
+    }
+
+    /// Invariant 2: `Plan::iterate(n)` equals `n` chained one-shot
+    /// `Runner::run()` calls bit for bit, on both engines.
+    #[test]
+    fn iterate_equals_chained_runs(
+        k in kernel_strategy(),
+        grid in grid_strategy(),
+        steps in 1usize..=3,
+        threaded in any::<bool>(),
+    ) {
+        let src = k.source();
+        let kernel = Kernel::compile(&src, CompileOptions::full())
+            .unwrap_or_else(|e| panic!("compile failed for:\n{src}\n{e}"));
+        let engine = if threaded { Engine::Threaded } else { Engine::Sequential };
+        let mut plan = kernel
+            .plan(MachineConfig::grid(grid.clone()))
+            .init("U", init_u)
+            .init("V", init_v)
+            .engine(engine)
+            .build()
+            .unwrap_or_else(|e| panic!("build failed for:\n{src}\n{e}"));
+        plan.iterate(steps);
+
+        // Chained one-shot runs carrying every allocated array forward by
+        // hand. T starts zero, exactly as a fresh machine allocates it.
+        let n = k.n;
+        let live: Vec<&str> = NAMES
+            .iter()
+            .copied()
+            .filter(|name| plan.machine.is_allocated(kernel.array_id(name).unwrap()))
+            .collect();
+        let mut state: Vec<Vec<f64>> = live
+            .iter()
+            .map(|&name| match name {
+                "U" => dense(n, init_u),
+                "V" => dense(n, init_v),
+                _ => dense(n, |_| 0.0),
+            })
+            .collect();
+        for _ in 0..steps {
+            let mut r = kernel.runner(MachineConfig::grid(grid.clone()));
+            for (name, field) in live.iter().zip(&state) {
+                let f = field.clone();
+                r = r.init(name, move |p| f[(p[0] - 1) as usize * n + (p[1] - 1) as usize]);
+            }
+            let run = r.engine(engine).run()
+                .unwrap_or_else(|e| panic!("run failed for:\n{src}\n{e}"));
+            for (name, field) in live.iter().zip(state.iter_mut()) {
+                *field = run.gather(&kernel, name);
+            }
+        }
+        for (name, field) in live.iter().zip(&state) {
+            prop_assert_eq!(
+                &plan.gather(name).unwrap(),
+                field,
+                "{} diverged after {} steps (engine {:?}, grid {:?}) for:\n{}",
+                name, steps, engine, &grid, &src
+            );
+        }
+    }
+
+    /// Schedule accounting: compiled once at build, reused uniformly on
+    /// every step, with no buffer growth.
+    #[test]
+    fn schedules_built_once_and_reused(
+        k in kernel_strategy(),
+        grid in grid_strategy(),
+        steps in 1usize..=4,
+    ) {
+        let src = k.source();
+        let kernel = Kernel::compile(&src, CompileOptions::full())
+            .unwrap_or_else(|e| panic!("compile failed for:\n{src}\n{e}"));
+        let mut plan = kernel
+            .plan(MachineConfig::grid(grid.clone()))
+            .init("U", init_u)
+            .init("V", init_v)
+            .build()
+            .unwrap();
+        let pooled = plan.pooled_bytes();
+        plan.iterate(steps);
+        let st = plan.stats();
+        prop_assert_eq!(st.schedules_built as usize, plan.comm_count());
+        prop_assert_eq!(plan.pooled_bytes(), pooled, "no per-step buffer growth");
+        if st.schedules_built > 0 {
+            // Every step executes the same schedule sequence: the reuse
+            // count is steps x (executions per step), and every compiled
+            // schedule runs at least once per step.
+            prop_assert_eq!(st.schedule_reuses % steps as u64, 0);
+            prop_assert!(st.schedule_reuses / steps as u64 >= st.schedules_built);
+        } else {
+            prop_assert_eq!(st.schedule_reuses, 0);
+        }
+    }
+}

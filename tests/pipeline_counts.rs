@@ -10,11 +10,9 @@ use hpf_stencil::presets;
 /// RSDs, for every 9-point specification.
 #[test]
 fn nine_point_reaches_four_overlap_shifts() {
-    for src in [
-        presets::nine_point_cshift(64),
-        presets::nine_point_array(64),
-        presets::problem9(64),
-    ] {
+    for src in
+        [presets::nine_point_cshift(64), presets::nine_point_array(64), presets::problem9(64)]
+    {
         let c = compile(&compile_source(&src).unwrap(), CompileOptions::full());
         assert_eq!(c.stats.comm_ops, 4);
         assert_eq!(c.stats.unioning.with_rsd, 2);
@@ -25,10 +23,8 @@ fn nine_point_reaches_four_overlap_shifts() {
 /// §4: 12 CSHIFT temporaries for the naive single-statement translation.
 #[test]
 fn naive_single_statement_needs_twelve_temps() {
-    let c = compile(
-        &compile_source(&presets::nine_point_cshift(64)).unwrap(),
-        naive::naive_options(),
-    );
+    let c =
+        compile(&compile_source(&presets::nine_point_cshift(64)).unwrap(), naive::naive_options());
     assert_eq!(c.stats.normalize.temps, 12);
     assert_eq!(c.stats.normalize.shifts, 12);
     assert_eq!(c.stats.arrays_allocated, 14); // + SRC and DST
@@ -47,10 +43,7 @@ fn problem9_three_temporaries() {
 /// §4.2: after offset arrays, no temporaries remain allocated.
 #[test]
 fn optimized_problem9_allocates_only_u_and_t() {
-    let c = compile(
-        &compile_source(&presets::problem9(64)).unwrap(),
-        CompileOptions::full(),
-    );
+    let c = compile(&compile_source(&presets::problem9(64)).unwrap(), CompileOptions::full());
     assert_eq!(c.stats.arrays_allocated, 2);
     assert_eq!(c.stats.offset.converted, 8);
     assert_eq!(c.stats.offset.copies_inserted, 0);
@@ -94,10 +87,7 @@ fn memopt_reduces_per_point_traffic() {
 /// EOSHIFT kernels union like circular ones but never mix with them.
 #[test]
 fn eoshift_unioning_counts() {
-    let c = compile(
-        &compile_source(&presets::image_blur(32, 1)).unwrap(),
-        CompileOptions::full(),
-    );
+    let c = compile(&compile_source(&presets::image_blur(32, 1)).unwrap(), CompileOptions::full());
     assert_eq!(c.stats.comm_ops, 4, "8 EOSHIFTs union to 4");
     assert_eq!(c.stats.unioning.with_rsd, 2);
 }

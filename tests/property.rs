@@ -44,11 +44,7 @@ impl RandKernel {
         let mut body = String::new();
         for st in &self.stmts {
             let dst = NAMES[st.dst];
-            let mut rhs = if st.accumulate {
-                dst.to_string()
-            } else {
-                String::new()
-            };
+            let mut rhs = if st.accumulate { dst.to_string() } else { String::new() };
             for t in &st.terms {
                 let mut operand = NAMES[t.src].to_string();
                 for (amt, dim) in &t.shifts {

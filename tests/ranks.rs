@@ -133,10 +133,7 @@ ENDDO
 fn rank_mismatch_with_machine_grid_errors() {
     let src = "PARAM N = 8\nREAL U(N,N), T(N,N)\nT = CSHIFT(U,1,1)\n";
     let kernel = Kernel::compile(src, CompileOptions::full()).unwrap();
-    let err = kernel
-        .runner(MachineConfig::with_grid([4]))
-        .init("U", |_| 1.0)
-        .run();
+    let err = kernel.runner(MachineConfig::with_grid([4])).init("U", |_| 1.0).run();
     assert!(err.is_err(), "2-D arrays on a 1-D mesh must be rejected");
 }
 
@@ -156,9 +153,6 @@ fn required_halo_reflects_offsets() {
     .unwrap();
     assert_eq!(two.compiled.required_halo(), 2);
     // Running the halo-2 kernel on a halo-1 machine errors cleanly.
-    let err = two
-        .runner(MachineConfig::sp2_2x2())
-        .init("U", init1)
-        .run();
+    let err = two.runner(MachineConfig::sp2_2x2()).init("U", init1).run();
     assert!(err.is_err(), "undersized halo must be rejected");
 }

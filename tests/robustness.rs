@@ -27,11 +27,9 @@ fn cm2_accepts_canonical_form_only() {
 fn pipeline_compiles_every_variation_identically() {
     // Where the pattern matcher fails, the normalization-based strategy
     // still reaches 4 messages and 1 fused nest for the 9-point stencil.
-    for src in [
-        presets::nine_point_cshift(32),
-        presets::nine_point_array(32),
-        presets::problem9(32),
-    ] {
+    for src in
+        [presets::nine_point_cshift(32), presets::nine_point_array(32), presets::problem9(32)]
+    {
         let checked = compile_source(&src).unwrap();
         let ours = compile(&checked, CompileOptions::full());
         assert_eq!(ours.stats.comm_ops, 4);

@@ -95,17 +95,10 @@ REAL S(N,N), D(N,N)
 WHERE (S > 0) D = 0.5 * CSHIFT(S,1,1) + 0.5 * S
 "#;
     let checked = compile_source(src).unwrap();
-    assert_eq!(
-        cm2::recognize(&checked).unwrap_err(),
-        cm2::RecognizeError::Masked
-    );
+    assert_eq!(cm2::recognize(&checked).unwrap_err(), cm2::RecognizeError::Masked);
     let kernel = Kernel::compile(src, CompileOptions::full()).unwrap();
     assert_eq!(kernel.stats().comm_ops, 1);
-    kernel
-        .runner(MachineConfig::sp2_2x2())
-        .init("S", init)
-        .run_verified(&["D"], 0.0)
-        .unwrap();
+    kernel.runner(MachineConfig::sp2_2x2()).init("S", init).run_verified(&["D"], 0.0).unwrap();
 }
 
 #[test]
