@@ -85,7 +85,7 @@ pub fn recognize(checked: &Checked) -> Result<StencilPattern, RecognizeError> {
     };
     let (lhs, section, rhs) = match stmt {
         CStmt::Assign { mask: Some(_), .. } => return Err(RecognizeError::Masked),
-        CStmt::Assign { lhs, section, rhs, mask: None } => (lhs, section, rhs),
+        CStmt::Assign { lhs, section, rhs, mask: None, .. } => (lhs, section, rhs),
         CStmt::Do { .. } => return Err(RecognizeError::UnsupportedShape),
     };
     let full = Section::full(&checked.symbols.array(*lhs).shape);
@@ -164,14 +164,14 @@ fn match_chain(
     rank: usize,
 ) -> Result<(Offsets, ArrayId), RecognizeError> {
     match e {
-        CExpr::Sec { array, section } => {
+        CExpr::Sec { array, section, .. } => {
             let full = Section::full(&checked.symbols.array(*array).shape);
             if *section != full {
                 return Err(RecognizeError::ArraySyntax);
             }
             Ok((Offsets::zero(rank), *array))
         }
-        CExpr::Shift { arg, shift, dim, kind } => {
+        CExpr::Shift { arg, shift, dim, kind, .. } => {
             if !matches!(kind, hpf_ir::ShiftKind::Circular) {
                 return Err(RecognizeError::EndOffShift);
             }

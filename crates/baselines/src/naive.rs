@@ -23,6 +23,7 @@ pub fn naive_options() -> CompileOptions {
         permute: true,
         fortran_order: false,
         halo: 1,
+        check_invariants: cfg!(debug_assertions),
     }
 }
 

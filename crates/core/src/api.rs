@@ -130,14 +130,62 @@ impl Kernel {
         OracleRunner { kernel: self, inits: Vec::new() }
     }
 
-    /// Run the reference interpreter with the given initializers.
-    #[deprecated(since = "0.2.0", note = "use the builder: `kernel.oracle().init(name, f).run()`")]
-    pub fn reference(&self, inits: &[(String, InitFn)]) -> Reference {
-        let mut o = self.oracle();
-        for (name, f) in inits {
-            o.inits.push((name.clone(), f.clone()));
+    /// Run every static lint over the compiled array IR: halo safety
+    /// (HS001/HS002), residual subsumed shifts (CU001), temporary dataflow
+    /// (DF001/DF002), and fusion legality (FP001). Diagnostics come back
+    /// sorted for presentation; [`hpf_analysis::has_errors`] classifies the
+    /// result, and `hpf_analysis::render_text` / `render_json` format it.
+    pub fn lint(&self) -> Vec<hpf_ir::Diagnostic> {
+        hpf_analysis::analyze(&self.compiled.array_ir, self.compiled.options.halo as i64)
+    }
+
+    /// Fault injection for the analyzer: delete the `k`-th `OVERLAP_SHIFT`
+    /// (in program order) from the compiled array IR and re-lower the node
+    /// program, leaving a kernel whose reads are no longer all covered —
+    /// the static mirror of the runtime halo-poisoning harness. Returns
+    /// `false` (kernel unchanged) when there are fewer than `k + 1` shifts.
+    /// Pipeline statistics are not recomputed.
+    pub fn drop_overlap_shift(&mut self, k: usize) -> bool {
+        fn remove_kth(body: &mut Vec<hpf_ir::Stmt>, k: &mut usize) -> bool {
+            let mut i = 0;
+            while i < body.len() {
+                if matches!(body[i], hpf_ir::Stmt::OverlapShift { .. }) {
+                    if *k == 0 {
+                        body.remove(i);
+                        return true;
+                    }
+                    *k -= 1;
+                } else if let hpf_ir::Stmt::TimeLoop { body: inner, .. } = &mut body[i] {
+                    if remove_kth(inner, k) {
+                        return true;
+                    }
+                }
+                i += 1;
+            }
+            false
         }
-        o.run()
+        let mut k = k;
+        if !remove_kth(&mut self.compiled.array_ir.body, &mut k) {
+            return false;
+        }
+        let o = &self.compiled.options;
+        let (mut node, _) = hpf_passes::scalarize::run(
+            &self.compiled.array_ir,
+            hpf_passes::scalarize::ScalarizeOptions {
+                fuse: o.fuse,
+                fortran_order: o.fortran_order,
+            },
+        );
+        hpf_passes::memopt::run(
+            &mut node,
+            hpf_passes::memopt::MemOptOptions {
+                scalar_replacement: o.scalar_replacement,
+                unroll_factor: o.unroll_factor,
+                permute: o.permute,
+            },
+        );
+        self.compiled.node = node;
+        true
     }
 }
 
@@ -597,14 +645,15 @@ mod tests {
     }
 
     #[test]
-    fn oracle_builder_matches_deprecated_reference() {
-        let kernel = Kernel::compile(&presets::five_point(8), CompileOptions::full()).unwrap();
-        let init = |p: &[i64]| (p[0] * 2 + p[1]) as f64;
-        let a = kernel.oracle().init("SRC", init).run();
-        #[allow(deprecated)]
-        let b = kernel.reference(&[("SRC".to_string(), std::sync::Arc::new(init))]);
-        let t = kernel.array_id("DST").unwrap();
-        assert_eq!(a.arrays[&t].data, b.arrays[&t].data);
+    fn lint_clean_pipeline_flags_dropped_shift() {
+        let mut kernel = Kernel::compile(&presets::problem9(8), CompileOptions::full()).unwrap();
+        assert!(kernel.lint().is_empty(), "full pipeline output is lint-clean");
+        assert!(!kernel.drop_overlap_shift(99), "only 4 shifts to drop");
+        assert!(kernel.drop_overlap_shift(0));
+        let diags = kernel.lint();
+        assert!(hpf_analysis::has_errors(&diags));
+        assert!(diags.iter().any(|d| d.code == hpf_analysis::HS001));
+        assert!(diags[0].span.is_some(), "HS001 carries the source span");
     }
 
     #[test]

@@ -1,38 +1,95 @@
 //! `hpfsc` — the stencil compiler driver.
 //!
 //! Compiles a mini-HPF source file through the SC'97 pipeline, shows the
-//! optimized IR at any stage, and optionally runs it on the simulated
-//! machine (verified against the reference interpreter).
+//! optimized IR at any stage, lints it with the static analyzer, and
+//! optionally runs it on the simulated machine (verified against the
+//! reference interpreter).
 //!
 //! ```text
-//! hpfsc FILE.f90 [--stage original|offset|partition|unioning|full]
-//!                [--emit ir|node|stats] [--run] [--grid 2x2] [--halo 1]
-//!                [--engine seq|threaded] [--print-input NAME] [--naive]
+//! hpfsc [FILE] [--stage original|offset|partition|unioning|full]
+//!              [--emit ir|node|stats|diag-json] [--lint] [--deny-warnings]
+//!              [--run] [--grid RxC] [--halo W] [--engine seq|threaded]
+//!              [--print-input NAME[:N]] [--naive] [--drop-shift K]
 //! ```
+//!
+//! Exit codes: 0 success; 1 compile, run, or I/O failure; 2 usage error;
+//! 3 lint warnings under `--deny-warnings`; 4 lint errors.
 
+use hpf_core::analysis;
 use hpf_core::baselines::naive;
 use hpf_core::passes::nodepretty;
-use hpf_core::{CompileOptions, Engine, Kernel, MachineConfig, Stage};
+use hpf_core::{presets, CompileOptions, Engine, Kernel, MachineConfig, Stage};
 use std::process::exit;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: hpfsc FILE [--stage original|offset|partition|unioning|full] \
-         [--emit ir|node|stats] [--run] [--grid RxC] [--halo W] \
-         [--engine seq|threaded] [--naive]"
-    );
+const USAGE: &str = "\
+usage: hpfsc [FILE] [options]
+
+options:
+  --stage original|offset|partition|unioning|full
+                        stop the pipeline after this stage (default: full)
+  --emit ir|node|stats|diag-json
+                        what to print, comma-separated (default: ir, or
+                        nothing under --lint; diag-json implies linting)
+  --lint                run the static analyzer (HS/CU/DF/FP lints) and
+                        report diagnostics with source spans
+  --deny-warnings       exit 3 when linting reports any warning
+  --run                 execute on the simulated machine, verified against
+                        the reference interpreter
+  --grid RxC            PE grid for --run (default: 2x2)
+  --halo W              overlap-area width (default: 1)
+  --engine seq|threaded executor for --run (default: seq)
+  --print-input NAME[:N]
+                        print a preset kernel source (five-point,
+                        nine-point-cshift, nine-point-array, problem9,
+                        jacobi, image-blur, wave2d) at problem size N
+                        (default 16); FILE may be omitted
+  --naive               compile like an xlhpf-class compiler instead
+  --drop-shift K        fault injection: delete the K-th OVERLAP_SHIFT from
+                        the compiled kernel before linting or running (the
+                        static analyzer should report HS001; a verified run
+                        should fail)
+  --help, -h            show this help
+
+exit codes: 0 success, 1 compile/run/IO failure, 2 usage error,
+            3 lint warnings under --deny-warnings, 4 lint errors";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("hpfsc: {msg}");
+    eprintln!("{USAGE}");
     exit(2)
+}
+
+/// Resolve a `--print-input` argument (`NAME` or `NAME:N`) to preset source.
+fn preset_source(spec: &str) -> Option<String> {
+    let (name, n) = match spec.split_once(':') {
+        Some((name, n)) => (name, n.parse().ok()?),
+        None => (spec, 16),
+    };
+    Some(match name {
+        "five-point" => presets::five_point(n),
+        "nine-point-cshift" => presets::nine_point_cshift(n),
+        "nine-point-array" => presets::nine_point_array(n),
+        "problem9" => presets::problem9(n),
+        "jacobi" => presets::jacobi(n, 4),
+        "image-blur" => presets::image_blur(n, 4),
+        "wave2d" => presets::wave2d(n, 4),
+        _ => return None,
+    })
 }
 
 fn main() {
     let mut file = None;
     let mut stage = Stage::MemOpt;
-    let mut emit = vec!["ir".to_string()];
+    let mut emit: Option<Vec<String>> = None;
+    let mut lint = false;
+    let mut deny_warnings = false;
     let mut run = false;
     let mut grid: Vec<usize> = vec![2, 2];
     let mut halo = 1usize;
     let mut engine = Engine::Sequential;
     let mut naive_mode = false;
+    let mut print_input: Option<String> = None;
+    let mut drop_shift: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -44,37 +101,76 @@ fn main() {
                     Some("partition") => Stage::Partition,
                     Some("unioning") => Stage::Unioning,
                     Some("full") | Some("memopt") => Stage::MemOpt,
-                    _ => usage(),
+                    other => usage_error(&format!("bad --stage {other:?}")),
                 };
             }
             "--emit" => {
-                emit = args
-                    .next()
-                    .unwrap_or_else(|| usage())
-                    .split(',')
-                    .map(|s| s.to_string())
-                    .collect();
+                emit = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--emit needs an argument"))
+                        .split(',')
+                        .map(|s| s.to_string())
+                        .collect(),
+                );
             }
+            "--lint" => lint = true,
+            "--deny-warnings" => deny_warnings = true,
             "--run" => run = true,
             "--grid" => {
-                let g = args.next().unwrap_or_else(|| usage());
-                grid = g.split(['x', ',']).map(|s| s.parse().unwrap_or_else(|_| usage())).collect();
+                let g = args.next().unwrap_or_else(|| usage_error("--grid needs an argument"));
+                grid = g
+                    .split(['x', ','])
+                    .map(|s| s.parse().unwrap_or_else(|_| usage_error(&format!("bad --grid {g}"))))
+                    .collect();
             }
-            "--halo" => halo = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--halo" => {
+                halo = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage_error("--halo needs a non-negative integer"))
+            }
             "--engine" => {
                 engine = match args.next().as_deref() {
                     Some("seq") => Engine::Sequential,
                     Some("threaded") | Some("par") => Engine::Threaded,
-                    _ => usage(),
+                    other => usage_error(&format!("bad --engine {other:?}")),
                 };
             }
             "--naive" => naive_mode = true,
-            "--help" | "-h" => usage(),
-            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
-            _ => usage(),
+            "--drop-shift" => {
+                drop_shift = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage_error("--drop-shift needs an index")),
+                );
+            }
+            "--print-input" => {
+                print_input =
+                    Some(args.next().unwrap_or_else(|| usage_error("--print-input needs a name")));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0)
+            }
+            other if other.starts_with('-') => {
+                usage_error(&format!("unrecognized option '{other}'"))
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => usage_error(&format!("unexpected argument '{other}'")),
         }
     }
-    let file = file.unwrap_or_else(|| usage());
+
+    if let Some(spec) = &print_input {
+        match preset_source(spec) {
+            Some(src) => print!("{src}"),
+            None => usage_error(&format!("unknown preset '{spec}'")),
+        }
+        if file.is_none() {
+            exit(0)
+        }
+    }
+
+    let file = file.unwrap_or_else(|| usage_error("no input file"));
     let source = std::fs::read_to_string(&file).unwrap_or_else(|e| {
         eprintln!("hpfsc: cannot read {file}: {e}");
         exit(1)
@@ -82,13 +178,24 @@ fn main() {
 
     let options =
         if naive_mode { naive::naive_options() } else { CompileOptions::upto(stage).halo(halo) };
-    let kernel = match Kernel::compile(&source, options) {
+    let mut kernel = match Kernel::compile(&source, options) {
         Ok(k) => k,
         Err(e) => {
             eprintln!("hpfsc: {file}: {e}");
             exit(1)
         }
     };
+    if let Some(k) = drop_shift {
+        if !kernel.drop_overlap_shift(k) {
+            eprintln!("hpfsc: --drop-shift {k}: the kernel has no such OVERLAP_SHIFT");
+            exit(1)
+        }
+    }
+
+    // diag-json is a view of the lint results, so asking for it lints.
+    let emit = emit.unwrap_or_else(|| if lint { Vec::new() } else { vec!["ir".to_string()] });
+    let want_diag_json = emit.iter().any(|e| e == "diag-json");
+    let diags = if lint || want_diag_json { kernel.lint() } else { Vec::new() };
 
     for what in &emit {
         match what.as_str() {
@@ -114,11 +221,16 @@ fn main() {
                     s.memopt.loads_before, s.memopt.loads_after
                 );
             }
+            "diag-json" => println!("{}", analysis::render_json(&diags)),
             other => {
                 eprintln!("hpfsc: unknown --emit kind '{other}'");
                 exit(2)
             }
         }
+    }
+
+    if lint && !want_diag_json && !diags.is_empty() {
+        eprint!("{}", analysis::render_text(&diags));
     }
 
     if run {
@@ -170,5 +282,12 @@ fn main() {
                 exit(1)
             }
         }
+    }
+
+    if analysis::has_errors(&diags) {
+        exit(4)
+    }
+    if deny_warnings && !diags.is_empty() {
+        exit(3)
     }
 }

@@ -27,7 +27,8 @@
 //! ```
 //!
 //! The crate re-exports the whole stack: the frontend (`hpf-frontend`), the
-//! IR (`hpf-ir`), the pass pipeline (`hpf-passes`), the machine simulator
+//! IR (`hpf-ir`), the pass pipeline (`hpf-passes`), the static analyzer
+//! (`hpf-analysis`, see [`Kernel::lint`]), the machine simulator
 //! (`hpf-runtime`), the executors and the reference oracle (`hpf-exec`),
 //! and the baseline compilers (`hpf-baselines`).
 
@@ -36,6 +37,7 @@ pub mod presets;
 
 pub use api::{CoreError, Engine, Kernel, OracleRunner, Plan, Planner, Run, Runner};
 
+pub use hpf_analysis as analysis;
 pub use hpf_baselines as baselines;
 pub use hpf_exec as exec;
 pub use hpf_frontend as frontend;
@@ -43,6 +45,7 @@ pub use hpf_ir as ir;
 pub use hpf_passes as passes;
 pub use hpf_runtime as runtime;
 
+pub use hpf_analysis::{Diagnostic, Severity};
 pub use hpf_exec::{max_abs_diff, Reference};
 pub use hpf_ir::pretty;
 pub use hpf_passes::{CompileOptions, PipelineStats, Stage, TempPolicy};

@@ -119,7 +119,7 @@ impl Reference {
     fn exec_block(&mut self, stmts: &[CStmt]) {
         for s in stmts {
             match s {
-                CStmt::Assign { lhs, section, rhs, mask } => {
+                CStmt::Assign { lhs, section, rhs, mask, .. } => {
                     let val = self.eval(rhs);
                     match mask {
                         None => self.assign(*lhs, section, val),
@@ -187,7 +187,7 @@ impl Reference {
         match e {
             CExpr::Const(v) => Val::Scalar(*v),
             CExpr::Scalar(id) => Val::Scalar(self.symbols.scalar(*id).value),
-            CExpr::Sec { array, section } => {
+            CExpr::Sec { array, section, .. } => {
                 let arr = &self.arrays[array];
                 let data: Vec<f64> = section.points().map(|p| arr.get(&p)).collect();
                 let extents = (0..section.rank()).map(|d| section.extent(d)).collect();
@@ -198,7 +198,7 @@ impl Reference {
                 Val::Arr(e, d) => Val::Arr(e, d.into_iter().map(|v| -v).collect()),
             },
             CExpr::Bin(op, a, b) => combine(*op, self.eval(a), self.eval(b)),
-            CExpr::Shift { arg, shift, dim, kind } => {
+            CExpr::Shift { arg, shift, dim, kind, .. } => {
                 let val = self.eval(arg);
                 let (extents, data) = match val {
                     Val::Arr(e, d) => (e, d),

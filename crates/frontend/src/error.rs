@@ -1,28 +1,12 @@
-//! Source spans and frontend error reporting.
+//! Frontend error reporting.
+//!
+//! [`Span`] itself lives in `hpf-ir` (so IR-level diagnostics can carry
+//! source positions without depending on the frontend) and is re-exported
+//! here for backwards compatibility.
 
 use std::fmt;
 
-/// A half-open source location: line and column (both 1-based).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct Span {
-    /// Line number, 1-based.
-    pub line: u32,
-    /// Column number, 1-based.
-    pub col: u32,
-}
-
-impl Span {
-    /// Construct a span.
-    pub fn new(line: u32, col: u32) -> Self {
-        Span { line, col }
-    }
-}
-
-impl fmt::Display for Span {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.col)
-    }
-}
+pub use hpf_ir::Span;
 
 /// Any error produced while lexing, parsing or checking a source program.
 #[derive(Clone, Debug, PartialEq)]

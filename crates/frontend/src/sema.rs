@@ -27,6 +27,8 @@ pub enum CExpr {
         array: ArrayId,
         /// Concrete 1-based section.
         section: Section,
+        /// Source position of the reference.
+        span: Span,
     },
     /// `CSHIFT`/`EOSHIFT` of a whole-array expression.
     Shift {
@@ -38,6 +40,8 @@ pub enum CExpr {
         dim: usize,
         /// Circular or end-off.
         kind: ShiftKind,
+        /// Source position of the intrinsic call.
+        span: Span,
     },
     /// Binary arithmetic.
     Bin(BinOp, Box<CExpr>, Box<CExpr>),
@@ -85,6 +89,8 @@ pub enum CStmt {
         rhs: CExpr,
         /// Optional `WHERE` mask; both sides conform to the section.
         mask: Option<Box<(hpf_ir::expr::CmpOp, CExpr, CExpr)>>,
+        /// Source position of the statement.
+        span: Span,
     },
     /// `DO iters TIMES … ENDDO`
     Do {
@@ -240,7 +246,7 @@ impl Checker {
                         Some(Box::new((*op, ca, cb)))
                     }
                 };
-                Ok(CStmt::Assign { lhs: id, section: sec, rhs, mask: cmask })
+                Ok(CStmt::Assign { lhs: id, section: sec, rhs, mask: cmask, span: *span })
             }
             AstStmt::Do { iters, body, span } => {
                 let n = iters.eval(&self.params).map_err(|m| FrontError::new(*span, m))?;
@@ -327,7 +333,7 @@ impl Checker {
                         ));
                     }
                     let extents: Vec<i64> = (0..sec.rank()).map(|d| sec.extent(d)).collect();
-                    Ok((CExpr::Sec { array: id, section: sec }, Some(extents)))
+                    Ok((CExpr::Sec { array: id, section: sec, span: *span }, Some(extents)))
                 } else if let Some(id) = self.symbols.lookup_scalar(name) {
                     if section.is_some() {
                         return Err(FrontError::new(*span, format!("scalar {name} subscripted")));
@@ -346,7 +352,7 @@ impl Checker {
                 // (paper §2.1); reject sectioned operands inside shifts.
                 let mut sectioned = false;
                 carg.walk(&mut |e| {
-                    if let CExpr::Sec { array, section } = e {
+                    if let CExpr::Sec { array, section, .. } = e {
                         if *section != Section::full(&self.symbols.array(*array).shape) {
                             sectioned = true;
                         }
@@ -369,7 +375,13 @@ impl Checker {
                     Some(b) => ShiftKind::EndOff(*b),
                 };
                 Ok((
-                    CExpr::Shift { arg: Box::new(carg), shift: *shift, dim: dim - 1, kind },
+                    CExpr::Shift {
+                        arg: Box::new(carg),
+                        shift: *shift,
+                        dim: dim - 1,
+                        kind,
+                        span: *span,
+                    },
                     Some(extents),
                 ))
             }

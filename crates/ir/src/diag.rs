@@ -1,0 +1,242 @@
+//! Structured diagnostics.
+//!
+//! Every problem the compiler or the static analyzer can report — an IR
+//! validation failure, a halo-safety lint, a missed-optimization warning —
+//! is a [`Diagnostic`]: a severity, a stable code (e.g. `HS001`), an
+//! optional source [`Span`], a human message, and zero or more notes.
+//!
+//! Diagnostics render two ways: [`render_text`] for terminals and
+//! [`render_json`] for tooling (`hpfsc --emit diag-json`). The JSON encoder
+//! is hand-rolled so the crate stays dependency-free.
+
+use crate::span::Span;
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but not known-wrong (missed optimization, dead code).
+    Warning,
+    /// The program is wrong: it will read poison, crash, or was rejected.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both text and JSON rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One problem found in a program.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable machine-readable code (`HS001`, `IR003`, ...).
+    pub code: &'static str,
+    /// Source position, when the offending construct still carries one.
+    pub span: Option<Span>,
+    /// One-line human description.
+    pub message: String,
+    /// Extra context lines ("help: run unioning", ...).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// New error diagnostic with no span or notes.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            span: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// New warning diagnostic with no span or notes.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, ..Self::error(code, message) }
+    }
+
+    /// Attach a span (builder style).
+    pub fn at(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach an optional span (builder style).
+    pub fn at_opt(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Append a note line (builder style).
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render as `severity[CODE] line:col: message` plus indented notes.
+    pub fn render(&self) -> String {
+        let mut out = match self.span {
+            Some(s) => format!("{}[{}] {}: {}", self.severity, self.code, s, self.message),
+            None => format!("{}[{}] {}", self.severity, self.code, self.message),
+        };
+        for n in &self.notes {
+            out.push_str("\n  note: ");
+            out.push_str(n);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Sort diagnostics for stable presentation: errors first, then by span
+/// (spanless last), then by code and message.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        let key = |d: &Diagnostic| {
+            (
+                std::cmp::Reverse(d.severity),
+                d.span.is_none(),
+                d.span.map(|s| (s.line, s.col)).unwrap_or((0, 0)),
+                d.code,
+                d.message.clone(),
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+}
+
+/// Render a batch of diagnostics as newline-separated text, with a trailing
+/// summary line (`N error(s), M warning(s)`). Empty input renders empty.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
+    out
+}
+
+/// Render a batch of diagnostics as a JSON array (machine-readable twin of
+/// [`render_text`]). Schema per element:
+/// `{"severity", "code", "span": {"line", "col"} | null, "message", "notes"}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"severity\":\"{}\",", d.severity.label()));
+        out.push_str(&format!("\"code\":{},", json_string(d.code)));
+        match d.span {
+            Some(s) => {
+                out.push_str(&format!("\"span\":{{\"line\":{},\"col\":{}}},", s.line, s.col))
+            }
+            None => out.push_str("\"span\":null,"),
+        }
+        out.push_str(&format!("\"message\":{},", json_string(&d.message)));
+        out.push_str("\"notes\":[");
+        for (j, n) in d.notes.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(n));
+        }
+        out.push_str("]}");
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Encode a string as a JSON string literal (with escaping).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_with_span_and_notes() {
+        let d = Diagnostic::error("HS001", "uncovered ghost read of U")
+            .at(Span::new(4, 9))
+            .note("no preceding OVERLAP_SHIFT covers offset <1,0>");
+        assert_eq!(
+            d.render(),
+            "error[HS001] 4:9: uncovered ghost read of U\n  note: no preceding OVERLAP_SHIFT covers offset <1,0>"
+        );
+    }
+
+    #[test]
+    fn renders_text_without_span() {
+        let d = Diagnostic::warning("DF002", "temp never read");
+        assert_eq!(d.render(), "warning[DF002] temp never read");
+    }
+
+    #[test]
+    fn sorts_errors_before_warnings_then_by_span() {
+        let mut v = vec![
+            Diagnostic::warning("CU001", "b").at(Span::new(1, 1)),
+            Diagnostic::error("HS001", "c").at(Span::new(9, 1)),
+            Diagnostic::error("HS001", "a").at(Span::new(2, 3)),
+            Diagnostic::error("DF001", "d"),
+        ];
+        sort(&mut v);
+        let order: Vec<_> = v.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(order, ["a", "c", "d", "b"]);
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let d = Diagnostic::error("IR001", "bad \"name\"\nline2").at(Span::new(1, 2)).note("n1");
+        let j = render_json(std::slice::from_ref(&d));
+        assert!(j.contains("\"code\":\"IR001\""));
+        assert!(j.contains("\"span\":{\"line\":1,\"col\":2}"));
+        assert!(j.contains("bad \\\"name\\\"\\nline2"));
+        assert!(j.contains("\"notes\":[\"n1\"]"));
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::array::{ArrayId, ScalarId};
 use crate::section::Offsets;
+use crate::span::Span;
 
 /// Binary arithmetic operators available in stencil expressions.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -44,23 +45,46 @@ impl BinOp {
 /// iteration space; `offsets` is the paper's `<a1,…,ar>` annotation
 /// introduced by the offset-array optimization. An all-zero annotation is a
 /// plain aligned reference.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct OperandRef {
     /// Referenced array.
     pub array: ArrayId,
     /// Offset annotation (`U<+1,0>` reads `U(i+1,j)`).
     pub offsets: Offsets,
+    /// Source position of the reference this operand descends from, if the
+    /// passes could preserve one. Diagnostics use it; semantics ignore it.
+    pub span: Option<Span>,
+}
+
+/// Equality is semantic: the span is provenance metadata and is ignored, so
+/// passes and tests can compare rewritten references against literals.
+impl PartialEq for OperandRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.array == other.array && self.offsets == other.offsets
+    }
 }
 
 impl OperandRef {
     /// Aligned (zero-offset) reference.
     pub fn aligned(array: ArrayId, rank: usize) -> Self {
-        OperandRef { array, offsets: Offsets::zero(rank) }
+        OperandRef { array, offsets: Offsets::zero(rank), span: None }
     }
 
     /// Offset reference.
     pub fn offset(array: ArrayId, offsets: Offsets) -> Self {
-        OperandRef { array, offsets }
+        OperandRef { array, offsets, span: None }
+    }
+
+    /// Attach a source span (builder style).
+    pub fn at(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach an optional source span (builder style).
+    pub fn at_opt(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
     }
 }
 

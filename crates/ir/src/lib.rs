@@ -34,20 +34,24 @@
 pub mod array;
 pub mod ddg;
 pub mod defuse;
+pub mod diag;
 pub mod expr;
 pub mod pretty;
 pub mod program;
 pub mod rsd;
 pub mod section;
+pub mod span;
 pub mod stmt;
 pub mod validate;
 
 pub use array::{ArrayDecl, ArrayId, DimDist, Distribution, ScalarDecl, ScalarId, Shape};
 pub use ddg::{DepGraph, DepKind};
+pub use diag::{Diagnostic, Severity};
 pub use expr::{BinOp, Expr, OperandRef};
 pub use program::{Program, SymbolTable};
 pub use rsd::Rsd;
 pub use section::{Offsets, Section};
+pub use span::Span;
 pub use stmt::{ShiftKind, Stmt};
 
 /// Dimension index (0-based internally; printed 1-based like Fortran).

@@ -1,0 +1,40 @@
+//! Source locations.
+//!
+//! [`Span`] lives in the IR crate (not the frontend) so that IR-level
+//! diagnostics — validation failures, analyzer lints — can point back at the
+//! source position an operand came from. The frontend re-exports it.
+
+use std::fmt;
+
+/// A source location: line and column (both 1-based).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_line_colon_col() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+        assert_eq!(Span::default().to_string(), "0:0");
+    }
+}

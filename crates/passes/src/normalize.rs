@@ -21,7 +21,7 @@
 
 use hpf_frontend::{CExpr, CStmt, Checked};
 use hpf_ir::{
-    ArrayDecl, ArrayId, Expr, OperandRef, Program, Section, ShiftKind, Stmt, SymbolTable,
+    ArrayDecl, ArrayId, Expr, OperandRef, Program, Section, ShiftKind, Span, Stmt, SymbolTable,
 };
 
 /// Temporary-array allocation policy during normalization.
@@ -41,6 +41,16 @@ pub struct NormalizeStats {
     pub shifts: usize,
     /// Temporary arrays created.
     pub temps: usize,
+}
+
+/// Post-conditions of normalization, checked by the pipeline when
+/// `CompileOptions::check_invariants` is set: the output is structurally
+/// valid, in the §2.1 normal form (every compute operand distributed like
+/// its LHS), and fully aligned (no offset references or overlap shifts yet —
+/// those only appear after the offset-array stage).
+pub fn post_conditions() -> &'static [hpf_analysis::Check] {
+    use hpf_analysis::Check;
+    &[Check::Validate, Check::NormalForm, Check::AlignedRefs]
 }
 
 struct Normalizer {
@@ -70,8 +80,8 @@ impl Normalizer {
         let mut out = Vec::new();
         for s in stmts {
             match s {
-                CStmt::Assign { lhs, section, rhs, mask } => {
-                    self.assign(*lhs, section, rhs, mask.as_deref(), &mut out);
+                CStmt::Assign { lhs, section, rhs, mask, span } => {
+                    self.assign(*lhs, section, rhs, mask.as_deref(), *span, &mut out);
                 }
                 CStmt::Do { iters, body } => {
                     let inner = self.block(body);
@@ -88,6 +98,7 @@ impl Normalizer {
         section: &Section,
         rhs: &CExpr,
         mask: Option<&(hpf_ir::expr::CmpOp, CExpr, CExpr)>,
+        span: Span,
         out: &mut Vec<Stmt>,
     ) {
         // Masked assignment: lower `WHERE (a op b) lhs = rhs` to
@@ -99,7 +110,7 @@ impl Normalizer {
             let cb = self.expr(b, section, out, &mut stmt_temps);
             let cond = Expr::Cmp(*op, Box::new(ca), Box::new(cb));
             let then = self.expr(rhs, section, out, &mut stmt_temps);
-            let els = Expr::Ref(OperandRef::aligned(lhs, section.rank()));
+            let els = Expr::Ref(OperandRef::aligned(lhs, section.rank()).at(span));
             out.push(Stmt::Compute {
                 lhs,
                 space: section.clone(),
@@ -111,7 +122,7 @@ impl Normalizer {
         // A whole-array assignment whose RHS is a bare shift is already in
         // normal form: target the LHS directly instead of a temporary
         // (`RIP = CSHIFT(U,+1,1)` stays as-is, paper Figure 12).
-        if let CExpr::Shift { arg, shift, dim, kind } = rhs {
+        if let CExpr::Shift { arg, shift, dim, kind, .. } = rhs {
             let full = Section::full(&self.symbols.array(lhs).shape);
             if *section == full && *shift != 0 {
                 let mut stmt_temps = Vec::new();
@@ -184,7 +195,7 @@ impl Normalizer {
                 let eb = self.expr(b, space, out, live);
                 Expr::bin(*op, ea, eb)
             }
-            CExpr::Sec { array, section } => {
+            CExpr::Sec { array, section, span } => {
                 // Per-dimension offset of the operand section relative to the
                 // iteration space (Figure 4's translation).
                 let deltas: Vec<i64> =
@@ -195,16 +206,16 @@ impl Normalizer {
                         base = self.emit_shift(base, delta, d, ShiftKind::Circular, out, live);
                     }
                 }
-                Expr::Ref(OperandRef::aligned(base, space.rank()))
+                Expr::Ref(OperandRef::aligned(base, space.rank()).at(*span))
             }
-            CExpr::Shift { arg, shift, dim, kind } => {
+            CExpr::Shift { arg, shift, dim, kind, span } => {
                 let base = self.shift_operand(arg, out, live);
                 let t = if *shift == 0 {
                     base
                 } else {
                     self.emit_shift(base, *shift, *dim, *kind, out, live)
                 };
-                Expr::Ref(OperandRef::aligned(t, self.symbols.array(t).rank()))
+                Expr::Ref(OperandRef::aligned(t, self.symbols.array(t).rank()).at(*span))
             }
         }
     }
@@ -218,12 +229,12 @@ impl Normalizer {
         live: &mut Vec<ArrayId>,
     ) -> ArrayId {
         match arg {
-            CExpr::Sec { array, section } => {
+            CExpr::Sec { array, section, .. } => {
                 let full = Section::full(&self.symbols.array(*array).shape);
                 assert_eq!(*section, full, "sema guarantees whole-array shift operands");
                 *array
             }
-            CExpr::Shift { arg: inner, shift, dim, kind } => {
+            CExpr::Shift { arg: inner, shift, dim, kind, .. } => {
                 let base = self.shift_operand(inner, out, live);
                 if *shift == 0 {
                     base

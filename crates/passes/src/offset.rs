@@ -46,6 +46,16 @@ pub struct OffsetStats {
     pub arrays_freed: usize,
 }
 
+/// Post-conditions of the offset-array conversion, checked by the pipeline
+/// when `CompileOptions::check_invariants` is set: the output is still
+/// structurally valid and halo-safe — every offset read it introduced is
+/// covered by the `OVERLAP_SHIFT`s it placed, within the machine's overlap
+/// width (the HS001/HS002 dataflow of `hpf-analysis`).
+pub fn post_conditions() -> &'static [hpf_analysis::Check] {
+    use hpf_analysis::Check;
+    &[Check::Validate, Check::HaloSafe]
+}
+
 /// Run the offset-array optimization over every basic block of the program.
 /// `halo` is the machine's overlap width.
 pub fn run(program: &mut Program, halo: i64) -> OffsetStats {

@@ -79,18 +79,35 @@ fn offset_conflict(writer: &Stmt, reader: &Stmt) -> bool {
     conflict
 }
 
+/// Post-conditions of context partitioning, checked by the pipeline when
+/// `CompileOptions::check_invariants` is set. Group legality (FP001 over the
+/// member lists the pass actually built) is checked inline by
+/// [`run_checked`] because it needs the groups, not just the reordered IR.
+pub fn post_conditions() -> &'static [hpf_analysis::Check] {
+    &[hpf_analysis::Check::Validate]
+}
+
 /// Partition (reorder) every basic block of the program.
 pub fn run(program: &mut Program) -> PartitionStats {
+    let mut diags = Vec::new();
+    run_checked(program, &mut diags)
+}
+
+/// Like [`run`], but appends an FP001 diagnostic to `diags` for every pair
+/// of statements the pass grouped whose fusion would be illegal — the
+/// pass's own post-condition over the grouping it actually built.
+pub fn run_checked(program: &mut Program, diags: &mut Vec<hpf_ir::Diagnostic>) -> PartitionStats {
     let mut stats = PartitionStats::default();
     let symbols = program.symbols.clone();
     program.for_each_block_mut(&mut |block, _| {
-        let (reordered, groups) = partition_block(&symbols, block);
-        stats.groups += groups;
+        let (reordered, groups) = partition_block_groups(&symbols, block);
+        stats.groups += groups.len();
         for (i, s) in reordered.iter().enumerate() {
             if *s != block[i] {
                 stats.moved += 1;
             }
         }
+        diags.extend(hpf_analysis::check_partition_groups(&symbols, &reordered, &groups));
         *block = reordered;
     });
     stats
@@ -100,9 +117,19 @@ pub fn run(program: &mut Program) -> PartitionStats {
 /// number of groups formed. Dependences are preserved (asserted in debug
 /// builds via [`DepGraph::order_is_valid`]).
 pub fn partition_block(symbols: &SymbolTable, block: &[Stmt]) -> (Vec<Stmt>, usize) {
+    let (out, groups) = partition_block_groups(symbols, block);
+    (out, groups.len())
+}
+
+/// [`partition_block`], also returning each group's member positions in the
+/// *returned* statement order (groups are emitted contiguously).
+pub fn partition_block_groups(
+    symbols: &SymbolTable,
+    block: &[Stmt],
+) -> (Vec<Stmt>, Vec<Vec<usize>>) {
     let n = block.len();
     if n == 0 {
-        return (Vec::new(), 0);
+        return (Vec::new(), Vec::new());
     }
     let graph = DepGraph::build(block);
     let classes: Vec<StmtClass> = block.iter().map(|s| classify(symbols, s)).collect();
@@ -144,7 +171,15 @@ pub fn partition_block(symbols: &SymbolTable, block: &[Stmt]) -> (Vec<Stmt>, usi
     let order: Vec<usize> = groups.iter().flat_map(|(_, m)| m.iter().copied()).collect();
     debug_assert!(graph.order_is_valid(&order), "partition broke a dependence");
     let out = order.iter().map(|&i| block[i].clone()).collect();
-    (out, groups.len())
+    // Re-index member lists to positions in the reordered output, where each
+    // group occupies a contiguous range.
+    let mut member_lists = Vec::with_capacity(groups.len());
+    let mut pos = 0usize;
+    for (_, m) in &groups {
+        member_lists.push((pos..pos + m.len()).collect());
+        pos += m.len();
+    }
+    (out, member_lists)
 }
 
 #[cfg(test)]

@@ -72,6 +72,10 @@ pub struct CompileOptions {
     pub fortran_order: bool,
     /// Overlap-area width of the target machine.
     pub halo: usize,
+    /// Check each pass's declared post-conditions between stages and panic
+    /// with rendered diagnostics on violation. On by default in debug builds
+    /// (and therefore under `cargo test`); release builds skip the checks.
+    pub check_invariants: bool,
 }
 
 impl CompileOptions {
@@ -88,6 +92,7 @@ impl CompileOptions {
             permute: true,
             fortran_order: false,
             halo: 1,
+            check_invariants: cfg!(debug_assertions),
         }
     }
 
@@ -106,6 +111,7 @@ impl CompileOptions {
             permute: true,
             fortran_order: false,
             halo: 1,
+            check_invariants: cfg!(debug_assertions),
         }
     }
 
@@ -131,6 +137,12 @@ impl CompileOptions {
     /// Set the overlap width.
     pub fn halo(mut self, halo: usize) -> Self {
         self.halo = halo;
+        self
+    }
+
+    /// Enable or disable inter-stage post-condition checking.
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.check_invariants = on;
         self
     }
 }
@@ -214,25 +226,59 @@ impl Compiled {
     }
 }
 
+/// Panic with rendered diagnostics when a pass's post-conditions fail: any
+/// diagnostic here means the *compiler* broke its own invariants, not that
+/// the user program is wrong.
+fn enforce(stage: &str, diags: &[hpf_ir::Diagnostic]) {
+    assert!(
+        diags.is_empty(),
+        "internal compiler error: post-condition violated after {stage}:\n{}",
+        hpf_analysis::render_text(diags)
+    );
+}
+
+/// Run `checks` over the IR and [`enforce`] the result.
+fn enforce_checks(stage: &str, program: &Program, halo: i64, checks: &[hpf_analysis::Check]) {
+    enforce(stage, &hpf_analysis::run_checks(program, halo, checks));
+}
+
 /// Run the pipeline on a checked source program.
 pub fn compile(checked: &Checked, options: CompileOptions) -> Compiled {
+    let halo = options.halo as i64;
+    let checking = options.check_invariants;
     let mut stats = PipelineStats::default();
     let (mut program, nstats) = normalize::normalize(checked, options.temp_policy);
     stats.normalize = nstats;
-    debug_assert!(hpf_ir::validate::validate(&program, options.halo as i64).is_ok());
+    if checking {
+        enforce_checks("normalize", &program, halo, normalize::post_conditions());
+    }
     if options.offset_arrays {
-        stats.offset = offset::run(&mut program, options.halo as i64);
+        stats.offset = offset::run(&mut program, halo);
+        if checking {
+            enforce_checks("offset-arrays", &program, halo, offset::post_conditions());
+        }
     }
     if options.partition {
-        stats.partition = partition::run(&mut program);
+        if checking {
+            // Group legality needs the member lists the pass actually built,
+            // so the check rides along inside the pass.
+            let mut diags = Vec::new();
+            stats.partition = partition::run_checked(&mut program, &mut diags);
+            diags.extend(hpf_analysis::run_checks(&program, halo, partition::post_conditions()));
+            enforce("context-partitioning", &diags);
+        } else {
+            stats.partition = partition::run(&mut program);
+        }
     }
     if options.unioning {
         stats.unioning = unioning::run(&mut program);
+        if checking {
+            enforce_checks("comm-unioning", &program, halo, unioning::post_conditions());
+        }
     }
-    debug_assert!(
-        hpf_ir::validate::validate(&program, options.halo as i64).is_ok(),
-        "array passes broke the IR"
-    );
+    if checking {
+        enforce_checks("array passes", &program, halo, scalarize::pre_conditions());
+    }
     let (mut node, sstats) = scalarize::run(
         &program,
         ScalarizeOptions { fuse: options.fuse, fortran_order: options.fortran_order },
@@ -249,7 +295,17 @@ pub fn compile(checked: &Checked, options: CompileOptions) -> Compiled {
     stats.comm_ops = node.comm_count();
     stats.nests = node.nest_count();
     stats.arrays_allocated = node.live_arrays.len();
-    Compiled { array_ir: program, node, stats, options }
+    let compiled = Compiled { array_ir: program, node, stats, options };
+    if checking {
+        let need = compiled.required_halo();
+        assert!(
+            need <= options.halo,
+            "internal compiler error: node program needs a halo of {need} \
+             but the target provides {}",
+            options.halo
+        );
+    }
+    compiled
 }
 
 #[cfg(test)]

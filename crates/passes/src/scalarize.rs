@@ -41,6 +41,16 @@ pub struct ScalarizeStats {
     pub statements: usize,
 }
 
+/// Pre-conditions scalarization assumes of its input IR, checked by the
+/// pipeline when `CompileOptions::check_invariants` is set: the greedy
+/// grouping this pass performs must be fusion-legal (FP001) — no group may
+/// pair statements whose fusion would turn a loop-independent dependence
+/// into a loop-carried one.
+pub fn pre_conditions() -> &'static [hpf_analysis::Check] {
+    use hpf_analysis::Check;
+    &[Check::FusionLegal]
+}
+
 /// Lower a program to its node program.
 pub fn run(program: &Program, opts: ScalarizeOptions) -> (NodeProgram, ScalarizeStats) {
     let mut stats = ScalarizeStats::default();

@@ -42,6 +42,16 @@ struct GroupKey {
     kind: ShiftKind,
 }
 
+/// Post-conditions of communication unioning, checked by the pipeline when
+/// `CompileOptions::check_invariants` is set: structural validity, halo
+/// safety (subsumption must not drop a fill any read depends on — the static
+/// twin of the halo-poisoning property test), and minimality (no emitted
+/// run still contains a subsumed shift, CU001).
+pub fn post_conditions() -> &'static [hpf_analysis::Check] {
+    use hpf_analysis::Check;
+    &[Check::Validate, Check::HaloSafe, Check::NoSubsumedShifts]
+}
+
 /// Run communication unioning over every basic block.
 pub fn run(program: &mut Program) -> UnioningStats {
     let mut stats = UnioningStats::default();
