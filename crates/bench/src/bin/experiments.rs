@@ -1,9 +1,13 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent]
+//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen]
 //!             [--n SIZE] [--sizes a,b,c] [--steps K] [--engine seq|threaded] [--json]
 //! ```
+//!
+//! `--exp codegen` compares the interpreter and bytecode nest backends
+//! (defaulting to N in {128, 512}) and writes the comparison to
+//! `BENCH_codegen.json` in the current directory.
 
 use hpf_bench::table::Table;
 use hpf_bench::*;
@@ -13,6 +17,7 @@ struct Args {
     exp: String,
     n: usize,
     sizes: Vec<usize>,
+    sizes_given: bool,
     steps: usize,
     engine: Engine,
     json: bool,
@@ -23,6 +28,7 @@ fn parse_args() -> Args {
         exp: "all".to_string(),
         n: 256,
         sizes: vec![64, 128, 256, 512],
+        sizes_given: false,
         steps: 10,
         engine: Engine::Sequential,
         json: false,
@@ -42,6 +48,7 @@ fn parse_args() -> Args {
                     .split(',')
                     .map(|s| s.trim().parse().expect("numeric size"))
                     .collect();
+                args.sizes_given = true;
             }
             "--engine" => {
                 args.engine = match it.next().expect("--engine seq|threaded").as_str() {
@@ -53,7 +60,7 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent] [--n SIZE] [--sizes a,b,c] [--steps K] [--engine seq|threaded] [--json]"
+                    "usage: experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen] [--n SIZE] [--sizes a,b,c] [--steps K] [--engine seq|threaded] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -93,6 +100,19 @@ fn main() {
     }
     if want("persistent") {
         tables.push(persistent(args.n, args.steps, args.engine));
+    }
+    if args.exp == "codegen" {
+        // Both backends, both engines; defaults to the paper-scale sizes.
+        let sizes: Vec<usize> = if args.sizes_given { args.sizes.clone() } else { vec![128, 512] };
+        let t = codegen(&sizes, args.steps);
+        std::fs::write("BENCH_codegen.json", t.to_json() + "\n").expect("write BENCH_codegen.json");
+        if args.json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{}", t.render());
+        }
+        eprintln!("wrote BENCH_codegen.json");
+        return;
     }
     if args.exp == "fig7to10" {
         println!("{}", hpf_bench::figures::figures_7_to_10(4));

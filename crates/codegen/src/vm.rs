@@ -1,0 +1,620 @@
+//! The kernel VM: per-PE compiled nests and their execution over subgrid
+//! storage.
+//!
+//! [`compile_nest`] specializes one loop nest against one PE's subgrid
+//! layout: SPMD bounds reduction, flat-index deltas, constant preloads, and
+//! the jammed/unit (interior/boundary) body split are all resolved at
+//! compile time. [`exec_compiled`] then walks the iteration space *by rows*
+//! (maximal runs of the innermost loop): each row performs **one** bounds
+//! check — `base + min_delta` and `last_base + max_delta` against the flat
+//! slice — and when it passes, the whole row executes with unchecked
+//! indexing. Register and array-slot indices are validated at compile time,
+//! so the only runtime obligation is that row check; rows that fail it
+//! (impossible for halo-lint-clean programs, see DESIGN.md §5c) take a
+//! checked fallback that panics exactly where the interpreter would.
+//!
+//! Rows the compiler proves chunk-safe ([`vector_safe`]: no store in one
+//! lane can alias another lane's memory op, and no register state carries
+//! between points) run through a *chunked* executor: each op executes over
+//! up to [`LANES`] consecutive points before the next op dispatches, which
+//! amortizes dispatch cost over the chunk and turns every op into a
+//! straight-line lane loop the optimizer vectorizes. Contiguous rows load
+//! and store via `memcpy`-style block moves.
+//!
+//! Execution order, operation order, and rounding are identical to the tree
+//! interpreter (`hpf-exec`'s `exec_nest`): results are bitwise equal and the
+//! `PeStats` counters match, because they are derived from the *source*
+//! body with the interpreter's own counting rules.
+
+use crate::bytecode::{compile_body, reads_before_def, BodyCx, KernelCode, Op};
+use hpf_ir::expr::CmpOp;
+use hpf_ir::BinOp;
+use hpf_passes::loopir::{Instr, LoopNest};
+use hpf_runtime::PeState;
+
+/// Chunk width of the vectorized row executor: each op runs over this many
+/// consecutive row points before the VM dispatches the next op, amortizing
+/// dispatch cost and exposing straight-line lane loops the optimizer
+/// auto-vectorizes.
+const LANES: usize = 32;
+
+/// One loop nest compiled for one PE's subgrid layout. Build with
+/// [`compile_nest`]; execute (many times) with [`exec_compiled`].
+#[derive(Clone, Debug)]
+pub struct CompiledNest {
+    /// This PE owns no part of the iteration space: execution is a no-op.
+    empty: bool,
+    /// Local loop bounds (inclusive), per dimension.
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    /// Row-major strides of every referenced subgrid (layouts verified equal).
+    strides: Vec<i64>,
+    /// Ghost-layer width of the shared layout.
+    halo: i64,
+    /// Loop order, outermost first.
+    order: Vec<usize>,
+    /// Unroll factor of the outermost loop (1 when not unrolled).
+    factor: i64,
+    /// Jammed (interior) body.
+    jammed: KernelCode,
+    /// Unit body for remainder (boundary) iterations of the unrolled loop.
+    unit: Option<KernelCode>,
+    /// Array table: `arrays[slot]` is the raw `ArrayId` index.
+    arrays: Vec<u32>,
+    /// Register-file size (jammed + unit + preloads).
+    regs: usize,
+    /// Constants written once per execution.
+    preloads: Vec<(u16, f64)>,
+    /// Innermost loop is not over the storage-contiguous dimension.
+    strided: bool,
+    /// Flat length of every referenced subgrid.
+    len: usize,
+    /// Jammed rows may run through the chunked (vectorized) executor.
+    jam_vec: bool,
+    /// Unit/remainder rows may run through the chunked executor.
+    unit_vec: bool,
+}
+
+/// Compile `nest` for the layout `pe` holds. Arrays referenced by the body
+/// must already be allocated. Returns `None` when the nest cannot be
+/// compiled — referenced subgrids disagree on layout, index ranges overflow
+/// the bytecode, or the unroll annotation is malformed — in which case the
+/// caller falls back to the interpreter for this (nest, PE) pair.
+pub fn compile_nest(nest: &LoopNest, pe: &PeState, scalars: &[f64]) -> Option<CompiledNest> {
+    let probe = nest.body.iter().find_map(|i| match i {
+        Instr::Load { array, .. } | Instr::Store { array, .. } => Some(*array),
+        _ => None,
+    })?;
+    let sub = pe.subgrids.get(probe.0 as usize)?.as_ref()?;
+    let (owned, ext, strides, halo, len) =
+        (sub.owned.clone(), sub.ext.clone(), sub.strides().to_vec(), sub.halo, sub.raw().len());
+
+    // Every referenced array must share the probe's layout: the VM reuses
+    // one base index and one flat length for all of them.
+    let bodies: [&[Instr]; 2] =
+        [&nest.body, nest.unroll.as_ref().map_or(&[][..], |u| &u.unit_body)];
+    for i in bodies.iter().flat_map(|b| b.iter()) {
+        if let Instr::Load { array, .. } | Instr::Store { array, .. } = i {
+            let s = pe.subgrids.get(array.0 as usize)?.as_ref()?;
+            if s.strides() != strides.as_slice() || s.halo != halo || s.raw().len() != len {
+                return None;
+            }
+        }
+    }
+
+    let rank = ext.len();
+    if nest.order.len() != rank {
+        return None;
+    }
+    let factor = match &nest.unroll {
+        Some(u) => {
+            if u.dim != nest.order[0] || u.factor < 2 {
+                return None;
+            }
+            u.factor as i64
+        }
+        None => 1,
+    };
+
+    let mut empty = ext.contains(&0);
+    let mut lo = vec![0i64; rank];
+    let mut hi = vec![0i64; rank];
+    for d in 0..rank {
+        let (olo, _) = owned.dim(d);
+        let (slo, shi) = nest.space.dim(d);
+        lo[d] = (slo - olo + 1).max(1);
+        hi[d] = (shi - olo + 1).min(ext[d] as i64);
+        if hi[d] < lo[d] {
+            empty = true;
+        }
+    }
+
+    // Hoisting constants out of the per-point code is only sound when no
+    // body observes register state it did not write itself; otherwise fall
+    // back to a strict translation sharing one register numbering, exactly
+    // like the interpreter's persistent register file.
+    let strict = bodies.iter().any(|b| reads_before_def(b));
+    let jr = nest.regs;
+    let ur = nest.unroll.as_ref().map_or(0, |u| u.unit_regs);
+    let unit_base = if strict { 0 } else { jr };
+
+    let mut cx = BodyCx::with_min_regs(if strict { jr.max(ur) } else { 0 });
+    let jammed = compile_body(&nest.body, &strides, scalars, 0, strict, &mut cx)?;
+    let unit = match &nest.unroll {
+        Some(u) => Some(compile_body(&u.unit_body, &strides, scalars, unit_base, strict, &mut cx)?),
+        None => None,
+    };
+
+    // Chunked (vectorized) execution runs a row op-at-a-time over up to
+    // LANES points, reordering memory ops across lanes. That is observable
+    // only when a store in one lane can alias a load or store in a *different*
+    // lane of the same chunk, or when register state carries between points
+    // (strict mode). Both are decidable here because each body's row step is
+    // fixed at compile time; rows failing the test run point-at-a-time.
+    let istrides: Vec<i64> = strides.iter().map(|&s| s as i64).collect();
+    let inner_step = istrides[*nest.order.last()?];
+    let (jam_step, unit_step) = if rank == 1 {
+        (factor * istrides[nest.order[0]], istrides[nest.order[0]])
+    } else {
+        (inner_step, inner_step)
+    };
+    let jam_vec = !strict && vector_safe(&jammed.ops, jam_step);
+    let unit_vec = !strict && vector_safe(&unit.as_ref().unwrap_or(&jammed).ops, unit_step);
+
+    Some(CompiledNest {
+        empty,
+        lo,
+        hi,
+        strides: istrides,
+        halo: halo as i64,
+        order: nest.order.clone(),
+        factor,
+        jammed,
+        unit,
+        arrays: cx.arrays,
+        regs: cx.max_reg + 1,
+        preloads: cx.preloads,
+        strided: *nest.order.last()? != rank - 1 && rank > 1,
+        len,
+        jam_vec,
+        unit_vec,
+    })
+}
+
+/// May `ops` execute op-at-a-time over a `LANES`-wide chunk of a row with
+/// step `step` and still produce the interpreter's point-at-a-time results?
+/// Only memory can carry state across lanes (fast-mode bodies define every
+/// register they read), so the test is purely about aliasing: a store and
+/// another memory op on the same array whose flat-delta difference is a
+/// multiple of the step smaller than the chunk width would make one lane
+/// touch another lane's location, and the chunk interleaving would become
+/// observable.
+fn vector_safe(ops: &[Op], step: i64) -> bool {
+    if step == 0 {
+        return false;
+    }
+    let mut stores: Vec<(u16, i64)> = Vec::new();
+    let mut mems: Vec<(u16, i64)> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Store { arr, delta, .. } | Op::SelStore { arr, delta, .. } => {
+                stores.push((arr, delta as i64));
+                mems.push((arr, delta as i64));
+            }
+            Op::Load { dst: _, arr, delta } => mems.push((arr, delta as i64)),
+            _ => {}
+        }
+    }
+    stores.iter().all(|&(sa, sd)| {
+        mems.iter().all(|&(ma, md)| {
+            let diff = sd - md;
+            sa != ma
+                || diff == 0
+                || diff % step != 0
+                || (diff / step).unsigned_abs() >= LANES as u64
+        })
+    })
+}
+
+impl CompiledNest {
+    /// Bytecode listing (for tests and debugging).
+    pub fn ops(&self) -> (&[Op], Option<&[Op]>) {
+        (&self.jammed.ops, self.unit.as_ref().map(|u| u.ops.as_slice()))
+    }
+
+    /// Constants hoisted out of the per-point code.
+    pub fn preload_count(&self) -> usize {
+        self.preloads.len()
+    }
+
+    /// May the (jammed, unit) bodies use the chunked row executor? (For
+    /// tests and debugging.)
+    pub fn vectorized(&self) -> (bool, bool) {
+        (self.jam_vec, self.unit_vec)
+    }
+}
+
+/// Execute a compiled nest on the PE it was compiled for. May be called any
+/// number of times (plans reuse compiled nests across time steps).
+pub fn exec_compiled(pe: &mut PeState, cn: &CompiledNest) {
+    if cn.empty {
+        return;
+    }
+    let mut regs = vec![0.0f64; cn.regs.max(1)];
+    for &(r, v) in &cn.preloads {
+        regs[r as usize] = v;
+    }
+    // Strip register file for the chunked executor: LANES lanes per register,
+    // preloads broadcast once. Ops never write preload registers (their defs
+    // were hoisted), so the broadcast survives the whole execution.
+    let mut strips = if cn.jam_vec || cn.unit_vec {
+        let mut s = vec![0.0f64; cn.regs.max(1) * LANES];
+        for &(r, v) in &cn.preloads {
+            s[r as usize * LANES..(r as usize + 1) * LANES].fill(v);
+        }
+        s
+    } else {
+        Vec::new()
+    };
+
+    // Raw slice table. Distinct `ArrayId`s own distinct allocations, so the
+    // pointers never alias each other; ops execute strictly in order, so
+    // same-array load/store ordering is preserved.
+    let mut arrs: Vec<(*mut f64, usize)> = Vec::with_capacity(cn.arrays.len());
+    for &a in &cn.arrays {
+        let sub = pe.subgrids[a as usize].as_mut().expect("allocated");
+        let raw = sub.raw_mut();
+        arrs.push((raw.as_mut_ptr(), raw.len()));
+    }
+
+    let rank = cn.order.len();
+    let d0 = cn.order[0];
+    let inner = *cn.order.last().unwrap();
+    let base_of = |point: &[i64]| -> i64 {
+        point.iter().zip(&cn.strides).map(|(&l, &s)| (l + cn.halo - 1) * s).sum()
+    };
+
+    let mut jammed_execs = 0u64;
+    let mut unit_execs = 0u64;
+    {
+        let mut row = |kernel: &KernelCode,
+                       vec_ok: bool,
+                       base: i64,
+                       count: i64,
+                       step: i64,
+                       execs: &mut u64| {
+            if count <= 0 {
+                return;
+            }
+            *execs += count as u64;
+            let first = base + kernel.min_delta;
+            let last = base + (count - 1) * step + kernel.max_delta;
+            if first >= 0 && (last as u64) < cn.len as u64 {
+                // SAFETY: every flat index this row touches lies in
+                // [first, last] ⊆ [0, len); register and slot indices were
+                // validated at compile time. The chunked executor is only
+                // entered when `vector_safe` proved the op-at-a-time
+                // interleaving unobservable.
+                unsafe {
+                    if vec_ok {
+                        run_row_vec(&kernel.ops, &arrs, &mut strips, base, count, step)
+                    } else {
+                        run_row::<false>(&kernel.ops, &arrs, &mut regs, base, count, step)
+                    }
+                }
+            } else {
+                // Out-of-layout access (a halo violation the lints would
+                // flag): run checked, panicking like the interpreter.
+                unsafe { run_row::<true>(&kernel.ops, &arrs, &mut regs, base, count, step) }
+            }
+        };
+
+        if rank == 1 {
+            let n = cn.hi[d0] - cn.lo[d0] + 1;
+            let jam_steps = n / cn.factor;
+            let rest = n - jam_steps * cn.factor;
+            let base = base_of(&[cn.lo[d0]]);
+            let stride = cn.strides[d0];
+            row(&cn.jammed, cn.jam_vec, base, jam_steps, cn.factor * stride, &mut jammed_execs);
+            let ubase = base + jam_steps * cn.factor * stride;
+            let unit = cn.unit.as_ref().unwrap_or(&cn.jammed);
+            row(unit, cn.unit_vec, ubase, rest, stride, &mut unit_execs);
+        } else {
+            // Middle dims: everything between the (possibly unrolled)
+            // outermost loop and the innermost row dimension.
+            let mids: Vec<usize> = cn.order[1..rank - 1].to_vec();
+            let row_len = cn.hi[inner] - cn.lo[inner] + 1;
+            let row_step = cn.strides[inner];
+            let mut point = cn.lo.clone();
+            let mut i = cn.lo[d0];
+            while i <= cn.hi[d0] {
+                let use_jammed = i + cn.factor - 1 <= cn.hi[d0];
+                let (kernel, vec_ok, execs) = if use_jammed {
+                    (&cn.jammed, cn.jam_vec, &mut jammed_execs)
+                } else {
+                    (cn.unit.as_ref().unwrap_or(&cn.jammed), cn.unit_vec, &mut unit_execs)
+                };
+                point[d0] = i;
+                for &d in &mids {
+                    point[d] = cn.lo[d];
+                }
+                'mids: loop {
+                    point[inner] = cn.lo[inner];
+                    row(kernel, vec_ok, base_of(&point), row_len, row_step, execs);
+                    for idx in (0..mids.len()).rev() {
+                        let d = mids[idx];
+                        point[d] += 1;
+                        if point[d] <= cn.hi[d] {
+                            continue 'mids;
+                        }
+                        point[d] = cn.lo[d];
+                    }
+                    break;
+                }
+                i += if use_jammed { cn.factor } else { 1 };
+            }
+        }
+    }
+
+    // Bulk counters, the interpreter's accounting exactly.
+    let unit_counts = cn.unit.as_ref().unwrap_or(&cn.jammed);
+    let s = &mut pe.stats;
+    s.loads += jammed_execs * cn.jammed.loads + unit_execs * unit_counts.loads;
+    s.stores += jammed_execs * cn.jammed.stores + unit_execs * unit_counts.stores;
+    s.flops += jammed_execs * cn.jammed.flops + unit_execs * unit_counts.flops;
+    s.iters += jammed_execs + unit_execs;
+    if cn.strided {
+        s.strided_loads += jammed_execs * cn.jammed.loads + unit_execs * unit_counts.loads;
+    }
+}
+
+/// Execute `ops` over one row of `count` points, advancing the base index
+/// by `step` per point. With `CHECKED = false`, all indexing is unchecked —
+/// the caller has proven every index in range; with `CHECKED = true`, every
+/// memory access is asserted in range first.
+///
+/// # Safety
+/// Register indices must be `< regs.len()` and slot indices `< arrs.len()`
+/// (guaranteed by `compile_body`). With `CHECKED = false`, the caller must
+/// guarantee `base + delta ∈ [0, len)` for every memory op at every point
+/// of the row.
+unsafe fn run_row<const CHECKED: bool>(
+    ops: &[Op],
+    arrs: &[(*mut f64, usize)],
+    regs: &mut [f64],
+    mut base: i64,
+    count: i64,
+    step: i64,
+) {
+    macro_rules! r {
+        ($i:expr) => {
+            *regs.get_unchecked($i as usize)
+        };
+    }
+    macro_rules! w {
+        ($i:expr, $v:expr) => {
+            *regs.get_unchecked_mut($i as usize) = $v
+        };
+    }
+    macro_rules! mem {
+        ($arr:expr, $delta:expr) => {{
+            let (ptr, len) = *arrs.get_unchecked($arr as usize);
+            let idx = (base + $delta as i64) as usize;
+            if CHECKED {
+                assert!(idx < len, "subgrid access out of bounds: {idx} >= {len}");
+            }
+            ptr.add(idx)
+        }};
+    }
+    for _ in 0..count {
+        for op in ops {
+            match *op {
+                Op::Const { dst, v } => w!(dst, v),
+                Op::Load { dst, arr, delta } => w!(dst, *mem!(arr, delta)),
+                Op::Store { arr, delta, src } => *mem!(arr, delta) = r!(src),
+                Op::Bin { op, dst, a, b } => w!(dst, op.apply(r!(a), r!(b))),
+                Op::BinImmR { op, dst, a, v } => w!(dst, op.apply(r!(a), v)),
+                Op::BinImmL { op, dst, v, b } => w!(dst, op.apply(v, r!(b))),
+                Op::MulAcc { dst, acc, a, b } => w!(dst, r!(acc) + r!(a) * r!(b)),
+                Op::MulAccImmL { dst, acc, v, b } => w!(dst, r!(acc) + v * r!(b)),
+                Op::MulAccImmR { dst, acc, a, v } => w!(dst, r!(acc) + r!(a) * v),
+                Op::Neg { dst, src } => w!(dst, -r!(src)),
+                Op::Copy { dst, src } => w!(dst, r!(src)),
+                Op::Cmp { op, dst, a, b } => w!(dst, op.apply(r!(a), r!(b))),
+                Op::CmpImmR { op, dst, a, v } => w!(dst, op.apply(r!(a), v)),
+                Op::CmpImmL { op, dst, v, b } => w!(dst, op.apply(v, r!(b))),
+                Op::Select { dst, c, t, e } => {
+                    w!(dst, if r!(c) != 0.0 { r!(t) } else { r!(e) })
+                }
+                Op::SelStore { arr, delta, c, t, e } => {
+                    *mem!(arr, delta) = if r!(c) != 0.0 { r!(t) } else { r!(e) }
+                }
+            }
+        }
+        base += step;
+    }
+}
+
+/// Execute `ops` over one row through the chunked executor: the row is cut
+/// into chunks of up to [`LANES`] points and each op runs across the whole
+/// chunk before the next op dispatches. Per-lane results are bitwise
+/// identical to the scalar executor — each lane performs the same operation
+/// sequence on the same operands — and `vector_safe` proved no lane's store
+/// aliases another lane's memory op, so the interleaving is unobservable.
+///
+/// # Safety
+/// Same contract as `run_row::<false>` (every `base + i*step + delta` in
+/// range, register/slot indices compile-time validated), plus: `strips` has
+/// `LANES` lanes per register with preloads broadcast, and the kernel was
+/// admitted by `vector_safe` for this `step`.
+unsafe fn run_row_vec(
+    ops: &[Op],
+    arrs: &[(*mut f64, usize)],
+    strips: &mut [f64],
+    mut base: i64,
+    count: i64,
+    step: i64,
+) {
+    let sp = strips.as_mut_ptr();
+    let mut left = count;
+    while left > 0 {
+        let n = (left as usize).min(LANES);
+        run_chunk(ops, arrs, sp, base, n, step);
+        base += n as i64 * step;
+        left -= n as i64;
+    }
+}
+
+/// One chunk of up to `n <= LANES` row points, op-at-a-time. Register ops
+/// compute all `LANES` lanes (straight-line loops the optimizer vectorizes);
+/// lanes beyond `n` hold stale values whose results never reach memory —
+/// only the memory ops honor `n`.
+///
+/// # Safety
+/// See `run_row_vec`; `sp` must point at `regs * LANES` initialized `f64`s.
+unsafe fn run_chunk(
+    ops: &[Op],
+    arrs: &[(*mut f64, usize)],
+    sp: *mut f64,
+    base: i64,
+    n: usize,
+    step: i64,
+) {
+    // Lane pointer of register `r`.
+    macro_rules! strip {
+        ($r:expr) => {
+            sp.add($r as usize * LANES)
+        };
+    }
+    // Whole-register reads/writes as fixed-size arrays: value semantics keep
+    // the lane loops free of aliasing, so they compile to vector code.
+    macro_rules! rd {
+        ($r:expr) => {
+            *(strip!($r) as *const [f64; LANES])
+        };
+    }
+    macro_rules! lanes {
+        ($dst:expr, |$i:ident| $e:expr) => {{
+            let mut out = [0.0f64; LANES];
+            for $i in 0..LANES {
+                out[$i] = $e;
+            }
+            *(strip!($dst) as *mut [f64; LANES]) = out;
+        }};
+    }
+    macro_rules! mem_at {
+        ($ptr:expr, $delta:expr, $i:expr) => {
+            $ptr.add((base + $i as i64 * step + $delta as i64) as usize)
+        };
+    }
+    // Comparison with the predicate match hoisted out of the lane loop.
+    macro_rules! cmp_lanes {
+        ($op:expr, $dst:expr, |$i:ident| ($a:expr, $b:expr)) => {
+            match $op {
+                CmpOp::Gt => lanes!($dst, |$i| if $a > $b { 1.0 } else { 0.0 }),
+                CmpOp::Lt => lanes!($dst, |$i| if $a < $b { 1.0 } else { 0.0 }),
+                CmpOp::Ge => lanes!($dst, |$i| if $a >= $b { 1.0 } else { 0.0 }),
+                CmpOp::Le => lanes!($dst, |$i| if $a <= $b { 1.0 } else { 0.0 }),
+                CmpOp::Eq => lanes!($dst, |$i| if $a == $b { 1.0 } else { 0.0 }),
+                CmpOp::Ne => lanes!($dst, |$i| if $a != $b { 1.0 } else { 0.0 }),
+            }
+        };
+    }
+    for op in ops {
+        match *op {
+            Op::Const { dst, v } => lanes!(dst, |_i| v),
+            Op::Load { dst, arr, delta } => {
+                let (ptr, _) = *arrs.get_unchecked(arr as usize);
+                let d = strip!(dst);
+                if step == 1 {
+                    std::ptr::copy_nonoverlapping(ptr.add((base + delta as i64) as usize), d, n);
+                } else {
+                    for i in 0..n {
+                        *d.add(i) = *mem_at!(ptr, delta, i);
+                    }
+                }
+            }
+            Op::Store { arr, delta, src } => {
+                let (ptr, _) = *arrs.get_unchecked(arr as usize);
+                let s = strip!(src);
+                if step == 1 {
+                    std::ptr::copy_nonoverlapping(s, ptr.add((base + delta as i64) as usize), n);
+                } else {
+                    for i in 0..n {
+                        *mem_at!(ptr, delta, i) = *s.add(i);
+                    }
+                }
+            }
+            Op::Bin { op, dst, a, b } => {
+                let (x, y) = (rd!(a), rd!(b));
+                match op {
+                    BinOp::Add => lanes!(dst, |i| x[i] + y[i]),
+                    BinOp::Sub => lanes!(dst, |i| x[i] - y[i]),
+                    BinOp::Mul => lanes!(dst, |i| x[i] * y[i]),
+                    BinOp::Div => lanes!(dst, |i| x[i] / y[i]),
+                }
+            }
+            Op::BinImmR { op, dst, a, v } => {
+                let x = rd!(a);
+                match op {
+                    BinOp::Add => lanes!(dst, |i| x[i] + v),
+                    BinOp::Sub => lanes!(dst, |i| x[i] - v),
+                    BinOp::Mul => lanes!(dst, |i| x[i] * v),
+                    BinOp::Div => lanes!(dst, |i| x[i] / v),
+                }
+            }
+            Op::BinImmL { op, dst, v, b } => {
+                let y = rd!(b);
+                match op {
+                    BinOp::Add => lanes!(dst, |i| v + y[i]),
+                    BinOp::Sub => lanes!(dst, |i| v - y[i]),
+                    BinOp::Mul => lanes!(dst, |i| v * y[i]),
+                    BinOp::Div => lanes!(dst, |i| v / y[i]),
+                }
+            }
+            Op::MulAcc { dst, acc, a, b } => {
+                let (c, x, y) = (rd!(acc), rd!(a), rd!(b));
+                lanes!(dst, |i| c[i] + x[i] * y[i]);
+            }
+            Op::MulAccImmL { dst, acc, v, b } => {
+                let (c, y) = (rd!(acc), rd!(b));
+                lanes!(dst, |i| c[i] + v * y[i]);
+            }
+            Op::MulAccImmR { dst, acc, a, v } => {
+                let (c, x) = (rd!(acc), rd!(a));
+                lanes!(dst, |i| c[i] + x[i] * v);
+            }
+            Op::Neg { dst, src } => {
+                let x = rd!(src);
+                lanes!(dst, |i| -x[i]);
+            }
+            Op::Copy { dst, src } => {
+                let x = rd!(src);
+                lanes!(dst, |i| x[i]);
+            }
+            Op::Cmp { op, dst, a, b } => {
+                let (x, y) = (rd!(a), rd!(b));
+                cmp_lanes!(op, dst, |i| (x[i], y[i]));
+            }
+            Op::CmpImmR { op, dst, a, v } => {
+                let x = rd!(a);
+                cmp_lanes!(op, dst, |i| (x[i], v));
+            }
+            Op::CmpImmL { op, dst, v, b } => {
+                let y = rd!(b);
+                cmp_lanes!(op, dst, |i| (v, y[i]));
+            }
+            Op::Select { dst, c, t, e } => {
+                let (cv, tv, ev) = (rd!(c), rd!(t), rd!(e));
+                lanes!(dst, |i| if cv[i] != 0.0 { tv[i] } else { ev[i] });
+            }
+            Op::SelStore { arr, delta, c, t, e } => {
+                let (ptr, _) = *arrs.get_unchecked(arr as usize);
+                let (cv, tv, ev) = (rd!(c), rd!(t), rd!(e));
+                for i in 0..n {
+                    *mem_at!(ptr, delta, i) = if cv[i] != 0.0 { tv[i] } else { ev[i] };
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The compile-and-run API.
 
-use hpf_exec::{plan::apply_swaps, ExecPlan, Reference};
+use hpf_exec::{plan::apply_swaps, Backend, ExecPlan, Reference};
 use hpf_frontend::{compile_source, Checked, FrontError};
 use hpf_ir::ArrayId;
 use hpf_passes::{compile, CompileOptions, Compiled};
@@ -101,7 +101,13 @@ impl Kernel {
 
     /// Start configuring a run of this kernel.
     pub fn runner(&self, config: MachineConfig) -> Runner<'_> {
-        Runner { kernel: self, config, inits: Vec::new(), engine: Engine::Sequential }
+        Runner {
+            kernel: self,
+            config,
+            inits: Vec::new(),
+            engine: Engine::Sequential,
+            backend: Backend::Interp,
+        }
     }
 
     /// Start configuring a persistent execution plan for this kernel: the
@@ -114,6 +120,7 @@ impl Kernel {
             config,
             inits: Vec::new(),
             engine: Engine::Sequential,
+            backend: Backend::Interp,
             swaps: Vec::new(),
         }
     }
@@ -223,6 +230,7 @@ pub struct Runner<'k> {
     config: MachineConfig,
     inits: Vec<(String, InitFn)>,
     engine: Engine,
+    backend: Backend,
 }
 
 impl Runner<'_> {
@@ -238,6 +246,13 @@ impl Runner<'_> {
         self
     }
 
+    /// Select how loop nests are evaluated: tree interpreter (default) or
+    /// compiled bytecode kernels. Bitwise-identical results either way.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Execute one sweep. A thin wrapper over the plan API: builds a
     /// [`Plan`] (allocating input arrays first, then the remaining arrays —
     /// respecting the memory budget, which is how Figure 11's exhaustion
@@ -248,6 +263,7 @@ impl Runner<'_> {
             config: self.config,
             inits: self.inits,
             engine: self.engine,
+            backend: self.backend,
             swaps: Vec::new(),
         }
         .build()?;
@@ -294,6 +310,7 @@ pub struct Planner<'k> {
     config: MachineConfig,
     inits: Vec<(String, InitFn)>,
     engine: Engine,
+    backend: Backend,
     swaps: Vec<(String, String)>,
 }
 
@@ -307,6 +324,15 @@ impl<'k> Planner<'k> {
     /// Select the executor.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Select how loop nests are evaluated: tree interpreter (default) or
+    /// compiled bytecode kernels. Under the bytecode backend the plan
+    /// compiles every nest once at build time and reuses the kernels on
+    /// every step. Bitwise-identical results either way.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -332,7 +358,7 @@ impl<'k> Planner<'k> {
             machine.fill(id, |p| f(p));
         }
         machine.reset_stats();
-        let exec = ExecPlan::build(&mut machine, &self.kernel.compiled.node)?;
+        let exec = ExecPlan::build_with(&mut machine, &self.kernel.compiled.node, self.backend)?;
         let mut swaps = Vec::with_capacity(self.swaps.len());
         for (a, b) in &self.swaps {
             let (ia, ib) = (self.kernel.array_id(a)?, self.kernel.array_id(b)?);

@@ -8,7 +8,8 @@
 //! ```text
 //! hpfsc [FILE] [--stage original|offset|partition|unioning|full]
 //!              [--emit ir|node|stats|diag-json] [--lint] [--deny-warnings]
-//!              [--run] [--grid RxC] [--halo W] [--engine seq|threaded]
+//!              [--run] [--grid RxC] [--halo W]
+//!              [--engine seq|threaded|interp|bytecode|seq-bytecode|...]
 //!              [--print-input NAME[:N]] [--naive] [--drop-shift K]
 //! ```
 //!
@@ -18,7 +19,7 @@
 use hpf_core::analysis;
 use hpf_core::baselines::naive;
 use hpf_core::passes::nodepretty;
-use hpf_core::{presets, CompileOptions, Engine, Kernel, MachineConfig, Stage};
+use hpf_core::{presets, Backend, CompileOptions, Engine, Kernel, MachineConfig, Stage};
 use std::process::exit;
 
 const USAGE: &str = "\
@@ -37,7 +38,10 @@ options:
                         the reference interpreter
   --grid RxC            PE grid for --run (default: 2x2)
   --halo W              overlap-area width (default: 1)
-  --engine seq|threaded executor for --run (default: seq)
+  --engine SPEC         executor and nest backend for --run: an engine
+                        (seq, threaded), a backend (interp, bytecode), or
+                        both joined with '-' (e.g. threaded-bytecode);
+                        default: seq-interp
   --print-input NAME[:N]
                         print a preset kernel source (five-point,
                         nine-point-cshift, nine-point-array, problem9,
@@ -87,6 +91,7 @@ fn main() {
     let mut grid: Vec<usize> = vec![2, 2];
     let mut halo = 1usize;
     let mut engine = Engine::Sequential;
+    let mut backend = Backend::Interp;
     let mut naive_mode = false;
     let mut print_input: Option<String> = None;
     let mut drop_shift: Option<usize> = None;
@@ -130,11 +135,20 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--halo needs a non-negative integer"))
             }
             "--engine" => {
-                engine = match args.next().as_deref() {
-                    Some("seq") => Engine::Sequential,
-                    Some("threaded") | Some("par") => Engine::Threaded,
-                    other => usage_error(&format!("bad --engine {other:?}")),
-                };
+                let v = args.next().unwrap_or_else(|| usage_error("--engine needs an argument"));
+                for part in v.split('-') {
+                    match part {
+                        "seq" => engine = Engine::Sequential,
+                        "threaded" | "par" => engine = Engine::Threaded,
+                        "interp" => backend = Backend::Interp,
+                        "bytecode" => backend = Backend::Bytecode,
+                        _ => usage_error(&format!(
+                            "--engine: unknown value '{v}' (valid: seq, threaded, interp, \
+                             bytecode, or engine-backend pairs like seq-bytecode, \
+                             threaded-interp)"
+                        )),
+                    }
+                }
             }
             "--naive" => naive_mode = true,
             "--drop-shift" => {
@@ -235,7 +249,7 @@ fn main() {
 
     if run {
         let cfg = MachineConfig::with_grid(grid.clone()).halo(halo);
-        let mut runner = kernel.runner(cfg).engine(engine);
+        let mut runner = kernel.runner(cfg).engine(engine).backend(backend);
         // Default deterministic initialization for every *user* array the
         // node program touches. Compiler temporaries are always written
         // before they are read; arrays the optimizer eliminated (Problem 9's
@@ -274,6 +288,10 @@ fn main() {
                 println!("comm bytes      : {}", stats.total_comm_bytes());
                 println!("intra bytes     : {}", stats.total_intra_bytes());
                 println!("peak mem per PE : {} bytes", stats.max_peak_bytes());
+                if backend == Backend::Bytecode {
+                    println!("kernels compiled: {}", stats.kernels_compiled);
+                    println!("kernel execs    : {}", stats.kernel_execs);
+                }
                 println!("modeled time    : {:.3} ms", r.modeled_ms());
                 println!("wall clock      : {:.3} ms", r.wall.as_secs_f64() * 1e3);
             }

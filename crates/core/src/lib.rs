@@ -46,7 +46,7 @@ pub use hpf_passes as passes;
 pub use hpf_runtime as runtime;
 
 pub use hpf_analysis::{Diagnostic, Severity};
-pub use hpf_exec::{max_abs_diff, Reference};
+pub use hpf_exec::{max_abs_diff, Backend, Reference};
 pub use hpf_ir::pretty;
 pub use hpf_passes::{CompileOptions, PipelineStats, Stage, TempPolicy};
 pub use hpf_runtime::{CostModel, Machine, MachineConfig, PeGrid, RtError};

@@ -134,6 +134,38 @@ fn dropped_shift_fails_the_verified_run() {
 }
 
 #[test]
+fn bad_engine_names_the_flag_and_lists_choices() {
+    let out = hpfsc(&["--engine", "warp9"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--engine"), "stderr must name the flag: {text}");
+    assert!(text.contains("'warp9'"), "stderr must echo the bad value: {text}");
+    for choice in ["seq", "threaded", "interp", "bytecode"] {
+        assert!(text.contains(choice), "stderr must list choice {choice}: {text}");
+    }
+}
+
+#[test]
+fn engine_accepts_backend_and_combined_forms() {
+    let path = write_preset("five-point");
+    for spec in ["seq", "threaded", "interp", "bytecode", "seq-bytecode", "threaded-bytecode"] {
+        let out = hpfsc(&[path.to_str().unwrap(), "--run", "--emit", "stats", "--engine", spec]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "--engine {spec} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // The bytecode backend reports its kernel counters in the run summary.
+    let out = hpfsc(&[path.to_str().unwrap(), "--run", "--emit", "stats", "--engine", "bytecode"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kernels compiled"), "{text}");
+    assert!(text.contains("kernel execs"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn missing_file_is_an_io_error() {
     let out = hpfsc(&["/nonexistent/kernel.f90"]);
     assert_eq!(out.status.code(), Some(1));

@@ -20,7 +20,13 @@
 //!   allocated subgrids (flat pack/unpack index lists, pooled buffers) and
 //!   then steps the node program any number of times on either engine with
 //!   zero per-step setup.
+//!
+//! Orthogonally to the engine choice, every machine executor can evaluate
+//! loop nests with the tree interpreter or with compiled bytecode kernels —
+//! see [`Backend`] and the `*_with` entry points. Both backends are bitwise
+//! identical.
 
+pub mod backend;
 pub mod nest;
 pub mod par;
 pub mod plan;
@@ -28,8 +34,9 @@ pub mod reference;
 pub mod seq;
 pub mod verify;
 
-pub use par::execute_par;
+pub use backend::Backend;
+pub use par::{execute_par, execute_par_with};
 pub use plan::ExecPlan;
 pub use reference::{DenseArray, Reference};
-pub use seq::{allocate, execute_seq};
+pub use seq::{allocate, execute_seq, execute_seq_with};
 pub use verify::{assert_close, max_abs_diff};

@@ -9,6 +9,7 @@
 //! messages by `(sequence number, sender)` tags with a stash for
 //! out-of-order arrivals.
 
+use crate::backend::{self, Backend, BcItem};
 use crate::nest::{exec_nest, scalar_values};
 use hpf_passes::loopir::{CommOp, NodeItem, NodeProgram};
 use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan, CommAction};
@@ -20,8 +21,21 @@ pub(crate) type Msg = (u64, usize, Vec<f64>);
 
 /// Execute the node program with one thread per PE. Allocates referenced
 /// arrays first (sequentially). Returns the same results, counters and
-/// errors as [`crate::seq::execute_seq`].
+/// errors as [`crate::seq::execute_seq`]. Nests run on the interpreter
+/// backend; see [`execute_par_with`] to choose.
 pub fn execute_par(machine: &mut Machine, node: &NodeProgram) -> Result<(), RtError> {
+    execute_par_with(machine, node, Backend::default())
+}
+
+/// [`execute_par`] with an explicit nest-evaluation [`Backend`]. Kernels
+/// are compiled once up front (sequentially, after allocation) and shared
+/// read-only by the worker threads; results stay bitwise identical to
+/// every other engine/backend combination.
+pub fn execute_par_with(
+    machine: &mut Machine,
+    node: &NodeProgram,
+    backend: Backend,
+) -> Result<(), RtError> {
     crate::seq::allocate(machine, node)?;
     // Pre-validate every communication plan once (shift widths etc.) so
     // worker threads cannot fail.
@@ -30,6 +44,13 @@ pub fn execute_par(machine: &mut Machine, node: &NodeProgram) -> Result<(), RtEr
     let metas = machine.metas_snapshot();
     let scalars = scalar_values(&node.symbols);
     let n = machine.num_pes();
+    // Compile kernels before the threads start; each worker reads only its
+    // own PE's slot. Under the interpreter backend this is an empty tree
+    // walk (no nest compiles, `kernels[pe]` is `None` everywhere).
+    let (bc_items, compiled) = match backend {
+        Backend::Interp => (Vec::new(), 0),
+        Backend::Bytecode => backend::compile_items(machine, &node.items, &scalars),
+    };
     let (txs, rxs): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) = (0..n).map(|_| unbounded()).unzip();
     std::thread::scope(|scope| {
         for (pe_state, rx) in machine.pes.iter_mut().zip(rxs) {
@@ -38,6 +59,7 @@ pub fn execute_par(machine: &mut Machine, node: &NodeProgram) -> Result<(), RtEr
             let metas = &metas;
             let scalars = &scalars;
             let items = &node.items;
+            let bc_items = &bc_items;
             scope.spawn(move || {
                 let mut w = Worker {
                     pe: pe_state.pe,
@@ -50,10 +72,19 @@ pub fn execute_par(machine: &mut Machine, node: &NodeProgram) -> Result<(), RtEr
                     seq: 0,
                     stash: HashMap::new(),
                 };
-                w.run(items);
+                match backend {
+                    Backend::Interp => w.run(items),
+                    Backend::Bytecode => w.run_bc(bc_items),
+                }
             });
         }
     });
+    if backend == Backend::Bytecode {
+        // Machine-wide counters, credited once after the join (same pattern
+        // as the plan engine's schedule-reuse accounting).
+        machine.note_kernels_compiled(compiled);
+        machine.note_kernel_execs(backend::kernel_execs_per_pass(&bc_items));
+    }
     Ok(())
 }
 
@@ -103,6 +134,36 @@ impl Worker<'_> {
                 NodeItem::TimeLoop { iters, body } => {
                     for _ in 0..*iters {
                         self.run(body);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytecode-backend twin of [`Worker::run`]: identical communication
+    /// protocol, but each nest runs through this PE's compiled kernel (or
+    /// the interpreter, where compilation declined).
+    fn run_bc(&mut self, items: &[BcItem]) {
+        for item in items {
+            match item {
+                BcItem::Comm(CommOp::FullShift { dst, src, shift, dim, kind }) => {
+                    let geom = self.metas[src.0 as usize].as_ref().unwrap().geom.clone();
+                    let plan = cshift_plan(&geom, *shift, *dim, *kind);
+                    self.comm(*dst, *src, &plan, true);
+                }
+                BcItem::Comm(CommOp::Overlap { array, shift, dim, rsd, kind }) => {
+                    let geom = self.metas[array.0 as usize].as_ref().unwrap().geom.clone();
+                    let plan =
+                        overlap_shift_plan(&geom, *shift, *dim, rsd.as_ref(), *kind, self.cfg.halo)
+                            .expect("pre-validated");
+                    self.comm(*array, *array, &plan, false);
+                }
+                BcItem::Nest { nest, kernels } => {
+                    backend::run_nest(self.state, nest, kernels[self.pe].as_ref(), self.scalars);
+                }
+                BcItem::TimeLoop { iters, body } => {
+                    for _ in 0..*iters {
+                        self.run_bc(body);
                     }
                 }
             }

@@ -14,8 +14,10 @@
 //! same per-PE counters; the only observable difference is the
 //! `schedules_built` / `schedule_reuses` pair in `AggStats`.
 
-use crate::nest::{exec_nest, scalar_values};
+use crate::backend::{self, Backend};
+use crate::nest::scalar_values;
 use crate::par::{Msg, Worker};
+use hpf_codegen::{compile_nest, CompiledNest};
 use hpf_ir::ArrayId;
 use hpf_passes::loopir::{CommOp, LoopNest, NodeItem, NodeProgram};
 use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan};
@@ -29,32 +31,55 @@ use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 enum PlanItem {
     /// Execute the compiled schedule at this slot.
     Comm(usize),
-    /// Run a subgrid loop nest on every PE.
-    Nest(LoopNest),
+    /// Run a subgrid loop nest on every PE, through the per-PE compiled
+    /// kernel where one exists (`kernels` is empty under the interpreter
+    /// backend and per-PE `None` where codegen declined the nest).
+    Nest { nest: LoopNest, kernels: Vec<Option<CompiledNest>> },
     /// Repeat the body (a `DO n TIMES` loop folded into one step).
     TimeLoop { iters: usize, body: Vec<PlanItem> },
 }
 
 /// A kernel compiled against one machine: allocated arrays, persistent
-/// communication schedules, and a step program that reuses them.
+/// communication schedules, per-PE bytecode kernels (when built with the
+/// bytecode [`Backend`]), and a step program that reuses them all.
 #[derive(Debug)]
 pub struct ExecPlan {
     items: Vec<PlanItem>,
     scheds: Vec<CompiledComm>,
     scalars: Vec<f64>,
     comm_execs_per_step: u64,
+    kernel_execs_per_step: u64,
 }
 
 impl ExecPlan {
     /// Allocate every referenced array (honoring the memory budget and
     /// overlap-width checks, like the one-shot executors) and compile every
     /// communication op of the node program into a persistent schedule.
+    /// Nests run on the interpreter backend; see [`ExecPlan::build_with`].
     pub fn build(machine: &mut Machine, node: &NodeProgram) -> Result<ExecPlan, RtError> {
+        ExecPlan::build_with(machine, node, Backend::default())
+    }
+
+    /// [`ExecPlan::build`] with an explicit nest-evaluation [`Backend`].
+    /// Under [`Backend::Bytecode`] every nest is additionally compiled to a
+    /// per-PE bytecode kernel here, once, and every subsequent step reuses
+    /// the kernels — the loop-nest analogue of the persistent communication
+    /// schedules.
+    pub fn build_with(
+        machine: &mut Machine,
+        node: &NodeProgram,
+        backend: Backend,
+    ) -> Result<ExecPlan, RtError> {
         crate::seq::allocate(machine, node)?;
+        let scalars = scalar_values(&node.symbols);
         let mut scheds = Vec::new();
-        let items = compile_items(machine, &node.items, &mut scheds)?;
+        let mut compiled = 0u64;
+        let items =
+            compile_items(machine, &node.items, &mut scheds, &scalars, backend, &mut compiled)?;
+        machine.note_kernels_compiled(compiled);
         let comm_execs_per_step = count_comm_execs(&items);
-        Ok(ExecPlan { items, scheds, scalars: scalar_values(&node.symbols), comm_execs_per_step })
+        let kernel_execs_per_step = count_kernel_execs(&items);
+        Ok(ExecPlan { items, scheds, scalars, comm_execs_per_step, kernel_execs_per_step })
     }
 
     /// Number of distinct communication schedules compiled.
@@ -67,6 +92,12 @@ impl ExecPlan {
         self.comm_execs_per_step
     }
 
+    /// Compiled-kernel executions one step performs across all PEs
+    /// (time-loop weighted; zero under the interpreter backend).
+    pub fn kernel_execs_per_step(&self) -> u64 {
+        self.kernel_execs_per_step
+    }
+
     /// Bytes held by the pooled message buffers across all schedules.
     pub fn pooled_bytes(&self) -> usize {
         self.scheds.iter().map(|s| s.pooled_bytes()).sum()
@@ -76,6 +107,7 @@ impl ExecPlan {
     pub fn step_seq(&mut self, machine: &mut Machine) {
         let ExecPlan { items, scheds, scalars, .. } = self;
         step_items_seq(machine, items, scheds, scalars);
+        machine.note_kernel_execs(self.kernel_execs_per_step);
     }
 
     /// Run one sweep on the SPMD engine: one thread per PE, channel message
@@ -111,17 +143,23 @@ impl ExecPlan {
                 });
             }
         });
-        // Workers deliver messages themselves; credit the schedule reuses on
-        // the machine so both engines report identical counters.
+        // Workers deliver messages themselves; credit the schedule reuses
+        // and kernel executions on the machine so both engines report
+        // identical counters.
         machine.note_schedule_reuses(self.comm_execs_per_step);
+        machine.note_kernel_execs(self.kernel_execs_per_step);
     }
 }
 
-/// Walk node items, compiling each communication op against the machine.
+/// Walk node items, compiling each communication op against the machine —
+/// and, under the bytecode backend, each nest into per-PE kernels.
 fn compile_items(
     machine: &mut Machine,
     items: &[NodeItem],
     scheds: &mut Vec<CompiledComm>,
+    scalars: &[f64],
+    backend: Backend,
+    compiled: &mut u64,
 ) -> Result<Vec<PlanItem>, RtError> {
     let mut out = Vec::with_capacity(items.len());
     for item in items {
@@ -143,10 +181,19 @@ fn compile_items(
                     machine.compile_comm(*array, *array, plan, MoveKind::Overlap),
                 ));
             }
-            NodeItem::Nest(nest) => out.push(PlanItem::Nest(nest.clone())),
+            NodeItem::Nest(nest) => {
+                let kernels: Vec<Option<CompiledNest>> = match backend {
+                    Backend::Interp => Vec::new(),
+                    Backend::Bytecode => {
+                        machine.pes.iter().map(|pe| compile_nest(nest, pe, scalars)).collect()
+                    }
+                };
+                *compiled += kernels.iter().flatten().count() as u64;
+                out.push(PlanItem::Nest { nest: nest.clone(), kernels });
+            }
             NodeItem::TimeLoop { iters, body } => out.push(PlanItem::TimeLoop {
                 iters: *iters,
-                body: compile_items(machine, body, scheds)?,
+                body: compile_items(machine, body, scheds, scalars, backend, compiled)?,
             }),
         }
     }
@@ -163,8 +210,19 @@ fn count_comm_execs(items: &[PlanItem]) -> u64 {
         .iter()
         .map(|i| match i {
             PlanItem::Comm(_) => 1,
-            PlanItem::Nest(_) => 0,
+            PlanItem::Nest { .. } => 0,
             PlanItem::TimeLoop { iters, body } => *iters as u64 * count_comm_execs(body),
+        })
+        .sum()
+}
+
+fn count_kernel_execs(items: &[PlanItem]) -> u64 {
+    items
+        .iter()
+        .map(|i| match i {
+            PlanItem::Comm(_) => 0,
+            PlanItem::Nest { kernels, .. } => kernels.iter().flatten().count() as u64,
+            PlanItem::TimeLoop { iters, body } => *iters as u64 * count_kernel_execs(body),
         })
         .sum()
 }
@@ -178,9 +236,10 @@ fn step_items_seq(
     for item in items {
         match item {
             PlanItem::Comm(i) => machine.apply_compiled(&mut scheds[*i]),
-            PlanItem::Nest(nest) => {
+            PlanItem::Nest { nest, kernels } => {
                 for pe in 0..machine.num_pes() {
-                    exec_nest(&mut machine.pes[pe], nest, scalars);
+                    let kernel = kernels.get(pe).and_then(|k| k.as_ref());
+                    backend::run_nest(&mut machine.pes[pe], nest, kernel, scalars);
                 }
             }
             PlanItem::TimeLoop { iters, body } => {
@@ -199,7 +258,10 @@ fn step_items_worker(w: &mut Worker, items: &[PlanItem], scheds: &[CompiledComm]
                 let s = &scheds[*i];
                 w.comm(s.dst, s.src, &s.actions, s.kind == MoveKind::FullShift);
             }
-            PlanItem::Nest(nest) => exec_nest(w.state, nest, w.scalars),
+            PlanItem::Nest { nest, kernels } => {
+                let kernel = kernels.get(w.pe).and_then(|k| k.as_ref());
+                backend::run_nest(w.state, nest, kernel, w.scalars);
+            }
             PlanItem::TimeLoop { iters, body } => {
                 for _ in 0..*iters {
                     step_items_worker(w, body, scheds);

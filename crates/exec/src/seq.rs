@@ -1,5 +1,6 @@
 //! Sequential machine executor.
 
+use crate::backend::{self, Backend, BcItem};
 use crate::nest::{exec_nest, scalar_values};
 use hpf_passes::loopir::{CommOp, NodeItem, NodeProgram};
 use hpf_runtime::{Machine, RtError};
@@ -46,11 +47,34 @@ fn check_halo(machine: &Machine, node: &NodeProgram) -> Result<(), RtError> {
 
 /// Execute the node program on the machine, one PE at a time, with all
 /// communication applied through the shared schedules. Allocates referenced
-/// arrays first.
+/// arrays first. Nests run on the interpreter backend; see
+/// [`execute_seq_with`] to choose.
 pub fn execute_seq(machine: &mut Machine, node: &NodeProgram) -> Result<(), RtError> {
+    execute_seq_with(machine, node, Backend::default())
+}
+
+/// [`execute_seq`] with an explicit nest-evaluation [`Backend`]. Both
+/// backends produce bitwise-identical array contents and per-PE counters;
+/// the bytecode backend additionally bumps `kernels_compiled` /
+/// `kernel_execs` in `AggStats`.
+pub fn execute_seq_with(
+    machine: &mut Machine,
+    node: &NodeProgram,
+    backend: Backend,
+) -> Result<(), RtError> {
     allocate(machine, node)?;
     let scalars = scalar_values(&node.symbols);
-    exec_items(machine, &node.items, &scalars)
+    match backend {
+        Backend::Interp => exec_items(machine, &node.items, &scalars),
+        Backend::Bytecode => {
+            let (items, compiled) = backend::compile_items(machine, &node.items, &scalars);
+            machine.note_kernels_compiled(compiled);
+            let execs = backend::kernel_execs_per_pass(&items);
+            exec_bc_items(machine, &items, &scalars)?;
+            machine.note_kernel_execs(execs);
+            Ok(())
+        }
+    }
 }
 
 fn exec_items(machine: &mut Machine, items: &[NodeItem], scalars: &[f64]) -> Result<(), RtError> {
@@ -70,6 +94,30 @@ fn exec_items(machine: &mut Machine, items: &[NodeItem], scalars: &[f64]) -> Res
             NodeItem::TimeLoop { iters, body } => {
                 for _ in 0..*iters {
                     exec_items(machine, body, scalars)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn exec_bc_items(machine: &mut Machine, items: &[BcItem], scalars: &[f64]) -> Result<(), RtError> {
+    for item in items {
+        match item {
+            BcItem::Comm(CommOp::FullShift { dst, src, shift, dim, kind }) => {
+                machine.cshift(*dst, *src, *shift, *dim, *kind)?;
+            }
+            BcItem::Comm(CommOp::Overlap { array, shift, dim, rsd, kind }) => {
+                machine.overlap_shift(*array, *shift, *dim, rsd.as_ref(), *kind)?;
+            }
+            BcItem::Nest { nest, kernels } => {
+                for pe in 0..machine.num_pes() {
+                    backend::run_nest(&mut machine.pes[pe], nest, kernels[pe].as_ref(), scalars);
+                }
+            }
+            BcItem::TimeLoop { iters, body } => {
+                for _ in 0..*iters {
+                    exec_bc_items(machine, body, scalars)?;
                 }
             }
         }

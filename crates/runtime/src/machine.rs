@@ -139,6 +139,10 @@ pub struct Machine {
     sched_built: u64,
     /// Executions of already-compiled schedules (machine-wide).
     sched_reuses: u64,
+    /// Bytecode kernels compiled so far (machine-wide, per nest × PE).
+    kernels_built: u64,
+    /// Executions of already-compiled bytecode kernels (machine-wide).
+    kernel_execs: u64,
 }
 
 impl Machine {
@@ -154,7 +158,15 @@ impl Machine {
                 peak_bytes: 0,
             })
             .collect();
-        Machine { cfg, metas: Vec::new(), pes, sched_built: 0, sched_reuses: 0 }
+        Machine {
+            cfg,
+            metas: Vec::new(),
+            pes,
+            sched_built: 0,
+            sched_reuses: 0,
+            kernels_built: 0,
+            kernel_execs: 0,
+        }
     }
 
     /// Number of PEs.
@@ -483,6 +495,19 @@ impl Machine {
         self.sched_reuses += n;
     }
 
+    /// Record bytecode-kernel compilations performed by a codegen backend
+    /// (counted per nest × PE; the kernels themselves live in `hpf-exec`).
+    pub fn note_kernels_compiled(&mut self, n: u64) {
+        self.kernels_built += n;
+    }
+
+    /// Record executions of already-compiled bytecode kernels (one nest
+    /// sweep on one PE each). The threaded engine runs kernels on worker
+    /// threads and credits the executions here, like schedule reuses.
+    pub fn note_kernel_execs(&mut self, n: u64) {
+        self.kernel_execs += n;
+    }
+
     /// Swap the storage of two identically-distributed arrays on every PE —
     /// the zero-copy double-buffer flip of Jacobi-style time steps. Panics if
     /// either array is unallocated or their geometries differ.
@@ -582,6 +607,8 @@ impl Machine {
             peak_bytes: self.pes.iter().map(|p| p.peak_bytes).collect(),
             schedules_built: self.sched_built,
             schedule_reuses: self.sched_reuses,
+            kernels_compiled: self.kernels_built,
+            kernel_execs: self.kernel_execs,
         }
     }
 
@@ -593,6 +620,8 @@ impl Machine {
         }
         self.sched_built = 0;
         self.sched_reuses = 0;
+        self.kernels_built = 0;
+        self.kernel_execs = 0;
     }
 
     /// Modeled execution time of the counters so far, in milliseconds.

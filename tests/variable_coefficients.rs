@@ -4,7 +4,7 @@
 //! and must flow through the whole pipeline.
 
 use hpf_stencil::passes::{CompileOptions, Stage};
-use hpf_stencil::{Engine, Kernel, MachineConfig};
+use hpf_stencil::{Backend, Engine, Kernel, MachineConfig};
 
 const VARCOEFF_5PT: &str = r#"
 PROGRAM varcoeff
@@ -27,17 +27,20 @@ fn init_src(p: &[i64]) -> f64 {
 fn variable_coefficient_five_point_all_stages() {
     for stage in Stage::all() {
         let kernel = Kernel::compile(VARCOEFF_5PT, CompileOptions::upto(stage)).unwrap();
-        kernel
-            .runner(MachineConfig::sp2_2x2())
-            .init("SRC", init_src)
-            .init("C1", |p| 0.1 + 0.001 * p[0] as f64)
-            .init("C2", |p| 0.2 + 0.001 * p[1] as f64)
-            .init("C3", |_| 0.4)
-            .init("C4", |p| 0.2 - 0.001 * p[0] as f64)
-            .init("C5", |p| 0.1 - 0.001 * p[1] as f64)
-            .engine(Engine::Threaded)
-            .run_verified(&["DST"], 0.0)
-            .unwrap_or_else(|e| panic!("{stage:?}: {e}"));
+        for backend in [Backend::Interp, Backend::Bytecode] {
+            kernel
+                .runner(MachineConfig::sp2_2x2())
+                .init("SRC", init_src)
+                .init("C1", |p| 0.1 + 0.001 * p[0] as f64)
+                .init("C2", |p| 0.2 + 0.001 * p[1] as f64)
+                .init("C3", |_| 0.4)
+                .init("C4", |p| 0.2 - 0.001 * p[0] as f64)
+                .init("C5", |p| 0.1 - 0.001 * p[1] as f64)
+                .engine(Engine::Threaded)
+                .backend(backend)
+                .run_verified(&["DST"], 0.0)
+                .unwrap_or_else(|e| panic!("{stage:?}/{backend:?}: {e}"));
+        }
     }
 }
 
@@ -62,10 +65,13 @@ DST = CSHIFT(W,1,1) * CSHIFT(SRC,1,2) + W * SRC
 "#;
     let kernel = Kernel::compile(src, CompileOptions::full()).unwrap();
     assert_eq!(kernel.stats().comm_ops, 2, "one shift per array");
-    kernel
-        .runner(MachineConfig::sp2_2x2())
-        .init("SRC", init_src)
-        .init("W", |p| (p[0] - p[1]) as f64 * 0.01)
-        .run_verified(&["DST"], 0.0)
-        .unwrap();
+    for backend in [Backend::Interp, Backend::Bytecode] {
+        kernel
+            .runner(MachineConfig::sp2_2x2())
+            .init("SRC", init_src)
+            .init("W", |p| (p[0] - p[1]) as f64 * 0.01)
+            .backend(backend)
+            .run_verified(&["DST"], 0.0)
+            .unwrap_or_else(|e| panic!("{backend:?}: {e}"));
+    }
 }

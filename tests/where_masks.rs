@@ -6,7 +6,7 @@
 //! unchanged.
 
 use hpf_stencil::passes::{CompileOptions, Stage};
-use hpf_stencil::{Engine, Kernel, MachineConfig};
+use hpf_stencil::{Backend, Engine, Kernel, MachineConfig};
 
 fn init(p: &[i64]) -> f64 {
     ((p[0] * 7 + p[1] * 13) as f64 * 0.05).sin()
@@ -22,26 +22,29 @@ WHERE (U > 0) T = 0
 "#;
     for stage in Stage::all() {
         let kernel = Kernel::compile(src, CompileOptions::upto(stage)).unwrap();
-        let run = kernel
-            .runner(MachineConfig::sp2_2x2())
-            .init("U", init)
-            .run_verified(&["T"], 0.0)
-            .unwrap_or_else(|e| panic!("{stage:?}: {e}"));
-        let t = run.gather(&kernel, "T");
-        let u_ref: Vec<f64> = {
-            let mut v = Vec::new();
-            for i in 1..=12i64 {
-                for j in 1..=12i64 {
-                    v.push(init(&[i, j]));
+        for backend in [Backend::Interp, Backend::Bytecode] {
+            let run = kernel
+                .runner(MachineConfig::sp2_2x2())
+                .init("U", init)
+                .backend(backend)
+                .run_verified(&["T"], 0.0)
+                .unwrap_or_else(|e| panic!("{stage:?}/{backend:?}: {e}"));
+            let t = run.gather(&kernel, "T");
+            let u_ref: Vec<f64> = {
+                let mut v = Vec::new();
+                for i in 1..=12i64 {
+                    for j in 1..=12i64 {
+                        v.push(init(&[i, j]));
+                    }
                 }
-            }
-            v
-        };
-        for (ti, ui) in t.iter().zip(&u_ref) {
-            if *ui > 0.0 {
-                assert_eq!(*ti, 0.0);
-            } else {
-                assert_eq!(*ti, *ui);
+                v
+            };
+            for (ti, ui) in t.iter().zip(&u_ref) {
+                if *ui > 0.0 {
+                    assert_eq!(*ti, 0.0);
+                } else {
+                    assert_eq!(*ti, *ui);
+                }
             }
         }
     }
@@ -57,12 +60,15 @@ WHERE (CSHIFT(U,1,1) >= U) T = 0.5 * (CSHIFT(U,1,1) + CSHIFT(U,-1,1))
 "#;
     for stage in Stage::all() {
         let kernel = Kernel::compile(src, CompileOptions::upto(stage)).unwrap();
-        kernel
-            .runner(MachineConfig::sp2_2x2())
-            .init("U", init)
-            .engine(Engine::Threaded)
-            .run_verified(&["T"], 0.0)
-            .unwrap_or_else(|e| panic!("{stage:?}: {e}"));
+        for backend in [Backend::Interp, Backend::Bytecode] {
+            kernel
+                .runner(MachineConfig::sp2_2x2())
+                .init("U", init)
+                .engine(Engine::Threaded)
+                .backend(backend)
+                .run_verified(&["T"], 0.0)
+                .unwrap_or_else(|e| panic!("{stage:?}/{backend:?}: {e}"));
+        }
     }
     // Offset arrays convert the mask's shifts too.
     let kernel = Kernel::compile(src, CompileOptions::full()).unwrap();
@@ -114,19 +120,22 @@ ENDDO
 "#;
     for stage in [Stage::Original, Stage::MemOpt] {
         let kernel = Kernel::compile(src, CompileOptions::upto(stage)).unwrap();
-        let run = kernel
-            .runner(MachineConfig::sp2_2x2())
-            .init("U", |p| if p[0] == 6 && p[1] == 6 { 64.0 } else { 0.0 })
-            .init("M", |p| if p[0] >= 4 && p[0] <= 9 { 1.0 } else { 0.0 })
-            .engine(Engine::Threaded)
-            .run_verified(&["U", "T"], 0.0)
-            .unwrap_or_else(|e| panic!("{stage:?}: {e}"));
-        let u = run.gather(&kernel, "U");
-        // Outside the masked band, U keeps its initial zeros.
-        assert_eq!(u[0], 0.0);
-        assert_eq!(u[11 * 12], 0.0);
-        // Inside, heat has spread.
-        assert!(u[(6 - 1) * 12 + (6 - 1)].abs() > 0.0);
+        for backend in [Backend::Interp, Backend::Bytecode] {
+            let run = kernel
+                .runner(MachineConfig::sp2_2x2())
+                .init("U", |p| if p[0] == 6 && p[1] == 6 { 64.0 } else { 0.0 })
+                .init("M", |p| if p[0] >= 4 && p[0] <= 9 { 1.0 } else { 0.0 })
+                .engine(Engine::Threaded)
+                .backend(backend)
+                .run_verified(&["U", "T"], 0.0)
+                .unwrap_or_else(|e| panic!("{stage:?}/{backend:?}: {e}"));
+            let u = run.gather(&kernel, "U");
+            // Outside the masked band, U keeps its initial zeros.
+            assert_eq!(u[0], 0.0);
+            assert_eq!(u[11 * 12], 0.0);
+            // Inside, heat has spread.
+            assert!(u[(6 - 1) * 12 + (6 - 1)].abs() > 0.0);
+        }
     }
 }
 
