@@ -18,9 +18,14 @@
 //! * **Diagnostics** (re-exported from `hpf-ir`): everything is reported as
 //!   [`Diagnostic`]s with stable codes and source spans, rendered as text or
 //!   JSON (`hpfsc --lint --emit diag-json`).
+//! * **Overlap regions** ([`overlap`]): the geometric complement of the
+//!   ghost-liveness dataflow — split a PE's owned block into the interior
+//!   computable while halo messages are in flight and the boundary strips
+//!   that must wait, used by the split-phase overlapped engine.
 
 pub mod coverage;
 pub mod lints;
+pub mod overlap;
 
 pub use hpf_ir::diag::{render_json, render_text, sort};
 pub use hpf_ir::{Diagnostic, Severity, Span};

@@ -1,0 +1,216 @@
+//! Overlap-region derivation for split-phase halo exchange.
+//!
+//! The ghost-liveness dataflow ([`crate::coverage`]) proves which halo
+//! cells a nest's offset reads require; the complementary *geometric*
+//! question — which part of a PE's owned block can execute **before** those
+//! halo cells arrive — is answered here. Given a nest's local iteration
+//! bounds and its maximum memory-access offset per dimension, the owned
+//! block splits into an *interior* sub-rectangle (every access stays inside
+//! owned storage, so it may run while halo messages are in flight) and the
+//! complementary *boundary* strips (run after the receives drain). The
+//! split is pure integer geometry over local index ranges, so it lives in
+//! this crate and is reused by the executors.
+//!
+//! ## Counter parity under unroll-and-jam
+//!
+//! The executors classify each outer-loop index as a *jammed* group start
+//! (`i + factor - 1 <= hi`) or a *unit* remainder point, and the per-PE
+//! counters are derived from those group counts. A naive split along the
+//! unrolled dimension would change the classification and make the
+//! overlapped engine's counters diverge from the blocking engines. The
+//! split therefore aligns both cuts along the unrolled dimension to the
+//! unroll factor, measured from the range start: every piece then starts at
+//! `lo + k·factor` and has either a factor-multiple length (all jammed) or
+//! carries the natural remainder (the trailing boundary band), so the
+//! per-piece group classification is exactly the full sweep's restricted to
+//! the piece.
+
+/// An inclusive per-dimension index range, `(lo, hi)`.
+pub type Range = (i64, i64);
+
+/// The split of one PE's local iteration space for one nest: the interior
+/// box plus the boundary strips that complete it. The pieces are pairwise
+/// disjoint and their union is the full space; see [`split_region`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionSplit {
+    /// The sub-rectangle whose memory accesses all stay within owned
+    /// storage: safe to execute while halo messages are in flight.
+    pub interior: Vec<Range>,
+    /// The complementary strips (onion peel, in loop order), executed after
+    /// the receives drain. May be empty along dimensions with zero shrink.
+    pub boundary: Vec<Vec<Range>>,
+}
+
+impl RegionSplit {
+    /// Points in the interior box.
+    pub fn interior_cells(&self) -> u64 {
+        cells(&self.interior)
+    }
+
+    /// Points across all boundary strips.
+    pub fn boundary_cells(&self) -> u64 {
+        self.boundary.iter().map(|s| cells(s)).sum()
+    }
+}
+
+/// Number of points in a region (product of range lengths; 0 when any
+/// dimension is empty).
+pub fn cells(ranges: &[Range]) -> u64 {
+    ranges.iter().map(|&(lo, hi)| (hi - lo + 1).max(0) as u64).product()
+}
+
+/// Split the local box `lo..=hi` (per dimension) into an interior shrunk by
+/// `shrink_lo[d]` / `shrink_hi[d]` points on each side and the
+/// complementary boundary strips, peeled in loop `order` (outermost first).
+/// `factor` is the unroll factor of the outermost loop (`order[0]`); both
+/// interior cuts along that dimension are rounded outward/inward to factor
+/// alignment so jammed/unit grouping is preserved piecewise (see module
+/// docs). Returns `None` when the interior would be empty in any dimension
+/// — the caller then takes the fully-blocking path for this PE.
+pub fn split_region(
+    lo: &[i64],
+    hi: &[i64],
+    shrink_lo: &[i64],
+    shrink_hi: &[i64],
+    order: &[usize],
+    factor: i64,
+) -> Option<RegionSplit> {
+    let rank = lo.len();
+    debug_assert!(hi.len() == rank && shrink_lo.len() == rank && shrink_hi.len() == rank);
+    debug_assert!(order.len() == rank && factor >= 1);
+    let d0 = *order.first()?;
+    // Interior bounds per dimension: ilo[d]..=ihi[d].
+    let mut ilo = vec![0i64; rank];
+    let mut ihi = vec![0i64; rank];
+    for d in 0..rank {
+        let (a, b) = (shrink_lo[d].max(0), shrink_hi[d].max(0));
+        if d == d0 {
+            // Factor-align both cuts, measured from the range start.
+            let n = hi[d] - lo[d] + 1;
+            let top = ((a + factor - 1) / factor) * factor;
+            ilo[d] = lo[d] + top;
+            ihi[d] = lo[d] + factor * ((n - b) / factor) - 1;
+        } else {
+            ilo[d] = lo[d] + a;
+            ihi[d] = hi[d] - b;
+        }
+        if ihi[d] < ilo[d] {
+            return None; // degenerate interior: nothing to overlap with
+        }
+    }
+    // Onion peel in loop order: each dimension's low/high strips span the
+    // already-peeled interior of earlier dims and the full range of later
+    // dims, so the pieces tile the box disjointly.
+    let mut boundary = Vec::new();
+    for (k, &d) in order.iter().enumerate() {
+        let mut strip = |range: Range| {
+            if range.1 < range.0 {
+                return;
+            }
+            let mut s = Vec::with_capacity(rank);
+            for dd in 0..rank {
+                s.push((lo[dd], hi[dd]));
+            }
+            for &e in &order[..k] {
+                s[e] = (ilo[e], ihi[e]);
+            }
+            s[d] = range;
+            boundary.push(s);
+        };
+        strip((lo[d], ilo[d] - 1));
+        strip((ihi[d] + 1, hi[d]));
+    }
+    let interior = (0..rank).map(|d| (ilo[d], ihi[d])).collect();
+    Some(RegionSplit { interior, boundary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn points(ranges: &[Range]) -> HashSet<Vec<i64>> {
+        let mut out = HashSet::new();
+        let mut stack = vec![Vec::new()];
+        for &(lo, hi) in ranges {
+            let mut next = Vec::new();
+            for p in stack {
+                for i in lo..=hi {
+                    let mut q = p.clone();
+                    q.push(i);
+                    next.push(q);
+                }
+            }
+            stack = next;
+        }
+        out.extend(stack);
+        out
+    }
+
+    /// The pieces must tile the box exactly: disjoint, union = full.
+    fn check_tiling(split: &RegionSplit, lo: &[i64], hi: &[i64]) {
+        let full: Vec<Range> = lo.iter().zip(hi).map(|(&l, &h)| (l, h)).collect();
+        let want = points(&full);
+        let mut got = points(&split.interior);
+        let interior_count = got.len();
+        for strip in &split.boundary {
+            for p in points(strip) {
+                assert!(got.insert(p.clone()), "point {p:?} covered twice");
+            }
+        }
+        assert_eq!(got, want, "pieces do not tile the box");
+        assert_eq!(split.interior_cells(), interior_count as u64);
+        assert_eq!(split.interior_cells() + split.boundary_cells(), want.len() as u64);
+    }
+
+    #[test]
+    fn basic_2d_split_tiles_the_box() {
+        let s = split_region(&[1, 1], &[8, 8], &[1, 1], &[1, 1], &[0, 1], 1).unwrap();
+        assert_eq!(s.interior, vec![(2, 7), (2, 7)]);
+        check_tiling(&s, &[1, 1], &[8, 8]);
+    }
+
+    #[test]
+    fn factor_alignment_along_unrolled_dim() {
+        // n=10, factor 2, shrink 1 each side: the top cut rounds up to 2,
+        // the bottom cut lands on lo + 2*floor((10-1)/2) = lo+8.
+        let s = split_region(&[1, 1], &[10, 8], &[1, 1], &[1, 1], &[0, 1], 2).unwrap();
+        assert_eq!(s.interior[0], (3, 8));
+        assert_eq!((s.interior[0].0 - 1) % 2, 0, "interior starts factor-aligned");
+        assert_eq!((s.interior[0].1 - s.interior[0].0 + 1) % 2, 0, "interior length is a multiple");
+        check_tiling(&s, &[1, 1], &[10, 8]);
+    }
+
+    #[test]
+    fn zero_shrink_dims_have_no_strips() {
+        let s = split_region(&[1, 1], &[8, 8], &[1, 0], &[1, 0], &[0, 1], 1).unwrap();
+        assert_eq!(s.interior, vec![(2, 7), (1, 8)]);
+        assert_eq!(s.boundary.len(), 2, "only dim-0 strips");
+        check_tiling(&s, &[1, 1], &[8, 8]);
+    }
+
+    #[test]
+    fn degenerate_interior_is_none() {
+        // 4 rows shrunk by 2 on each side: nothing left.
+        assert!(split_region(&[1, 1], &[4, 8], &[2, 1], &[2, 1], &[0, 1], 1).is_none());
+        // Factor alignment can also consume the whole range.
+        assert!(split_region(&[1, 1], &[3, 8], &[1, 1], &[1, 1], &[0, 1], 2).is_none());
+    }
+
+    #[test]
+    fn permuted_order_peels_in_loop_order() {
+        let s = split_region(&[1, 1], &[9, 9], &[2, 1], &[1, 2], &[1, 0], 1).unwrap();
+        // order[0] = dim 1: its strips span dim 0 fully.
+        assert_eq!(s.boundary[0][0], (1, 9));
+        check_tiling(&s, &[1, 1], &[9, 9]);
+    }
+
+    #[test]
+    fn rank_1_and_3_tile() {
+        let s = split_region(&[1], &[16], &[1], &[1], &[0], 2).unwrap();
+        check_tiling(&s, &[1], &[16]);
+        let s =
+            split_region(&[1, 2, 1], &[7, 9, 6], &[1, 1, 1], &[1, 0, 2], &[0, 1, 2], 2).unwrap();
+        check_tiling(&s, &[1, 2, 1], &[7, 9, 6]);
+    }
+}

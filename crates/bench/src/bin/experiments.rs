@@ -1,17 +1,40 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen]
-//!             [--n SIZE] [--sizes a,b,c] [--steps K] [--engine seq|threaded] [--json]
+//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen|overlap|fig7to10|fuzz]
+//!             [--n SIZE] [--sizes a,b,c] [--steps K]
+//!             [--engine seq|threaded|threaded-overlap] [--json]
 //! ```
 //!
 //! `--exp codegen` compares the interpreter and bytecode nest backends
 //! (defaulting to N in {128, 512}) and writes the comparison to
-//! `BENCH_codegen.json` in the current directory.
+//! `BENCH_codegen.json` in the current directory. `--exp overlap` compares
+//! blocking threaded execution against the split-phase threaded-overlap
+//! engine (defaulting to N in {128, 512, 2048}) and writes
+//! `BENCH_overlap.json`.
 
 use hpf_bench::table::Table;
 use hpf_bench::*;
 use hpf_core::Engine;
+
+/// Every experiment name `--exp` accepts, for the help text and the
+/// unknown-experiment error.
+const EXPERIMENTS: &[&str] = &[
+    "all",
+    "comm-count",
+    "temp-storage",
+    "fig11",
+    "fig17",
+    "fig18",
+    "robustness",
+    "ablation",
+    "scaling",
+    "persistent",
+    "codegen",
+    "overlap",
+    "fig7to10",
+    "fuzz",
+];
 
 struct Args {
     exp: String,
@@ -51,16 +74,19 @@ fn parse_args() -> Args {
                 args.sizes_given = true;
             }
             "--engine" => {
-                args.engine = match it.next().expect("--engine seq|threaded").as_str() {
-                    "seq" => Engine::Sequential,
-                    "threaded" | "par" => Engine::Threaded,
-                    other => panic!("unknown engine {other}"),
-                };
+                args.engine =
+                    match it.next().expect("--engine seq|threaded|threaded-overlap").as_str() {
+                        "seq" => Engine::Sequential,
+                        "threaded" | "par" => Engine::Threaded,
+                        "threaded-overlap" => Engine::ThreadedOverlap,
+                        other => panic!("unknown engine {other}"),
+                    };
             }
             "--json" => args.json = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen] [--n SIZE] [--sizes a,b,c] [--steps K] [--engine seq|threaded] [--json]"
+                    "usage: experiments [--exp {}] [--n SIZE] [--sizes a,b,c] [--steps K] [--engine seq|threaded|threaded-overlap] [--json]",
+                    EXPERIMENTS.join("|")
                 );
                 std::process::exit(0);
             }
@@ -114,6 +140,21 @@ fn main() {
         eprintln!("wrote BENCH_codegen.json");
         return;
     }
+    if args.exp == "overlap" {
+        // Blocking threaded vs threaded-overlap, bytecode backend; defaults
+        // to sizes spanning the spawn threshold up to the headline N=2048.
+        let sizes: Vec<usize> =
+            if args.sizes_given { args.sizes.clone() } else { vec![128, 512, 2048] };
+        let t = overlap(&sizes, args.steps);
+        std::fs::write("BENCH_overlap.json", t.to_json() + "\n").expect("write BENCH_overlap.json");
+        if args.json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{}", t.render());
+        }
+        eprintln!("wrote BENCH_overlap.json");
+        return;
+    }
     if args.exp == "fig7to10" {
         println!("{}", hpf_bench::figures::figures_7_to_10(4));
         return;
@@ -129,7 +170,7 @@ fn main() {
         return;
     }
     if tables.is_empty() {
-        eprintln!("unknown experiment '{}' (try --help)", args.exp);
+        eprintln!("unknown experiment '{}'; available: {}", args.exp, EXPERIMENTS.join(", "));
         std::process::exit(1);
     }
     if args.json {

@@ -32,8 +32,8 @@
 mod bytecode;
 mod vm;
 
-pub use bytecode::{KernelCode, Op, Reg, Slot};
-pub use vm::{compile_nest, exec_compiled, CompiledNest};
+pub use bytecode::{reads_before_def, KernelCode, Op, Reg, Slot};
+pub use vm::{compile_nest, exec_compiled, exec_compiled_range, CompiledNest};
 
 #[cfg(test)]
 mod tests {

@@ -232,6 +232,19 @@ impl CompiledNest {
     pub fn vectorized(&self) -> (bool, bool) {
         (self.jam_vec, self.unit_vec)
     }
+
+    /// Local loop bounds (inclusive, per dimension) this nest was compiled
+    /// for — the PE's intersection of the iteration space with its owned
+    /// block. Empty nests report `None`. Callers slicing the space for
+    /// split-phase execution ([`exec_compiled_range`]) derive their
+    /// sub-ranges from these.
+    pub fn local_bounds(&self) -> Option<(&[i64], &[i64])> {
+        if self.empty {
+            None
+        } else {
+            Some((&self.lo, &self.hi))
+        }
+    }
 }
 
 /// Execute a compiled nest on the PE it was compiled for. May be called any
@@ -240,6 +253,51 @@ pub fn exec_compiled(pe: &mut PeState, cn: &CompiledNest) {
     if cn.empty {
         return;
     }
+    exec_over(pe, cn, &cn.lo, &cn.hi, false);
+}
+
+/// Execute a compiled nest over a sub-range of its local iteration space:
+/// `region[d]` is an inclusive local index range, clipped against the
+/// compiled bounds. The split-phase engine uses this to run a nest's
+/// interior while halo messages are in flight and its boundary strips
+/// afterwards. Counter accounting matches [`exec_compiled`] piecewise —
+/// callers that tile the space with factor-aligned pieces (see
+/// `hpf_analysis::overlap`) observe the exact full-sweep counters.
+///
+/// The caller asserts the nest is iteration-local over the region (the
+/// split-phase eligibility conditions), so the walk order inside the box is
+/// unobservable: thin-row boxes — a split boundary's column strips — run
+/// column-major, which computes identical per-point values and identical
+/// counters (see `exec_over`).
+pub fn exec_compiled_range(pe: &mut PeState, cn: &CompiledNest, region: &[(i64, i64)]) {
+    if cn.empty {
+        return;
+    }
+    debug_assert_eq!(region.len(), cn.lo.len());
+    let mut lo = cn.lo.clone();
+    let mut hi = cn.hi.clone();
+    for (d, &(rlo, rhi)) in region.iter().enumerate() {
+        lo[d] = lo[d].max(rlo);
+        hi[d] = hi[d].min(rhi);
+        if hi[d] < lo[d] {
+            return;
+        }
+    }
+    exec_over(pe, cn, &lo, &hi, true);
+}
+
+/// Below this many points per row, a `reorder_ok` box runs column-major:
+/// the per-row dispatch (bounds proof + op loop set-up) would otherwise
+/// dominate rows of a handful of points.
+const TRANSPOSE_MAX_ROW: i64 = 8;
+
+/// The executor body behind [`exec_compiled`] / [`exec_compiled_range`]:
+/// runs the bytecode over the box `lo..=hi` (local, inclusive). Jammed/unit
+/// grouping is decided against these bounds, so a factor-aligned sub-box
+/// reproduces the full sweep's grouping restricted to it. `reorder_ok`
+/// means the caller proved iteration order inside the box unobservable
+/// (iteration-local body), letting thin-row boxes run column-major.
+fn exec_over(pe: &mut PeState, cn: &CompiledNest, lo: &[i64], hi: &[i64], reorder_ok: bool) {
     let mut regs = vec![0.0f64; cn.regs.max(1)];
     for &(r, v) in &cn.preloads {
         regs[r as usize] = v;
@@ -310,25 +368,69 @@ pub fn exec_compiled(pe: &mut PeState, cn: &CompiledNest) {
         };
 
         if rank == 1 {
-            let n = cn.hi[d0] - cn.lo[d0] + 1;
+            let n = hi[d0] - lo[d0] + 1;
             let jam_steps = n / cn.factor;
             let rest = n - jam_steps * cn.factor;
-            let base = base_of(&[cn.lo[d0]]);
+            let base = base_of(&[lo[d0]]);
             let stride = cn.strides[d0];
             row(&cn.jammed, cn.jam_vec, base, jam_steps, cn.factor * stride, &mut jammed_execs);
             let ubase = base + jam_steps * cn.factor * stride;
             let unit = cn.unit.as_ref().unwrap_or(&cn.jammed);
             row(unit, cn.unit_vec, ubase, rest, stride, &mut unit_execs);
+        } else if reorder_ok
+            && hi[inner] - lo[inner] + 1 < TRANSPOSE_MAX_ROW
+            && hi[d0] - lo[d0] > hi[inner] - lo[inner]
+        {
+            // Thin-row box (a split boundary's column strip): walk it
+            // column-major — per (middle, inner) point one long run along
+            // the outermost dimension, reusing the row-major walk's exact
+            // jammed/unit decomposition. Same kernels, same execution
+            // counts, same per-point values; only the (unobservable) order
+            // changes, and the per-op dispatch amortizes over the long run
+            // instead of being paid per 2-3-point row.
+            let mids: Vec<usize> = cn.order[1..rank - 1].to_vec();
+            let n0 = hi[d0] - lo[d0] + 1;
+            let jam_steps = n0 / cn.factor;
+            let rest = n0 - jam_steps * cn.factor;
+            let stride0 = cn.strides[d0];
+            let unit = cn.unit.as_ref().unwrap_or(&cn.jammed);
+            let mut point = lo.to_vec();
+            'cols: loop {
+                for j in lo[inner]..=hi[inner] {
+                    point[inner] = j;
+                    point[d0] = lo[d0];
+                    let base = base_of(&point);
+                    row(
+                        &cn.jammed,
+                        cn.jam_vec,
+                        base,
+                        jam_steps,
+                        cn.factor * stride0,
+                        &mut jammed_execs,
+                    );
+                    let ubase = base + jam_steps * cn.factor * stride0;
+                    row(unit, cn.unit_vec, ubase, rest, stride0, &mut unit_execs);
+                }
+                for idx in (0..mids.len()).rev() {
+                    let d = mids[idx];
+                    point[d] += 1;
+                    if point[d] <= hi[d] {
+                        continue 'cols;
+                    }
+                    point[d] = lo[d];
+                }
+                break;
+            }
         } else {
             // Middle dims: everything between the (possibly unrolled)
             // outermost loop and the innermost row dimension.
             let mids: Vec<usize> = cn.order[1..rank - 1].to_vec();
-            let row_len = cn.hi[inner] - cn.lo[inner] + 1;
+            let row_len = hi[inner] - lo[inner] + 1;
             let row_step = cn.strides[inner];
-            let mut point = cn.lo.clone();
-            let mut i = cn.lo[d0];
-            while i <= cn.hi[d0] {
-                let use_jammed = i + cn.factor - 1 <= cn.hi[d0];
+            let mut point = lo.to_vec();
+            let mut i = lo[d0];
+            while i <= hi[d0] {
+                let use_jammed = i + cn.factor - 1 <= hi[d0];
                 let (kernel, vec_ok, execs) = if use_jammed {
                     (&cn.jammed, cn.jam_vec, &mut jammed_execs)
                 } else {
@@ -336,18 +438,18 @@ pub fn exec_compiled(pe: &mut PeState, cn: &CompiledNest) {
                 };
                 point[d0] = i;
                 for &d in &mids {
-                    point[d] = cn.lo[d];
+                    point[d] = lo[d];
                 }
                 'mids: loop {
-                    point[inner] = cn.lo[inner];
+                    point[inner] = lo[inner];
                     row(kernel, vec_ok, base_of(&point), row_len, row_step, execs);
                     for idx in (0..mids.len()).rev() {
                         let d = mids[idx];
                         point[d] += 1;
-                        if point[d] <= cn.hi[d] {
+                        if point[d] <= hi[d] {
                             continue 'mids;
                         }
-                        point[d] = cn.lo[d];
+                        point[d] = lo[d];
                     }
                     break;
                 }

@@ -61,6 +61,25 @@ pub enum Engine {
     /// One OS thread per PE with channel-based message passing; results are
     /// bitwise identical to [`Engine::Sequential`].
     Threaded,
+    /// [`Engine::Threaded`] with split-phase halo exchange: each PE posts
+    /// its sends, computes the interior of its block while the messages are
+    /// in flight, drains the receives in plan order, then computes the
+    /// boundary strips. Falls back to fully-blocking execution whenever the
+    /// halo-safety lints (HS001/HS002) cannot prove the kernel's offset
+    /// reads independent of in-flight halo traffic. Results stay bitwise
+    /// identical to both blocking engines.
+    ThreadedOverlap,
+}
+
+impl Engine {
+    /// Short name, as accepted by `hpfsc --engine` and printed by benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Sequential => "seq",
+            Engine::Threaded => "threaded",
+            Engine::ThreadedOverlap => "threaded-overlap",
+        }
+    }
 }
 
 /// A compiled stencil kernel.
@@ -358,7 +377,18 @@ impl<'k> Planner<'k> {
             machine.fill(id, |p| f(p));
         }
         machine.reset_stats();
-        let exec = ExecPlan::build_with(&mut machine, &self.kernel.compiled.node, self.backend)?;
+        let node = &self.kernel.compiled.node;
+        let exec = match self.engine {
+            // Split-phase overlap is gated on the static halo-safety lints:
+            // only a kernel whose offset reads are all proven covered
+            // (HS001) and within the halo (HS002) may compute its interior
+            // while halo messages are in flight. Anything unproven takes
+            // the fully-blocking plan — same results, no overlap.
+            Engine::ThreadedOverlap if !hpf_analysis::has_errors(&self.kernel.lint()) => {
+                ExecPlan::build_overlapped(&mut machine, node, self.backend)?
+            }
+            _ => ExecPlan::build_with(&mut machine, node, self.backend)?,
+        };
         let mut swaps = Vec::with_capacity(self.swaps.len());
         for (a, b) in &self.swaps {
             let (ia, ib) = (self.kernel.array_id(a)?, self.kernel.array_id(b)?);
@@ -404,6 +434,9 @@ impl Plan<'_> {
         match self.engine {
             Engine::Sequential => self.exec.step_seq(&mut self.machine),
             Engine::Threaded => self.exec.step_par(&mut self.machine),
+            // On a conservative-fallback plan (no windows fused) this is
+            // exactly the blocking threaded engine.
+            Engine::ThreadedOverlap => self.exec.step_par_overlap(&mut self.machine),
         }
         apply_swaps(&mut self.machine, &self.swaps);
         self.steps += 1;
@@ -545,13 +578,54 @@ mod tests {
             .engine(Engine::Sequential)
             .run()
             .unwrap();
-        let b = kernel
-            .runner(MachineConfig::sp2_2x2())
+        for engine in [Engine::Threaded, Engine::ThreadedOverlap] {
+            let b = kernel
+                .runner(MachineConfig::sp2_2x2())
+                .init("U", init)
+                .engine(engine)
+                .run()
+                .unwrap();
+            assert_eq!(a.gather(&kernel, "U"), b.gather(&kernel, "U"), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_engine_overlaps_clean_kernels_and_falls_back_on_dirty() {
+        let kernel = Kernel::compile(&presets::jacobi(16, 3), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| ((p[0] * 3 + p[1]) as f64).sin();
+        let mut plan = kernel
+            .plan(MachineConfig::sp2_2x2())
             .init("U", init)
-            .engine(Engine::Threaded)
-            .run()
+            .engine(Engine::ThreadedOverlap)
+            .build()
             .unwrap();
-        assert_eq!(a.gather(&kernel, "U"), b.gather(&kernel, "U"));
+        plan.iterate(2);
+        let st = plan.stats();
+        assert!(st.overlapped_steps > 0, "lint-clean kernel overlaps");
+        assert!(st.interior_cells > 0 && st.boundary_cells > 0);
+
+        // Dropping an overlap shift makes HS001 fire; the planner must take
+        // the conservative fully-blocking path (no windows), yet execution
+        // still matches the sequential engine on the (now-broken) kernel.
+        let mut dirty = kernel.clone();
+        assert!(dirty.drop_overlap_shift(0));
+        assert!(hpf_analysis::has_errors(&dirty.lint()));
+        let mut p_ovl = dirty
+            .plan(MachineConfig::sp2_2x2())
+            .init("U", init)
+            .engine(Engine::ThreadedOverlap)
+            .build()
+            .unwrap();
+        let mut p_seq = dirty
+            .plan(MachineConfig::sp2_2x2())
+            .init("U", init)
+            .engine(Engine::Sequential)
+            .build()
+            .unwrap();
+        p_ovl.iterate(2);
+        p_seq.iterate(2);
+        assert_eq!(p_ovl.stats().overlapped_steps, 0, "fallback overlaps nothing");
+        assert_eq!(p_ovl.gather("U").unwrap(), p_seq.gather("U").unwrap());
     }
 
     #[test]
@@ -575,7 +649,7 @@ mod tests {
         // calls whose state is carried forward by hand, on both engines.
         let kernel = Kernel::compile(&presets::jacobi(16, 1), CompileOptions::full()).unwrap();
         let init = |p: &[i64]| ((p[0] * 5 + p[1] * 3) as f64).sin();
-        for engine in [Engine::Sequential, Engine::Threaded] {
+        for engine in [Engine::Sequential, Engine::Threaded, Engine::ThreadedOverlap] {
             let mut plan = kernel
                 .plan(MachineConfig::sp2_2x2())
                 .init("U", init)

@@ -9,7 +9,7 @@
 //! hpfsc [FILE] [--stage original|offset|partition|unioning|full]
 //!              [--emit ir|node|stats|diag-json] [--lint] [--deny-warnings]
 //!              [--run] [--grid RxC] [--halo W]
-//!              [--engine seq|threaded|interp|bytecode|seq-bytecode|...]
+//!              [--engine seq|threaded|threaded-overlap|interp|bytecode|...]
 //!              [--print-input NAME[:N]] [--naive] [--drop-shift K]
 //! ```
 //!
@@ -39,8 +39,9 @@ options:
   --grid RxC            PE grid for --run (default: 2x2)
   --halo W              overlap-area width (default: 1)
   --engine SPEC         executor and nest backend for --run: an engine
-                        (seq, threaded), a backend (interp, bytecode), or
-                        both joined with '-' (e.g. threaded-bytecode);
+                        (seq, threaded, threaded-overlap), a backend
+                        (interp, bytecode), or both joined with '-'
+                        (e.g. threaded-bytecode, threaded-overlap-bytecode);
                         default: seq-interp
   --print-input NAME[:N]
                         print a preset kernel source (five-point,
@@ -136,18 +137,30 @@ fn main() {
             }
             "--engine" => {
                 let v = args.next().unwrap_or_else(|| usage_error("--engine needs an argument"));
-                for part in v.split('-') {
-                    match part {
-                        "seq" => engine = Engine::Sequential,
-                        "threaded" | "par" => engine = Engine::Threaded,
-                        "interp" => backend = Backend::Interp,
-                        "bytecode" => backend = Backend::Bytecode,
-                        _ => usage_error(&format!(
-                            "--engine: unknown value '{v}' (valid: seq, threaded, interp, \
-                             bytecode, or engine-backend pairs like seq-bytecode, \
-                             threaded-interp)"
-                        )),
+                // Engine prefix, longest name first so threaded-overlap is
+                // not misread as threaded + unknown backend.
+                let mut rest = v.as_str();
+                for (name, e) in [
+                    ("threaded-overlap", Engine::ThreadedOverlap),
+                    ("threaded", Engine::Threaded),
+                    ("par", Engine::Threaded),
+                    ("seq", Engine::Sequential),
+                ] {
+                    if let Some(r) = rest.strip_prefix(name) {
+                        engine = e;
+                        rest = r;
+                        break;
                     }
+                }
+                match rest.strip_prefix('-').unwrap_or(rest) {
+                    "" => {}
+                    "interp" => backend = Backend::Interp,
+                    "bytecode" => backend = Backend::Bytecode,
+                    _ => usage_error(&format!(
+                        "--engine: unknown value '{v}' (valid: seq, threaded, \
+                         threaded-overlap, interp, bytecode, or engine-backend pairs \
+                         like seq-bytecode, threaded-interp, threaded-overlap-bytecode)"
+                    )),
                 }
             }
             "--naive" => naive_mode = true,

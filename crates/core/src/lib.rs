@@ -49,4 +49,4 @@ pub use hpf_analysis::{Diagnostic, Severity};
 pub use hpf_exec::{max_abs_diff, Backend, Reference};
 pub use hpf_ir::pretty;
 pub use hpf_passes::{CompileOptions, PipelineStats, Stage, TempPolicy};
-pub use hpf_runtime::{CostModel, Machine, MachineConfig, PeGrid, RtError};
+pub use hpf_runtime::{AggStats, CostModel, Machine, MachineConfig, PeGrid, RtError};

@@ -32,6 +32,7 @@ pub mod par;
 pub mod plan;
 pub mod reference;
 pub mod seq;
+mod validate;
 pub mod verify;
 
 pub use backend::Backend;

@@ -55,29 +55,23 @@ pub fn scalar_values(symbols: &hpf_ir::SymbolTable) -> Vec<f64> {
     symbols.scalar_ids().map(|id| symbols.scalar(id).value).collect()
 }
 
-/// Execute one loop nest on one PE. `scalars` is the value table from
-/// [`scalar_values`].
-pub fn exec_nest(pe: &mut PeState, nest: &LoopNest, scalars: &[f64]) {
-    // Geometry comes from any referenced array; normal form guarantees all
-    // operands conform, hence share subgrid layout.
-    let probe = nest
-        .body
-        .iter()
-        .find_map(|i| match i {
-            Instr::Load { array, .. } | Instr::Store { array, .. } => Some(*array),
-            _ => None,
-        })
-        .expect("nest bodies access at least one array");
-    let (owned, ext, strides, halo) = {
-        let sub = pe.subgrid(probe);
-        (sub.owned.clone(), sub.ext.clone(), sub.strides().to_vec(), sub.halo)
-    };
+/// This PE's local iteration bounds for a nest: the intersection of the
+/// global iteration space with the owned region, translated to local
+/// coordinates (inclusive). `None` when the PE owns nothing of the space.
+/// Mirrors the bounds reduction of [`exec_nest`] and of the bytecode
+/// compiler — the split-phase engine derives its interior/boundary regions
+/// from these.
+pub fn nest_local_bounds(pe: &PeState, nest: &LoopNest) -> Option<(Vec<i64>, Vec<i64>)> {
+    let probe = nest.body.iter().find_map(|i| match i {
+        Instr::Load { array, .. } | Instr::Store { array, .. } => Some(*array),
+        _ => None,
+    })?;
+    let sub = pe.subgrids.get(probe.0 as usize)?.as_ref()?;
+    let (owned, ext) = (&sub.owned, &sub.ext);
     if ext.contains(&0) {
-        return; // this PE owns nothing
+        return None;
     }
     let rank = ext.len();
-    // Local bounds: intersection of the global space with the owned region,
-    // translated to local coordinates.
     let mut lo = vec![0i64; rank];
     let mut hi = vec![0i64; rank];
     for d in 0..rank {
@@ -86,9 +80,59 @@ pub fn exec_nest(pe: &mut PeState, nest: &LoopNest, scalars: &[f64]) {
         lo[d] = (slo - olo + 1).max(1);
         hi[d] = (shi - olo + 1).min(ext[d] as i64);
         if hi[d] < lo[d] {
-            return; // nothing to compute here
+            return None;
         }
     }
+    Some((lo, hi))
+}
+
+/// Execute one loop nest on one PE. `scalars` is the value table from
+/// [`scalar_values`].
+pub fn exec_nest(pe: &mut PeState, nest: &LoopNest, scalars: &[f64]) {
+    let Some((lo, hi)) = nest_local_bounds(pe, nest) else {
+        return; // this PE owns nothing of the space
+    };
+    exec_nest_over(pe, nest, scalars, &lo, &hi);
+}
+
+/// Execute one loop nest over a sub-range of this PE's local iteration
+/// space: `region[d]` is an inclusive local index range, clipped against
+/// the PE's bounds. The interpreter twin of
+/// `hpf_codegen::exec_compiled_range`; counter accounting matches
+/// [`exec_nest`] piecewise for factor-aligned tilings (see
+/// `hpf_analysis::overlap`).
+pub fn exec_nest_range(pe: &mut PeState, nest: &LoopNest, scalars: &[f64], region: &[(i64, i64)]) {
+    let Some((mut lo, mut hi)) = nest_local_bounds(pe, nest) else {
+        return;
+    };
+    debug_assert_eq!(region.len(), lo.len());
+    for (d, &(rlo, rhi)) in region.iter().enumerate() {
+        lo[d] = lo[d].max(rlo);
+        hi[d] = hi[d].min(rhi);
+        if hi[d] < lo[d] {
+            return;
+        }
+    }
+    exec_nest_over(pe, nest, scalars, &lo, &hi);
+}
+
+/// The interpreter body behind [`exec_nest`] / [`exec_nest_range`]: run the
+/// register machine over the box `lo..=hi` (local, inclusive). Jammed/unit
+/// grouping is decided against these bounds.
+fn exec_nest_over(pe: &mut PeState, nest: &LoopNest, scalars: &[f64], lo: &[i64], hi: &[i64]) {
+    let probe = nest
+        .body
+        .iter()
+        .find_map(|i| match i {
+            Instr::Load { array, .. } | Instr::Store { array, .. } => Some(*array),
+            _ => None,
+        })
+        .expect("nest bodies access at least one array");
+    let (strides, halo) = {
+        let sub = pe.subgrid(probe);
+        (sub.strides().to_vec(), sub.halo)
+    };
+    let rank = strides.len();
 
     let jammed = compile_body(&nest.body, &strides, scalars);
     let unit = nest.unroll.as_ref().map(|u| compile_body(&u.unit_body, &strides, scalars));
@@ -120,7 +164,7 @@ pub fn exec_nest(pe: &mut PeState, nest: &LoopNest, scalars: &[f64]) {
 
     // Odometer over the non-outermost loops.
     let inner_dims: Vec<usize> = order[1..].to_vec();
-    let mut point = lo.clone();
+    let mut point = lo.to_vec();
     let d0 = unroll_dim;
     let mut i = lo[d0];
     while i <= hi[d0] {

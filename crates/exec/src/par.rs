@@ -12,7 +12,7 @@
 use crate::backend::{self, Backend, BcItem};
 use crate::nest::{exec_nest, scalar_values};
 use hpf_passes::loopir::{CommOp, NodeItem, NodeProgram};
-use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan, CommAction};
+use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan, split_halves, CommAction};
 use hpf_runtime::{ArrayMeta, Machine, MachineConfig, PeState, RtError};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
@@ -39,7 +39,7 @@ pub fn execute_par_with(
     crate::seq::allocate(machine, node)?;
     // Pre-validate every communication plan once (shift widths etc.) so
     // worker threads cannot fail.
-    prevalidate(machine, &node.items)?;
+    crate::validate::prevalidate_comms(machine, &node.items)?;
     let cfg = machine.cfg.clone();
     let metas = machine.metas_snapshot();
     let scalars = scalar_values(&node.symbols);
@@ -84,20 +84,6 @@ pub fn execute_par_with(
         // as the plan engine's schedule-reuse accounting).
         machine.note_kernels_compiled(compiled);
         machine.note_kernel_execs(backend::kernel_execs_per_pass(&bc_items));
-    }
-    Ok(())
-}
-
-fn prevalidate(machine: &Machine, items: &[NodeItem]) -> Result<(), RtError> {
-    for item in items {
-        match item {
-            NodeItem::Comm(CommOp::Overlap { array, shift, dim, rsd, kind }) => {
-                let geom = machine.meta(*array).geom.clone();
-                overlap_shift_plan(&geom, *shift, *dim, rsd.as_ref(), *kind, machine.cfg.halo)?;
-            }
-            NodeItem::TimeLoop { body, .. } => prevalidate(machine, body)?,
-            _ => {}
-        }
     }
     Ok(())
 }
@@ -170,6 +156,8 @@ impl Worker<'_> {
         }
     }
 
+    /// Blocking communication: post the send half, then immediately drain
+    /// the receive half. Bitwise identical to `Machine::apply_compiled`.
     pub(crate) fn comm(
         &mut self,
         dst: hpf_ir::ArrayId,
@@ -177,27 +165,39 @@ impl Worker<'_> {
         plan: &[CommAction],
         full_shift: bool,
     ) {
+        let seq = self.comm_post(dst, src, plan, full_shift);
+        self.comm_finish(dst, plan, seq);
+    }
+
+    /// Split-phase first half: post all sends (phase 1), then apply local
+    /// fills and self-transfers (phase 2). Channels are unbounded, so this
+    /// never blocks. Returns the sequence number the sends were tagged
+    /// with; pass it to [`Worker::comm_finish`] to drain the receives.
+    pub(crate) fn comm_post(
+        &mut self,
+        dst: hpf_ir::ArrayId,
+        src: hpf_ir::ArrayId,
+        plan: &[CommAction],
+        full_shift: bool,
+    ) -> u64 {
         let seq = self.seq;
         self.seq += 1;
+        let halves = split_halves(plan, self.pe);
         // Phase 1: all sends.
-        for action in plan {
-            if let CommAction::Transfer(t) = action {
-                if t.src_pe == self.pe && t.dst_pe != self.pe {
-                    let buf = self.state.subgrid(src).read_region(&t.src_local);
-                    let bytes = (buf.len() * 8) as u64;
-                    self.txs[t.dst_pe].send((seq, self.pe, buf)).expect("peer alive");
-                    self.state.stats.msgs_sent += 1;
-                    self.state.stats.bytes_sent += bytes;
-                }
-            }
+        for t in &halves.sends {
+            let buf = self.state.subgrid(src).read_region(&t.src_local);
+            let bytes = (buf.len() * 8) as u64;
+            self.txs[t.dst_pe].send((seq, self.pe, buf)).expect("peer alive");
+            self.state.stats.msgs_sent += 1;
+            self.state.stats.bytes_sent += bytes;
         }
         // Phase 2: local fills and self-transfers.
-        for action in plan {
+        for action in &halves.locals {
             match action {
-                CommAction::Fill { pe, local, value } if *pe == self.pe => {
+                CommAction::Fill { local, value, .. } => {
                     self.state.subgrid_mut(dst).fill_region(local, *value);
                 }
-                CommAction::Transfer(t) if t.src_pe == self.pe && t.dst_pe == self.pe => {
+                CommAction::Transfer(t) => {
                     let buf = self.state.subgrid(src).read_region(&t.src_local);
                     let bytes = (buf.len() * 8) as u64;
                     self.state.subgrid_mut(dst).write_region(&t.dst_local, &buf);
@@ -207,20 +207,21 @@ impl Worker<'_> {
                         self.state.stats.wrap_bytes += bytes;
                     }
                 }
-                _ => {}
             }
         }
-        // Phase 3: receives, in plan order.
-        for action in plan {
-            if let CommAction::Transfer(t) = action {
-                if t.dst_pe == self.pe && t.src_pe != self.pe {
-                    let buf = self.recv_tagged(seq, t.src_pe);
-                    let bytes = (buf.len() * 8) as u64;
-                    self.state.subgrid_mut(dst).write_region(&t.dst_local, &buf);
-                    self.state.stats.msgs_recv += 1;
-                    self.state.stats.bytes_recv += bytes;
-                }
-            }
+        seq
+    }
+
+    /// Split-phase second half: block receiving this PE's incoming
+    /// transfers, in plan order (phase 3), matching messages by
+    /// `(seq, sender)` with a stash for out-of-order arrivals.
+    pub(crate) fn comm_finish(&mut self, dst: hpf_ir::ArrayId, plan: &[CommAction], seq: u64) {
+        for t in &split_halves(plan, self.pe).recvs {
+            let buf = self.recv_tagged(seq, t.src_pe);
+            let bytes = (buf.len() * 8) as u64;
+            self.state.subgrid_mut(dst).write_region(&t.dst_local, &buf);
+            self.state.stats.msgs_recv += 1;
+            self.state.stats.bytes_recv += bytes;
         }
     }
 
@@ -324,6 +325,66 @@ ENDDO
 "#;
         run_both(src, Stage::MemOpt, &[2, 2], "U");
         run_both(src, Stage::Original, &[2, 2], "U");
+    }
+
+    #[test]
+    fn stash_applies_permuted_deliveries_in_plan_order() {
+        use hpf_ir::{ArrayDecl, ArrayId, Distribution, Shape};
+        use hpf_runtime::schedule::Transfer;
+
+        const U: ArrayId = ArrayId(0);
+        let mut m = Machine::new(MachineConfig::sp2_2x2());
+        m.alloc(U, &ArrayDecl::user("U", Shape::new([8, 8]), Distribution::block(2))).unwrap();
+        let cfg = m.cfg.clone();
+        let metas = m.metas_snapshot();
+        let recv = |from: usize, dst_local: Vec<(i64, i64)>| {
+            CommAction::Transfer(Transfer {
+                src_pe: from,
+                dst_pe: 0,
+                src_local: dst_local.clone(),
+                dst_local,
+            })
+        };
+        // Op 0: PE 0 receives its right ghost column from PE 1, then its
+        // bottom ghost row from PE 2, in that plan order.
+        let plan0 = vec![recv(1, vec![(1, 4), (5, 5)]), recv(2, vec![(5, 5), (1, 4)])];
+        // Op 1: PE 0 receives its top ghost row from PE 1.
+        let plan1 = vec![recv(1, vec![(0, 0), (1, 4)])];
+        let (tx, rx) = unbounded();
+        // Deliver everything out of order: op 0's PE-2 message first, then
+        // a message for the *later* op 1, then op 0's PE-1 message.
+        let buf_a = vec![1.0, 2.0, 3.0, 4.0];
+        let buf_b = vec![5.0, 6.0, 7.0, 8.0];
+        let buf_c = vec![9.0, 10.0, 11.0, 12.0];
+        tx.send((0, 2, buf_b.clone())).unwrap();
+        tx.send((1, 1, buf_c.clone())).unwrap();
+        tx.send((0, 1, buf_a.clone())).unwrap();
+        // Closing the channel makes any recv beyond the injected messages
+        // fail loudly instead of hanging the test.
+        drop(tx);
+        let mut w = Worker {
+            pe: 0,
+            state: &mut m.pes[0],
+            rx,
+            txs: Vec::new(),
+            cfg: &cfg,
+            metas: &metas,
+            scalars: &[],
+            seq: 0,
+            stash: HashMap::new(),
+        };
+        w.comm_finish(U, &plan0, 0);
+        // (seq, sender) matching applied each buffer to its own plan entry
+        // and stashed the future-op message.
+        assert!(w.stash.contains_key(&(1, 1)), "future-op message stashed");
+        assert_eq!(w.stash.len(), 1);
+        assert_eq!(w.state.subgrid(U).read_region(&[(1, 4), (5, 5)]), buf_a);
+        assert_eq!(w.state.subgrid(U).read_region(&[(5, 5), (1, 4)]), buf_b);
+        // Op 1 drains from the stash without touching the closed channel.
+        w.comm_finish(U, &plan1, 1);
+        assert!(w.stash.is_empty());
+        assert_eq!(w.state.subgrid(U).read_region(&[(0, 0), (1, 4)]), buf_c);
+        assert_eq!(w.state.stats.msgs_recv, 3);
     }
 
     #[test]

@@ -15,12 +15,14 @@
 //! `schedules_built` / `schedule_reuses` pair in `AggStats`.
 
 use crate::backend::{self, Backend};
-use crate::nest::scalar_values;
+use crate::nest::{nest_local_bounds, scalar_values};
 use crate::par::{Msg, Worker};
-use hpf_codegen::{compile_nest, CompiledNest};
+use hpf_analysis::overlap::{cells, split_region, RegionSplit};
+use hpf_codegen::{compile_nest, reads_before_def, CompiledNest};
 use hpf_ir::ArrayId;
-use hpf_passes::loopir::{CommOp, LoopNest, NodeItem, NodeProgram};
-use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan};
+use hpf_passes::loopir::{CommOp, Instr, LoopNest, NodeItem, NodeProgram};
+use hpf_passes::memopt::iteration_local;
+use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan, regions_intersect, CommAction};
 use hpf_runtime::{CompiledComm, Machine, MoveKind, RtError};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
@@ -35,6 +37,35 @@ enum PlanItem {
     /// kernel where one exists (`kernels` is empty under the interpreter
     /// backend and per-PE `None` where codegen declined the nest).
     Nest { nest: LoopNest, kernels: Vec<Option<CompiledNest>> },
+    /// A split-phase overlap window ([`ExecPlan::build_overlapped`]): a run
+    /// of consecutive overlap-shift schedules fused with the nest that
+    /// consumes them. The overlapped engine posts every schedule's send
+    /// half, runs the nest's interior while messages are in flight, drains
+    /// the receives in plan order, then runs the boundary strips. The
+    /// blocking engines execute it exactly like the unfused sequence.
+    Overlap {
+        /// Schedule slots, in plan order.
+        comms: Vec<usize>,
+        /// `barriers[i]`: drain every pending receive before posting
+        /// `comms[i]` — set when that schedule's sends read ghost cells an
+        /// earlier schedule's receives write (corner forwarding; see
+        /// `CompiledComm::depends_on`).
+        barriers: Vec<bool>,
+        /// `pre_drain[i]`: `comms[i]`'s receives must complete before the
+        /// interior runs, because its unpack writes ghost cells the
+        /// interior reads (halo along a dimension the split does not
+        /// shrink). Only comms with `pre_drain[i] == false` stay in flight
+        /// across the interior sweep.
+        pre_drain: Vec<bool>,
+        /// The nest, as in [`PlanItem::Nest`].
+        nest: LoopNest,
+        /// Per-PE compiled kernels, as in [`PlanItem::Nest`].
+        kernels: Vec<Option<CompiledNest>>,
+        /// Per-PE interior/boundary split; `None` means that PE's interior
+        /// is degenerate and it takes the fully-blocking path (drain first,
+        /// then run the whole nest).
+        splits: Vec<Option<RegionSplit>>,
+    },
     /// Repeat the body (a `DO n TIMES` loop folded into one step).
     TimeLoop { iters: usize, body: Vec<PlanItem> },
 }
@@ -49,6 +80,18 @@ pub struct ExecPlan {
     scalars: Vec<f64>,
     comm_execs_per_step: u64,
     kernel_execs_per_step: u64,
+    /// Split-phase windows one step executes (time-loop weighted; zero
+    /// unless built with [`ExecPlan::build_overlapped`]).
+    overlap_windows_per_step: u64,
+    /// Interior points one step computes before draining receives, summed
+    /// over PEs (time-loop weighted).
+    interior_cells_per_step: u64,
+    /// Boundary-strip points one step computes after draining receives,
+    /// summed over split PEs (time-loop weighted).
+    boundary_cells_per_step: u64,
+    /// Max over PEs of subgrid points one step computes on that PE — the
+    /// work measure `MachineConfig::par_threshold` compares against.
+    pe_points_per_step: u64,
 }
 
 impl ExecPlan {
@@ -79,7 +122,42 @@ impl ExecPlan {
         machine.note_kernels_compiled(compiled);
         let comm_execs_per_step = count_comm_execs(&items);
         let kernel_execs_per_step = count_kernel_execs(&items);
-        Ok(ExecPlan { items, scheds, scalars, comm_execs_per_step, kernel_execs_per_step })
+        let pe_points_per_step = pe_points(machine, &items);
+        Ok(ExecPlan {
+            items,
+            scheds,
+            scalars,
+            comm_execs_per_step,
+            kernel_execs_per_step,
+            overlap_windows_per_step: 0,
+            interior_cells_per_step: 0,
+            boundary_cells_per_step: 0,
+            pe_points_per_step,
+        })
+    }
+
+    /// [`ExecPlan::build_with`], then fuse every maximal run of consecutive
+    /// overlap-shift schedules with the eligible nest that follows it into
+    /// a split-phase [window](PlanItem::Overlap), computing each PE's
+    /// interior/boundary split once, here at plan time. The resulting plan
+    /// steps identically on the blocking engines; [`ExecPlan::step_par_overlap`]
+    /// additionally overlaps interior computation with the halo messages in
+    /// flight. Callers gate this on halo-safety (HS001/HS002) being
+    /// lint-clean — an unproven program must take the fully-blocking
+    /// [`ExecPlan::build_with`] path instead.
+    pub fn build_overlapped(
+        machine: &mut Machine,
+        node: &NodeProgram,
+        backend: Backend,
+    ) -> Result<ExecPlan, RtError> {
+        let mut plan = ExecPlan::build_with(machine, node, backend)?;
+        let items = std::mem::take(&mut plan.items);
+        plan.items = fuse_windows(machine, items, &plan.scheds);
+        let (windows, interior, boundary) = count_overlap(&plan.items);
+        plan.overlap_windows_per_step = windows;
+        plan.interior_cells_per_step = interior;
+        plan.boundary_cells_per_step = boundary;
+        Ok(plan)
     }
 
     /// Number of distinct communication schedules compiled.
@@ -103,6 +181,30 @@ impl ExecPlan {
         self.scheds.iter().map(|s| s.pooled_bytes()).sum()
     }
 
+    /// Split-phase windows one step executes (zero unless built with
+    /// [`ExecPlan::build_overlapped`]).
+    pub fn overlap_windows_per_step(&self) -> u64 {
+        self.overlap_windows_per_step
+    }
+
+    /// Interior points one step computes while halo messages are in flight.
+    pub fn interior_cells_per_step(&self) -> u64 {
+        self.interior_cells_per_step
+    }
+
+    /// Boundary-strip points one step computes after the receives drain.
+    pub fn boundary_cells_per_step(&self) -> u64 {
+        self.boundary_cells_per_step
+    }
+
+    /// True when the per-PE work of one step is at or below the machine's
+    /// `par_threshold` — the threaded engines then run the step on the
+    /// calling thread (identical results and counters), since spawning a
+    /// thread per PE costs more than the step itself at small sizes.
+    fn below_par_threshold(&self, machine: &Machine) -> bool {
+        machine.cfg.par_threshold > 0 && self.pe_points_per_step <= machine.cfg.par_threshold
+    }
+
     /// Run one sweep of the kernel on the sequential engine.
     pub fn step_seq(&mut self, machine: &mut Machine) {
         let ExecPlan { items, scheds, scalars, .. } = self;
@@ -114,6 +216,36 @@ impl ExecPlan {
     /// passing, reusing the precompiled plans (no per-step geometry or RSD
     /// math on the workers). Bitwise identical to [`ExecPlan::step_seq`].
     pub fn step_par(&mut self, machine: &mut Machine) {
+        if self.below_par_threshold(machine) {
+            return self.step_seq(machine);
+        }
+        self.step_threaded(machine, false);
+    }
+
+    /// Run one sweep on the split-phase overlapped engine: like
+    /// [`ExecPlan::step_par`], but every [window](PlanItem::Overlap) posts
+    /// its sends, computes the nest's interior while the messages are in
+    /// flight, drains the receives in plan order, then computes the
+    /// boundary strips. Bitwise identical to the blocking engines by
+    /// construction; the only observable difference is the
+    /// `overlapped_steps` / `interior_cells` / `boundary_cells` counters.
+    /// On a plan built without [`ExecPlan::build_overlapped`] (or whose
+    /// windows all proved ineligible) this is exactly the blocking engine.
+    pub fn step_par_overlap(&mut self, machine: &mut Machine) {
+        if self.below_par_threshold(machine) {
+            // Fully-blocking on the calling thread: nothing is overlapped,
+            // so the overlap counters stay untouched.
+            return self.step_seq(machine);
+        }
+        self.step_threaded(machine, true);
+        machine.note_overlap(
+            self.overlap_windows_per_step,
+            self.interior_cells_per_step,
+            self.boundary_cells_per_step,
+        );
+    }
+
+    fn step_threaded(&mut self, machine: &mut Machine, overlapped: bool) {
         let cfg = machine.cfg.clone();
         let metas = machine.metas_snapshot();
         let n = machine.num_pes();
@@ -139,7 +271,11 @@ impl ExecPlan {
                         seq: 0,
                         stash: HashMap::new(),
                     };
-                    step_items_worker(&mut w, items, scheds);
+                    if overlapped {
+                        step_items_worker_overlap(&mut w, items, scheds);
+                    } else {
+                        step_items_worker(&mut w, items, scheds);
+                    }
                 });
             }
         });
@@ -205,12 +341,173 @@ fn push_sched(scheds: &mut Vec<CompiledComm>, sched: CompiledComm) -> PlanItem {
     PlanItem::Comm(scheds.len() - 1)
 }
 
+/// Rewrite a compiled item list, fusing each maximal run of consecutive
+/// overlap-shift schedules followed by an eligible nest into a split-phase
+/// [window](PlanItem::Overlap). Runs broken by any other item (a full
+/// shift, a time loop, an ineligible nest) are flushed back as plain comm
+/// items — the conservative fully-blocking path.
+fn fuse_windows(machine: &Machine, items: Vec<PlanItem>, scheds: &[CompiledComm]) -> Vec<PlanItem> {
+    let mut out = Vec::with_capacity(items.len());
+    let mut run: Vec<usize> = Vec::new();
+    let flush = |out: &mut Vec<PlanItem>, run: &mut Vec<usize>| {
+        out.extend(run.drain(..).map(PlanItem::Comm));
+    };
+    for item in items {
+        match item {
+            PlanItem::Comm(i) if scheds[i].kind == MoveKind::Overlap => run.push(i),
+            PlanItem::Nest { nest, kernels } if !run.is_empty() => {
+                let derived = derive_splits(machine, &nest);
+                let pre_drain: Vec<bool> = derived
+                    .as_ref()
+                    .map(|(splits, read_lo, read_hi)| {
+                        run.iter()
+                            .map(|&c| !comm_overlappable(&scheds[c], splits, read_lo, read_hi))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                match derived {
+                    // A window where every receive would have to drain
+                    // before the interior overlaps nothing: keep it on the
+                    // blocking path so the counters stay meaningful.
+                    Some((splits, _, _)) if !pre_drain.iter().all(|&b| b) => {
+                        let barriers = run
+                            .iter()
+                            .enumerate()
+                            .map(|(ci, &c)| {
+                                run[..ci].iter().any(|&e| scheds[c].depends_on(&scheds[e]))
+                            })
+                            .collect();
+                        out.push(PlanItem::Overlap {
+                            comms: std::mem::take(&mut run),
+                            barriers,
+                            pre_drain,
+                            nest,
+                            kernels,
+                            splits,
+                        });
+                    }
+                    _ => {
+                        flush(&mut out, &mut run);
+                        out.push(PlanItem::Nest { nest, kernels });
+                    }
+                }
+            }
+            PlanItem::TimeLoop { iters, body } => {
+                flush(&mut out, &mut run);
+                out.push(PlanItem::TimeLoop { iters, body: fuse_windows(machine, body, scheds) });
+            }
+            other => {
+                flush(&mut out, &mut run);
+                out.push(other);
+            }
+        }
+    }
+    flush(&mut out, &mut run);
+    out
+}
+
+/// Per-PE interior/boundary splits plus the unit body's per-dimension read
+/// radii `(read_lo, read_hi)`.
+type SplitPlan = (Vec<Option<RegionSplit>>, Vec<i64>, Vec<i64>);
+
+/// Decide split-phase eligibility for a nest and compute each PE's
+/// interior/boundary split. `None` means the whole nest takes the blocking
+/// path; a per-PE `None` inside the vector means only that PE does (its
+/// interior is degenerate).
+///
+/// Eligibility is judged on the semantic unit body (the pre-jam body for
+/// unrolled nests — the jammed body is `factor` independent unit iterations
+/// interleaved, so unit-level properties govern):
+/// * [`iteration_local`] — every iteration's loads and stores of written
+///   arrays hit only its own point, so iterations commute and interior
+///   stores stay inside owned cells;
+/// * no [`reads_before_def`] in either body — the interpreter and VM share
+///   one register file across points, so a register read before its
+///   definition would carry state across the interior/boundary seam.
+///
+/// The interior shrink per dimension is the widest load/store offset of the
+/// unit body in that dimension: interior accesses then stay within owned
+/// storage, untouched by the in-flight receives (which write ghost cells
+/// only) — [`comm_overlappable`] double-checks that geometrically per
+/// schedule and pre-drains any receive whose unpack would intersect the
+/// interior's read region. Jammed accesses need no extra margin — a jammed
+/// access at group start `i`, copy `k` is the unit access at point `i + k`,
+/// and every group point lies inside the interior.
+///
+/// Returns the per-PE splits plus the unit body's per-dimension read radii
+/// `(read_lo, read_hi)`.
+fn derive_splits(machine: &Machine, nest: &LoopNest) -> Option<SplitPlan> {
+    let unit = nest.unroll.as_ref().map_or(&nest.body, |u| &u.unit_body);
+    if !iteration_local(unit) || reads_before_def(unit) || reads_before_def(&nest.body) {
+        return None;
+    }
+    let rank = nest.order.len();
+    let mut read_lo = vec![0i64; rank];
+    let mut read_hi = vec![0i64; rank];
+    for i in unit {
+        if let Instr::Load { offsets, .. } | Instr::Store { offsets, .. } = i {
+            for (d, &o) in offsets.iter().enumerate() {
+                read_lo[d] = read_lo[d].max(-o);
+                read_hi[d] = read_hi[d].max(o);
+            }
+        }
+    }
+    let shrink_lo = read_lo.clone();
+    let shrink_hi = read_hi.clone();
+    let factor = nest.unroll.as_ref().map_or(1, |u| u.factor as i64);
+    let splits: Vec<Option<RegionSplit>> = machine
+        .pes
+        .iter()
+        .map(|pe| {
+            let (lo, hi) = nest_local_bounds(pe, nest)?;
+            split_region(&lo, &hi, &shrink_lo, &shrink_hi, &nest.order, factor)
+        })
+        .collect();
+    // A window where no PE can split would overlap nothing: keep it on the
+    // blocking path so the counters stay meaningful.
+    if splits.iter().all(|s| s.is_none()) {
+        return None;
+    }
+    Some((splits, read_lo, read_hi))
+}
+
+/// May this schedule's receives stay in flight while the interior runs?
+/// Yes iff on every split PE, no cross-PE unpack region intersects the
+/// cells that PE's interior reads — the interior box expanded by the
+/// nest's per-dimension read radii. Local copies and fills execute in the
+/// post half and non-split PEs drain everything before their nest, so only
+/// receiving transfers on split PEs matter. Regions and bounds share the
+/// 1-based local coordinate frame (owned cells `1..=ext`, ghosts outside).
+fn comm_overlappable(
+    sched: &CompiledComm,
+    splits: &[Option<RegionSplit>],
+    read_lo: &[i64],
+    read_hi: &[i64],
+) -> bool {
+    splits.iter().enumerate().all(|(pe, split)| {
+        let Some(split) = split else { return true };
+        let read: Vec<(i64, i64)> = split
+            .interior
+            .iter()
+            .enumerate()
+            .map(|(d, &(l, h))| (l - read_lo[d], h + read_hi[d]))
+            .collect();
+        sched.actions.iter().all(|a| match a {
+            CommAction::Transfer(t) if t.dst_pe == pe && t.src_pe != pe => {
+                !regions_intersect(&read, &t.dst_local)
+            }
+            _ => true,
+        })
+    })
+}
+
 fn count_comm_execs(items: &[PlanItem]) -> u64 {
     items
         .iter()
         .map(|i| match i {
             PlanItem::Comm(_) => 1,
             PlanItem::Nest { .. } => 0,
+            PlanItem::Overlap { comms, .. } => comms.len() as u64,
             PlanItem::TimeLoop { iters, body } => *iters as u64 * count_comm_execs(body),
         })
         .sum()
@@ -221,10 +518,63 @@ fn count_kernel_execs(items: &[PlanItem]) -> u64 {
         .iter()
         .map(|i| match i {
             PlanItem::Comm(_) => 0,
-            PlanItem::Nest { kernels, .. } => kernels.iter().flatten().count() as u64,
+            PlanItem::Nest { kernels, .. } | PlanItem::Overlap { kernels, .. } => {
+                kernels.iter().flatten().count() as u64
+            }
             PlanItem::TimeLoop { iters, body } => *iters as u64 * count_kernel_execs(body),
         })
         .sum()
+}
+
+/// `(windows, interior cells, boundary cells)` one step executes, summed
+/// over PEs and time-loop weighted. PEs on the blocking path inside a
+/// window contribute to neither cell count.
+fn count_overlap(items: &[PlanItem]) -> (u64, u64, u64) {
+    let mut acc = (0u64, 0u64, 0u64);
+    for item in items {
+        match item {
+            PlanItem::Overlap { splits, .. } => {
+                acc.0 += 1;
+                for s in splits.iter().flatten() {
+                    acc.1 += s.interior_cells();
+                    acc.2 += s.boundary_cells();
+                }
+            }
+            PlanItem::TimeLoop { iters, body } => {
+                let (w, i, b) = count_overlap(body);
+                let n = *iters as u64;
+                acc = (acc.0 + n * w, acc.1 + n * i, acc.2 + n * b);
+            }
+            _ => {}
+        }
+    }
+    acc
+}
+
+/// Max over PEs of the subgrid points one step computes on that PE.
+fn pe_points(machine: &Machine, items: &[PlanItem]) -> u64 {
+    fn walk(machine: &Machine, items: &[PlanItem], per: &mut [u64], weight: u64) {
+        for item in items {
+            match item {
+                PlanItem::Nest { nest, .. } | PlanItem::Overlap { nest, .. } => {
+                    for (pe, state) in machine.pes.iter().enumerate() {
+                        if let Some((lo, hi)) = nest_local_bounds(state, nest) {
+                            let box_: Vec<(i64, i64)> =
+                                lo.iter().zip(&hi).map(|(&l, &h)| (l, h)).collect();
+                            per[pe] += weight * cells(&box_);
+                        }
+                    }
+                }
+                PlanItem::TimeLoop { iters, body } => {
+                    walk(machine, body, per, weight * *iters as u64);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut per = vec![0u64; machine.num_pes()];
+    walk(machine, items, &mut per, 1);
+    per.into_iter().max().unwrap_or(0)
 }
 
 fn step_items_seq(
@@ -236,7 +586,14 @@ fn step_items_seq(
     for item in items {
         match item {
             PlanItem::Comm(i) => machine.apply_compiled(&mut scheds[*i]),
-            PlanItem::Nest { nest, kernels } => {
+            PlanItem::Nest { nest, kernels } | PlanItem::Overlap { nest, kernels, .. } => {
+                // Windows degenerate to comm-then-nest on this engine; the
+                // borrow split keeps the comm slots applied first.
+                if let PlanItem::Overlap { comms, .. } = item {
+                    for &i in comms {
+                        machine.apply_compiled(&mut scheds[i]);
+                    }
+                }
                 for pe in 0..machine.num_pes() {
                     let kernel = kernels.get(pe).and_then(|k| k.as_ref());
                     backend::run_nest(&mut machine.pes[pe], nest, kernel, scalars);
@@ -258,13 +615,102 @@ fn step_items_worker(w: &mut Worker, items: &[PlanItem], scheds: &[CompiledComm]
                 let s = &scheds[*i];
                 w.comm(s.dst, s.src, &s.actions, s.kind == MoveKind::FullShift);
             }
-            PlanItem::Nest { nest, kernels } => {
+            PlanItem::Nest { nest, kernels } | PlanItem::Overlap { nest, kernels, .. } => {
+                // Windows degenerate to comm-then-nest on this engine too.
+                if let PlanItem::Overlap { comms, .. } = item {
+                    for &i in comms {
+                        let s = &scheds[i];
+                        w.comm(s.dst, s.src, &s.actions, s.kind == MoveKind::FullShift);
+                    }
+                }
                 let kernel = kernels.get(w.pe).and_then(|k| k.as_ref());
                 backend::run_nest(w.state, nest, kernel, w.scalars);
             }
             PlanItem::TimeLoop { iters, body } => {
                 for _ in 0..*iters {
                     step_items_worker(w, body, scheds);
+                }
+            }
+        }
+    }
+}
+
+/// The split-phase walker behind [`ExecPlan::step_par_overlap`]. Identical
+/// to [`step_items_worker`] except on [`PlanItem::Overlap`]: post every
+/// schedule's send half (draining pending receives first wherever a
+/// dependency barrier demands it), compute the nest's interior while the
+/// messages are in flight, drain the remaining receives in plan order, then
+/// compute the boundary strips. A PE whose interior is degenerate drains
+/// immediately and runs the whole nest — the blocking protocol.
+fn step_items_worker_overlap(w: &mut Worker, items: &[PlanItem], scheds: &[CompiledComm]) {
+    for item in items {
+        match item {
+            PlanItem::Comm(i) => {
+                let s = &scheds[*i];
+                w.comm(s.dst, s.src, &s.actions, s.kind == MoveKind::FullShift);
+            }
+            PlanItem::Nest { nest, kernels } => {
+                let kernel = kernels.get(w.pe).and_then(|k| k.as_ref());
+                backend::run_nest(w.state, nest, kernel, w.scalars);
+            }
+            PlanItem::Overlap { comms, barriers, pre_drain, nest, kernels, splits } => {
+                let drain = |w: &mut Worker, pending: &mut Vec<(usize, u64)>| {
+                    for (ci, seq) in pending.drain(..) {
+                        let s = &scheds[comms[ci]];
+                        w.comm_finish(s.dst, &s.actions, seq);
+                    }
+                };
+                let mut pending: Vec<(usize, u64)> = Vec::with_capacity(comms.len());
+                for (ci, &slot) in comms.iter().enumerate() {
+                    if barriers[ci] {
+                        drain(w, &mut pending);
+                    }
+                    let s = &scheds[slot];
+                    let seq = w.comm_post(s.dst, s.src, &s.actions, s.kind == MoveKind::FullShift);
+                    pending.push((ci, seq));
+                }
+                let kernel = kernels.get(w.pe).and_then(|k| k.as_ref());
+                match splits.get(w.pe).and_then(|s| s.as_ref()) {
+                    Some(split) => {
+                        // Receives whose unpack writes cells the interior
+                        // reads (halo along unshrunk dimensions) must land
+                        // first; the rest stay in flight across the
+                        // interior sweep.
+                        let mut in_flight: Vec<(usize, u64)> = Vec::with_capacity(pending.len());
+                        for (ci, seq) in pending.drain(..) {
+                            if pre_drain[ci] {
+                                let s = &scheds[comms[ci]];
+                                w.comm_finish(s.dst, &s.actions, seq);
+                            } else {
+                                in_flight.push((ci, seq));
+                            }
+                        }
+                        // Snapshot counters around the interior sweep and
+                        // the drain: the cost model credits the receive
+                        // time that was covered by interior compute (the
+                        // latency split-phase hides; DESIGN.md §5d).
+                        let pre = w.state.stats;
+                        backend::run_nest_range(w.state, nest, kernel, w.scalars, &split.interior);
+                        let mid = w.state.stats;
+                        drain(w, &mut in_flight);
+                        let post = w.state.stats;
+                        for strip in &split.boundary {
+                            backend::run_nest_range(w.state, nest, kernel, w.scalars, strip);
+                        }
+                        let cost = &w.cfg.cost;
+                        let interior_ns = cost.pe_time_ns(&mid.delta_since(&pre));
+                        let recv_ns = cost.pe_time_ns(&post.delta_since(&mid));
+                        w.state.overlap_hidden_ns += recv_ns.min(interior_ns);
+                    }
+                    None => {
+                        drain(w, &mut pending);
+                        backend::run_nest(w.state, nest, kernel, w.scalars);
+                    }
+                }
+            }
+            PlanItem::TimeLoop { iters, body } => {
+                for _ in 0..*iters {
+                    step_items_worker_overlap(w, body, scheds);
                 }
             }
         }
@@ -289,6 +735,16 @@ mod tests {
 
     const JACOBI: &str = r#"
 PARAM N = 8
+REAL U(N,N), T(N,N)
+REAL C = 0.25
+T = C * (CSHIFT(U,1,1) + CSHIFT(U,-1,1) + CSHIFT(U,1,2) + CSHIFT(U,-1,2))
+U = T
+"#;
+
+    // Large enough that each PE's 8x8 block keeps a factor-aligned interior
+    // after shrinking by the stencil radius (8x8 blocks over 2x2 do not).
+    const JACOBI16: &str = r#"
+PARAM N = 16
 REAL U(N,N), T(N,N)
 REAL C = 0.25
 T = C * (CSHIFT(U,1,1) + CSHIFT(U,-1,1) + CSHIFT(U,1,2) + CSHIFT(U,-1,2))
@@ -375,6 +831,153 @@ ENDDO
         let (mut m_ref, compiled_ref, _) = setup(src, Stage::MemOpt, &[2, 2]);
         execute_seq(&mut m_ref, &compiled_ref.node).unwrap();
         assert_eq!(m.gather(u), m_ref.gather(u));
+    }
+
+    #[test]
+    fn overlapped_plan_fuses_windows_and_steps_bitwise_equal() {
+        for backend in [Backend::Interp, Backend::Bytecode] {
+            for stage in [Stage::Original, Stage::MemOpt] {
+                let (mut m_seq, compiled, u) = setup(JACOBI16, stage, &[2, 2]);
+                let mut p_seq = ExecPlan::build_with(&mut m_seq, &compiled.node, backend).unwrap();
+                let (mut m_ovl, compiled2, _) = setup(JACOBI16, stage, &[2, 2]);
+                let mut p_ovl =
+                    ExecPlan::build_overlapped(&mut m_ovl, &compiled2.node, backend).unwrap();
+                if stage == Stage::MemOpt {
+                    // Only the optimized pipeline emits overlap shifts; at
+                    // Stage::Original every CSHIFT is a full-shift copy and
+                    // the plan has nothing to fuse.
+                    assert!(
+                        p_ovl.overlap_windows_per_step() > 0,
+                        "JACOBI at {stage:?} should fuse at least one window"
+                    );
+                    assert!(p_ovl.interior_cells_per_step() > 0);
+                    assert!(p_ovl.boundary_cells_per_step() > 0);
+                }
+                for _ in 0..4 {
+                    p_seq.step_seq(&mut m_seq);
+                    p_ovl.step_par_overlap(&mut m_ovl);
+                }
+                assert_eq!(m_seq.gather(u), m_ovl.gather(u), "{backend:?} {stage:?}");
+                assert_eq!(m_seq.stats().per_pe, m_ovl.stats().per_pe, "{backend:?} {stage:?}");
+                let st = m_ovl.stats();
+                assert_eq!(st.overlapped_steps, 4 * p_ovl.overlap_windows_per_step());
+                assert_eq!(st.interior_cells, 4 * p_ovl.interior_cells_per_step());
+                assert_eq!(st.boundary_cells, 4 * p_ovl.boundary_cells_per_step());
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_steps_record_hidden_comm_credit() {
+        // Same kernel, same counters on every PE — but the split-phase
+        // engine hides receive time behind measured interior compute, so it
+        // records a positive per-PE credit and its modeled time is strictly
+        // below the blocking plan's. Blocking engines record zero.
+        let (mut m_blk, compiled, _) = setup(JACOBI16, Stage::MemOpt, &[2, 2]);
+        let mut p_blk = ExecPlan::build_with(&mut m_blk, &compiled.node, Backend::Interp).unwrap();
+        let (mut m_ovl, c2, _) = setup(JACOBI16, Stage::MemOpt, &[2, 2]);
+        let mut p_ovl = ExecPlan::build_overlapped(&mut m_ovl, &c2.node, Backend::Interp).unwrap();
+        assert!(p_ovl.overlap_windows_per_step() > 0);
+        for _ in 0..3 {
+            p_blk.step_par(&mut m_blk);
+            p_ovl.step_par_overlap(&mut m_ovl);
+        }
+        let st_blk = m_blk.stats();
+        let st_ovl = m_ovl.stats();
+        assert_eq!(st_blk.per_pe, st_ovl.per_pe, "counters stay engine-independent");
+        assert!(st_blk.hidden_comm_ns.iter().all(|&h| h == 0.0));
+        assert!(
+            st_ovl.hidden_comm_ns.iter().all(|&h| h > 0.0),
+            "every split PE hid some receive time: {:?}",
+            st_ovl.hidden_comm_ns
+        );
+        let cost = hpf_runtime::CostModel::sp2();
+        assert!(cost.modeled_time_ns(&st_ovl) < cost.modeled_time_ns(&st_blk));
+        // The credit can never exceed what a receive actually costs.
+        for (pe, s) in st_ovl.per_pe.iter().enumerate() {
+            let recv_only = hpf_runtime::PeStats {
+                msgs_recv: s.msgs_recv,
+                bytes_recv: s.bytes_recv,
+                ..Default::default()
+            };
+            assert!(st_ovl.hidden_comm_ns[pe] <= cost.pe_time_ns(&recv_only));
+        }
+    }
+
+    #[test]
+    fn overlapped_plan_blocking_engines_still_work() {
+        // An overlapped plan stepped on the blocking engines executes the
+        // windows as comm-then-nest, identical to an unfused plan.
+        let (mut m_ref, compiled, u) = setup(JACOBI, Stage::MemOpt, &[2, 2]);
+        let mut p_ref = ExecPlan::build(&mut m_ref, &compiled.node).unwrap();
+        let (mut m_seq, c2, _) = setup(JACOBI, Stage::MemOpt, &[2, 2]);
+        let mut p_seq = ExecPlan::build_overlapped(&mut m_seq, &c2.node, Backend::Interp).unwrap();
+        let (mut m_par, c3, _) = setup(JACOBI, Stage::MemOpt, &[2, 2]);
+        let mut p_par = ExecPlan::build_overlapped(&mut m_par, &c3.node, Backend::Interp).unwrap();
+        for _ in 0..3 {
+            p_ref.step_seq(&mut m_ref);
+            p_seq.step_seq(&mut m_seq);
+            p_par.step_par(&mut m_par);
+        }
+        assert_eq!(m_ref.gather(u), m_seq.gather(u));
+        assert_eq!(m_ref.gather(u), m_par.gather(u));
+        assert_eq!(m_ref.stats(), m_seq.stats(), "blocking seq step ignores windows");
+        assert_eq!(m_ref.stats(), m_par.stats(), "blocking par step ignores windows");
+    }
+
+    #[test]
+    fn par_threshold_degrades_small_steps_to_seq() {
+        // 8x8 over 2x2 PEs: 16 points per PE per nest, 32 per step — below
+        // a threshold of 64, so step_par runs on the calling thread with
+        // identical results and counters.
+        let cfg = MachineConfig::sp2_2x2().par_threshold(64);
+        let checked = compile_source(JACOBI).unwrap();
+        let compiled = compile(&checked, CompileOptions::upto(Stage::MemOpt));
+        let u = checked.symbols.lookup_array("U").unwrap();
+        let mk = |cfg: MachineConfig| {
+            let mut m = Machine::new(cfg);
+            m.alloc(u, checked.symbols.array(u)).unwrap();
+            m.fill(u, init);
+            m.reset_stats();
+            m
+        };
+        let mut m_seq = mk(MachineConfig::sp2_2x2());
+        let mut p_seq = ExecPlan::build(&mut m_seq, &compiled.node).unwrap();
+        let mut m_par = mk(cfg.clone());
+        let mut p_par = ExecPlan::build(&mut m_par, &compiled.node).unwrap();
+        let mut m_ovl = mk(cfg);
+        let mut p_ovl =
+            ExecPlan::build_overlapped(&mut m_ovl, &compiled.node, Backend::Interp).unwrap();
+        for _ in 0..3 {
+            p_seq.step_seq(&mut m_seq);
+            p_par.step_par(&mut m_par);
+            p_ovl.step_par_overlap(&mut m_ovl);
+        }
+        assert_eq!(m_seq.gather(u), m_par.gather(u));
+        assert_eq!(m_seq.gather(u), m_ovl.gather(u));
+        assert_eq!(m_seq.stats(), m_par.stats());
+        // Degraded overlap steps overlap nothing: counters stay zero.
+        assert_eq!(m_ovl.stats().overlapped_steps, 0);
+        assert_eq!(m_seq.stats(), m_ovl.stats());
+    }
+
+    #[test]
+    fn window_degenerate_interior_takes_blocking_path() {
+        // A 4-row space shrunk by 1 on each side over a 4x1 grid leaves a
+        // single owned row per PE along dim 0 — factor alignment then
+        // consumes the interior on every PE, so no window is fused and the
+        // plan still steps correctly.
+        let (mut m_seq, compiled, u) = setup(JACOBI, Stage::MemOpt, &[4, 1]);
+        let mut p_seq = ExecPlan::build(&mut m_seq, &compiled.node).unwrap();
+        let (mut m_ovl, c2, _) = setup(JACOBI, Stage::MemOpt, &[4, 1]);
+        let mut p_ovl = ExecPlan::build_overlapped(&mut m_ovl, &c2.node, Backend::Interp).unwrap();
+        assert_eq!(p_ovl.overlap_windows_per_step(), 0, "degenerate interiors: no window");
+        for _ in 0..3 {
+            p_seq.step_seq(&mut m_seq);
+            p_ovl.step_par_overlap(&mut m_ovl);
+        }
+        assert_eq!(m_seq.gather(u), m_ovl.gather(u));
+        assert_eq!(m_seq.stats().per_pe, m_ovl.stats().per_pe);
     }
 
     #[test]

@@ -10,39 +10,13 @@ use hpf_runtime::{Machine, RtError};
 /// the machine's overlap width can serve every offset access the program
 /// performs.
 pub fn allocate(machine: &mut Machine, node: &NodeProgram) -> Result<(), RtError> {
-    check_halo(machine, node)?;
+    crate::validate::check_halo(machine, node)?;
     for id in &node.live_arrays {
         if !machine.is_allocated(*id) {
             machine.alloc(*id, node.symbols.array(*id))?;
         }
     }
     Ok(())
-}
-
-/// Reject node programs whose offset accesses exceed the machine's overlap
-/// width — without this, a kernel compiled for a wider halo would silently
-/// read the wrong subgrid cells.
-fn check_halo(machine: &Machine, node: &NodeProgram) -> Result<(), RtError> {
-    let halo = machine.cfg.halo as i64;
-    let mut worst: Option<(i64, usize)> = None;
-    node.for_each_item(&mut |item| {
-        if let NodeItem::Nest(nest) = item {
-            let unit = nest.unroll.as_ref().map_or(&nest.body, |u| &u.unit_body);
-            for i in unit {
-                if let hpf_passes::loopir::Instr::Load { offsets, .. } = i {
-                    for (d, &o) in offsets.iter().enumerate() {
-                        if o.abs() > halo && worst.is_none_or(|(w, _)| o.abs() > w) {
-                            worst = Some((o, d));
-                        }
-                    }
-                }
-            }
-        }
-    });
-    match worst {
-        Some((o, d)) => Err(RtError::ShiftTooWide { shift: o, dim: d, limit: machine.cfg.halo }),
-        None => Ok(()),
-    }
 }
 
 /// Execute the node program on the machine, one PE at a time, with all

@@ -22,6 +22,11 @@ pub struct MachineConfig {
     pub mem_budget: Option<usize>,
     /// Cost model used for modeled time.
     pub cost: CostModel,
+    /// Threaded-engine spawn threshold in subgrid points per PE per step
+    /// (0 = always spawn). When a plan step computes at most this many
+    /// points per PE, the threaded engines degrade to the sequential step —
+    /// thread spawn and join overhead dominates such small subgrids.
+    pub par_threshold: u64,
 }
 
 impl MachineConfig {
@@ -34,7 +39,13 @@ impl MachineConfig {
     /// assert_eq!(cfg.mem_budget, Some(256 << 20));
     /// ```
     pub fn grid(grid: impl Into<Vec<usize>>) -> Self {
-        MachineConfig { grid: PeGrid::new(grid), halo: 1, mem_budget: None, cost: CostModel::sp2() }
+        MachineConfig {
+            grid: PeGrid::new(grid),
+            halo: 1,
+            mem_budget: None,
+            cost: CostModel::sp2(),
+            par_threshold: 0,
+        }
     }
 
     /// The paper's machine: a 4-processor SP-2 arranged 2×2, overlap width 1.
@@ -70,6 +81,13 @@ impl MachineConfig {
         self.cost = cost;
         self
     }
+
+    /// Set the threaded-engine spawn threshold (points per PE per step;
+    /// 0 disables the degrade-to-sequential path).
+    pub fn par_threshold(mut self, points: u64) -> Self {
+        self.par_threshold = points;
+        self
+    }
 }
 
 /// Metadata of an allocated distributed array.
@@ -92,6 +110,10 @@ pub struct PeState {
     pub subgrids: Vec<Option<Subgrid>>,
     /// Execution counters.
     pub stats: PeStats,
+    /// Modeled receive nanoseconds hidden behind interior compute by
+    /// split-phase exchange windows on this PE (see `AggStats::hidden_comm_ns`).
+    /// Kept outside `stats` so per-PE counters stay identical across engines.
+    pub overlap_hidden_ns: f64,
     /// Currently allocated bytes.
     pub cur_bytes: usize,
     /// Peak allocated bytes.
@@ -143,6 +165,12 @@ pub struct Machine {
     kernels_built: u64,
     /// Executions of already-compiled bytecode kernels (machine-wide).
     kernel_execs: u64,
+    /// Split-phase windows executed with interior/boundary overlap.
+    overlapped_steps: u64,
+    /// Points computed in interior regions of overlapped windows.
+    interior_cells: u64,
+    /// Points computed in boundary strips of overlapped windows.
+    boundary_cells: u64,
 }
 
 impl Machine {
@@ -154,6 +182,7 @@ impl Machine {
                 pe,
                 subgrids: Vec::new(),
                 stats: PeStats::default(),
+                overlap_hidden_ns: 0.0,
                 cur_bytes: 0,
                 peak_bytes: 0,
             })
@@ -166,6 +195,9 @@ impl Machine {
             sched_reuses: 0,
             kernels_built: 0,
             kernel_execs: 0,
+            overlapped_steps: 0,
+            interior_cells: 0,
+            boundary_cells: 0,
         }
     }
 
@@ -508,6 +540,17 @@ impl Machine {
         self.kernel_execs += n;
     }
 
+    /// Record split-phase overlap work performed by the overlapped engine:
+    /// `windows` exchange windows ran with sends posted before the interior
+    /// sweep, computing `interior` points while messages were in flight and
+    /// `boundary` points after the receives drained. Credited once per step
+    /// after the worker join, like schedule reuses.
+    pub fn note_overlap(&mut self, windows: u64, interior: u64, boundary: u64) {
+        self.overlapped_steps += windows;
+        self.interior_cells += interior;
+        self.boundary_cells += boundary;
+    }
+
     /// Swap the storage of two identically-distributed arrays on every PE —
     /// the zero-copy double-buffer flip of Jacobi-style time steps. Panics if
     /// either array is unallocated or their geometries differ.
@@ -609,6 +652,10 @@ impl Machine {
             schedule_reuses: self.sched_reuses,
             kernels_compiled: self.kernels_built,
             kernel_execs: self.kernel_execs,
+            overlapped_steps: self.overlapped_steps,
+            interior_cells: self.interior_cells,
+            boundary_cells: self.boundary_cells,
+            hidden_comm_ns: self.pes.iter().map(|p| p.overlap_hidden_ns).collect(),
         }
     }
 
@@ -616,12 +663,16 @@ impl Machine {
     pub fn reset_stats(&mut self) {
         for p in &mut self.pes {
             p.stats = PeStats::default();
+            p.overlap_hidden_ns = 0.0;
             p.peak_bytes = p.cur_bytes;
         }
         self.sched_built = 0;
         self.sched_reuses = 0;
         self.kernels_built = 0;
         self.kernel_execs = 0;
+        self.overlapped_steps = 0;
+        self.interior_cells = 0;
+        self.boundary_cells = 0;
     }
 
     /// Modeled execution time of the counters so far, in milliseconds.

@@ -124,6 +124,77 @@ impl CompiledComm {
     pub fn pooled_bytes(&self) -> usize {
         self.transfers.iter().map(|t| t.buf.len() * std::mem::size_of::<f64>()).sum()
     }
+
+    /// Split this schedule into its two split-phase halves for one PE; see
+    /// [`split_halves`].
+    pub fn halves(&self, pe: usize) -> CommHalves<'_> {
+        split_halves(&self.actions, pe)
+    }
+
+    /// Would posting this schedule's sends before `earlier`'s receives have
+    /// completed read stale data? True when some PE's outgoing (or local
+    /// self-) transfer of this schedule reads a region that an incoming
+    /// remote transfer of `earlier` writes on that PE, on the same array.
+    /// This is exactly the corner-forwarding pattern of RSD-extended
+    /// exchanges: a dim-2 overlap shift sends corner cells that the dim-1
+    /// shift's receives deposited, so its post half must wait for the dim-1
+    /// receives to drain. Independent exchanges (5-point stencils, disjoint
+    /// arrays) report `false` and may stay in flight together.
+    pub fn depends_on(&self, earlier: &CompiledComm) -> bool {
+        if self.src != earlier.dst {
+            return false;
+        }
+        self.actions.iter().any(|a| {
+            let read = match a {
+                CommAction::Transfer(t) => t,
+                CommAction::Fill { .. } => return false,
+            };
+            earlier.actions.iter().any(|e| match e {
+                CommAction::Transfer(w) if w.src_pe != w.dst_pe && w.dst_pe == read.src_pe => {
+                    regions_intersect(&read.src_local, &w.dst_local)
+                }
+                _ => false,
+            })
+        })
+    }
+}
+
+/// Do two local regions (inclusive per-dimension ranges) share any point?
+pub fn regions_intersect(a: &[(i64, i64)], b: &[(i64, i64)]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(&(alo, ahi), &(blo, bhi))| alo.max(blo) <= ahi.min(bhi))
+}
+
+/// One PE's view of a communication plan, split into the two halves of a
+/// split-phase exchange: the *post* half (outgoing messages plus the local
+/// fills and self-transfers, all safe to apply before any receive) and the
+/// *complete* half (incoming remote transfers, to be drained in plan order).
+/// Both halves preserve plan order, so tag assignment and receive matching
+/// are identical to the blocking protocol.
+pub struct CommHalves<'a> {
+    /// Outgoing remote transfers (this PE is the sender), in plan order.
+    pub sends: Vec<&'a Transfer>,
+    /// Local work: constant fills on this PE and self-transfers, in plan
+    /// order (the action carries the kind distinction for accounting).
+    pub locals: Vec<&'a CommAction>,
+    /// Incoming remote transfers (this PE is the receiver), in plan order.
+    pub recvs: Vec<&'a Transfer>,
+}
+
+/// Split a communication plan into its two split-phase halves for `pe`;
+/// see [`CommHalves`].
+pub fn split_halves(actions: &[CommAction], pe: usize) -> CommHalves<'_> {
+    let mut h = CommHalves { sends: Vec::new(), locals: Vec::new(), recvs: Vec::new() };
+    for action in actions {
+        match action {
+            CommAction::Transfer(t) if t.src_pe == pe && t.dst_pe != pe => h.sends.push(t),
+            CommAction::Transfer(t) if t.src_pe == pe && t.dst_pe == pe => h.locals.push(action),
+            CommAction::Transfer(t) if t.dst_pe == pe => h.recvs.push(t),
+            CommAction::Fill { pe: p, .. } if *p == pe => h.locals.push(action),
+            _ => {}
+        }
+    }
+    h
 }
 
 /// Geometry of one distributed array on a machine: a [`BlockDim`] per

@@ -33,6 +33,27 @@ pub struct PeStats {
 }
 
 impl PeStats {
+    /// Counter deltas since an earlier snapshot. All counters are
+    /// monotonically increasing, so this isolates the work done between two
+    /// snapshots of the same PE — the split-phase executor uses it to
+    /// attribute modeled time to the interior sweep vs the receive drain.
+    pub fn delta_since(&self, base: &PeStats) -> PeStats {
+        PeStats {
+            msgs_sent: self.msgs_sent - base.msgs_sent,
+            msgs_recv: self.msgs_recv - base.msgs_recv,
+            bytes_sent: self.bytes_sent - base.bytes_sent,
+            bytes_recv: self.bytes_recv - base.bytes_recv,
+            intra_bytes: self.intra_bytes - base.intra_bytes,
+            wrap_bytes: self.wrap_bytes - base.wrap_bytes,
+            loads: self.loads - base.loads,
+            strided_loads: self.strided_loads - base.strided_loads,
+            stores: self.stores - base.stores,
+            flops: self.flops - base.flops,
+            iters: self.iters - base.iters,
+            allocs: self.allocs - base.allocs,
+        }
+    }
+
     /// Add another PE's counters into this one.
     pub fn merge(&mut self, other: &PeStats) {
         self.msgs_sent += other.msgs_sent;
@@ -71,6 +92,24 @@ pub struct AggStats {
     /// Executions of an already-compiled bytecode kernel (one nest sweep on
     /// one PE). Plans compile once and grow only this counter per step.
     pub kernel_execs: u64,
+    /// Split-phase exchange windows executed with interior/boundary overlap
+    /// (sends posted, interior computed while messages were in flight,
+    /// receives drained, boundary strips computed). Machine-wide; zero on
+    /// the blocking engines and on the conservative-fallback path.
+    pub overlapped_steps: u64,
+    /// Points computed in interior regions (before receives were drained)
+    /// across all overlapped windows and PEs.
+    pub interior_cells: u64,
+    /// Points computed in boundary strips (after receives were drained)
+    /// across all overlapped windows and PEs.
+    pub boundary_cells: u64,
+    /// Per-PE modeled receive nanoseconds hidden behind interior compute by
+    /// split-phase exchange windows: per window, `min(recv_ns, interior_ns)`
+    /// where both terms come from the cost model applied to exact counter
+    /// deltas around the interior sweep and the drain. Zero on the blocking
+    /// engines; the per-PE `PeStats` themselves stay engine-independent.
+    /// Empty when no machine has run (e.g. hand-built aggregates).
+    pub hidden_comm_ns: Vec<f64>,
 }
 
 impl AggStats {

@@ -1,9 +1,11 @@
 //! Differential testing of the compiled-kernel backend: any kernel, at any
 //! pipeline stage, on any grid, must produce **bitwise-identical** results
-//! under the bytecode backend and the tree interpreter, on both the
-//! sequential and the threaded engine — the interpreter is the oracle the
-//! codegen is checked against. Per-PE operation counters must agree too,
-//! since the bytecode VM bulk-counts the same loads/stores/flops/iters.
+//! under the bytecode backend and the tree interpreter, on the sequential,
+//! threaded, and split-phase threaded-overlap engines — the interpreter on
+//! the sequential engine is the oracle everything else is checked against.
+//! Per-PE operation counters must agree too, since the bytecode VM
+//! bulk-counts the same loads/stores/flops/iters and the overlap engine
+//! computes the same points through the same schedules, merely reordered.
 
 use hpf_bench::workload::{generate, WorkloadSpec};
 use hpf_stencil::passes::{CompileOptions, Stage};
@@ -11,11 +13,13 @@ use hpf_stencil::runtime::PeStats;
 use hpf_stencil::{presets, Backend, Engine, Kernel, MachineConfig};
 use proptest::prelude::*;
 
-const COMBOS: [(Engine, Backend); 4] = [
+const COMBOS: [(Engine, Backend); 6] = [
     (Engine::Sequential, Backend::Interp),
     (Engine::Sequential, Backend::Bytecode),
     (Engine::Threaded, Backend::Interp),
     (Engine::Threaded, Backend::Bytecode),
+    (Engine::ThreadedOverlap, Backend::Interp),
+    (Engine::ThreadedOverlap, Backend::Bytecode),
 ];
 
 /// Run one (engine, backend) combination; return the gathered outputs (only
@@ -61,7 +65,7 @@ proptest! {
 
     /// The headline invariant of the codegen backend: random stencil
     /// kernels (shift chains, EOSHIFT boundaries, WHERE masks, accumulation
-    /// statements, time loops) are bitwise-equal across all four
+    /// statements, time loops) are bitwise-equal across all six
     /// engine × backend combinations, with identical per-PE counters.
     #[test]
     fn random_kernels_bitwise_equal_across_backends(
@@ -103,6 +107,26 @@ fn problem9_bitwise_equal_every_stage_and_combo() {
             let got = run_combo(&kernel, &[2, 2], engine, backend, &["T"]);
             assert_eq!(base, got, "{engine:?}/{backend:?} differs at stage {stage:?}");
         }
+    }
+}
+
+#[test]
+fn lint_dirty_kernel_takes_fallback_yet_stays_bitwise_equal() {
+    // Deleting an OVERLAP_SHIFT makes the kernel halo-unsafe (HS001), so
+    // the overlap engine's lint gate must refuse to split it and fall back
+    // to the blocking plan. All engines then execute the *same* broken node
+    // program — results still agree bitwise across every combination (they
+    // are wrong relative to the source semantics, but identically so).
+    let mut kernel = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+    assert!(kernel.drop_overlap_shift(0), "Problem 9 has shifts to drop");
+    assert!(
+        hpf_stencil::analysis::has_errors(&kernel.lint()),
+        "dropping a shift must trip the halo-safety lint"
+    );
+    let base = run_combo(&kernel, &[2, 2], Engine::Sequential, Backend::Interp, &["T"]);
+    for (engine, backend) in COMBOS {
+        let got = run_combo(&kernel, &[2, 2], engine, backend, &["T"]);
+        assert_eq!(base, got, "{engine:?}/{backend:?} differs on the lint-dirty kernel");
     }
 }
 
