@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen|overlap|fig7to10|fuzz]
+//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen|overlap|trace|fig7to10|fuzz]
 //!             [--n SIZE] [--sizes a,b,c] [--steps K]
 //!             [--engine seq|threaded|threaded-overlap] [--json]
 //! ```
@@ -11,11 +11,17 @@
 //! `BENCH_codegen.json` in the current directory. `--exp overlap` compares
 //! blocking threaded execution against the split-phase threaded-overlap
 //! engine (defaulting to N in {128, 512, 2048}) and writes
-//! `BENCH_overlap.json`.
+//! `BENCH_overlap.json`. `--exp trace` runs Problem 9 traced under every
+//! engine, attributes step time to compute/pack/send/drain/boundary from
+//! the recorded spans, and writes `BENCH_trace.json`.
+//!
+//! `--engine` accepts the same specs as `hpfsc` (parsed by
+//! [`ExecConfig::from_cli_str`]): an engine (`seq`, `threaded`,
+//! `threaded-overlap`), a backend, or a pair like `threaded-bytecode`.
 
 use hpf_bench::table::Table;
 use hpf_bench::*;
-use hpf_core::Engine;
+use hpf_core::{Engine, ExecConfig};
 
 /// Every experiment name `--exp` accepts, for the help text and the
 /// unknown-experiment error.
@@ -32,6 +38,7 @@ const EXPERIMENTS: &[&str] = &[
     "persistent",
     "codegen",
     "overlap",
+    "trace",
     "fig7to10",
     "fuzz",
 ];
@@ -74,13 +81,11 @@ fn parse_args() -> Args {
                 args.sizes_given = true;
             }
             "--engine" => {
-                args.engine =
-                    match it.next().expect("--engine seq|threaded|threaded-overlap").as_str() {
-                        "seq" => Engine::Sequential,
-                        "threaded" | "par" => Engine::Threaded,
-                        "threaded-overlap" => Engine::ThreadedOverlap,
-                        other => panic!("unknown engine {other}"),
-                    };
+                let spec = it.next().expect("--engine seq|threaded|threaded-overlap");
+                match ExecConfig::from_cli_str(&spec) {
+                    Ok(cfg) => args.engine = cfg.engine,
+                    Err(e) => panic!("--engine: {e}"),
+                }
             }
             "--json" => args.json = true,
             "--help" | "-h" => {
@@ -153,6 +158,19 @@ fn main() {
             println!("{}", t.render());
         }
         eprintln!("wrote BENCH_overlap.json");
+        return;
+    }
+    if args.exp == "trace" {
+        // Per-engine span attribution for Problem 9; the experiment itself
+        // validates the chrome JSON and the hidden-credit agreement.
+        let t = trace_attribution(args.n, args.steps);
+        std::fs::write("BENCH_trace.json", t.to_json() + "\n").expect("write BENCH_trace.json");
+        if args.json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{}", t.render());
+        }
+        eprintln!("wrote BENCH_trace.json");
         return;
     }
     if args.exp == "fig7to10" {

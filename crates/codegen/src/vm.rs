@@ -73,6 +73,16 @@ pub struct CompiledNest {
     jam_vec: bool,
     /// Unit/remainder rows may run through the chunked executor.
     unit_vec: bool,
+    /// Wall nanoseconds [`compile_nest`] spent producing this kernel.
+    compile_ns: u64,
+}
+
+impl CompiledNest {
+    /// Wall nanoseconds spent compiling this kernel (one nest on one PE) —
+    /// the per-kernel term behind the driver track's kernel-compile spans.
+    pub fn compile_ns(&self) -> u64 {
+        self.compile_ns
+    }
 }
 
 /// Compile `nest` for the layout `pe` holds. Arrays referenced by the body
@@ -81,6 +91,7 @@ pub struct CompiledNest {
 /// the bytecode, or the unroll annotation is malformed — in which case the
 /// caller falls back to the interpreter for this (nest, PE) pair.
 pub fn compile_nest(nest: &LoopNest, pe: &PeState, scalars: &[f64]) -> Option<CompiledNest> {
+    let t0 = std::time::Instant::now();
     let probe = nest.body.iter().find_map(|i| match i {
         Instr::Load { array, .. } | Instr::Store { array, .. } => Some(*array),
         _ => None,
@@ -178,6 +189,7 @@ pub fn compile_nest(nest: &LoopNest, pe: &PeState, scalars: &[f64]) -> Option<Co
         len,
         jam_vec,
         unit_vec,
+        compile_ns: t0.elapsed().as_nanos() as u64,
     })
 }
 

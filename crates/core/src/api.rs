@@ -1,10 +1,11 @@
 //! The compile-and-run API.
 
-use hpf_exec::{plan::apply_swaps, Backend, ExecPlan, Reference};
+use hpf_exec::{plan::apply_swaps, Backend, Engine, ExecConfig, ExecPlan, Reference};
 use hpf_frontend::{compile_source, Checked, FrontError};
 use hpf_ir::ArrayId;
-use hpf_passes::{compile, CompileOptions, Compiled};
+use hpf_passes::{compile, CompileOptions, Compiled, NUM_PASSES, PASS_NAMES};
 use hpf_runtime::{AggStats, Machine, MachineConfig, RtError};
+use hpf_trace::{Event, SpanKind, Trace, TraceSummary, Track};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -53,33 +54,31 @@ impl From<RtError> for CoreError {
     }
 }
 
-/// Which executor to use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Engine {
-    /// One PE at a time (deterministic, lowest overhead for small problems).
-    Sequential,
-    /// One OS thread per PE with channel-based message passing; results are
-    /// bitwise identical to [`Engine::Sequential`].
-    Threaded,
-    /// [`Engine::Threaded`] with split-phase halo exchange: each PE posts
-    /// its sends, computes the interior of its block while the messages are
-    /// in flight, drains the receives in plan order, then computes the
-    /// boundary strips. Falls back to fully-blocking execution whenever the
-    /// halo-safety lints (HS001/HS002) cannot prove the kernel's offset
-    /// reads independent of in-flight halo traffic. Results stay bitwise
-    /// identical to both blocking engines.
-    ThreadedOverlap,
-}
-
-impl Engine {
-    /// Short name, as accepted by `hpfsc --engine` and printed by benches.
-    pub fn label(self) -> &'static str {
-        match self {
-            Engine::Sequential => "seq",
-            Engine::Threaded => "threaded",
-            Engine::ThreadedOverlap => "threaded-overlap",
+/// The synthetic compile track: one [`SpanKind::Pass`] span per enabled
+/// pipeline pass, laid end-to-end from 0 on its own timeline (pass timing
+/// happens before any machine exists, so the epoch timestamps of the
+/// run-time tracks do not apply; a separate track keeps the timelines from
+/// colliding in viewers). Per-pass check and diagnostics counts stay on
+/// [`hpf_passes::PipelineStats::pass_timings`], keyed by
+/// [`hpf_passes::PASS_NAMES`].
+fn compile_passes_track(stats: &hpf_passes::PipelineStats) -> Track {
+    debug_assert_eq!(PASS_NAMES.len(), NUM_PASSES);
+    let mut events = Vec::new();
+    let mut t = 0u64;
+    for pt in stats.pass_timings.iter() {
+        if pt.wall_ns == 0 && pt.checks == 0 {
+            continue; // pass disabled at this stage
         }
+        events.push(Event {
+            kind: SpanKind::Pass,
+            start_ns: t,
+            dur_ns: pt.wall_ns,
+            modeled_ns: 0.0,
+            hidden_ns: 0.0,
+        });
+        t += pt.wall_ns;
     }
+    Track { name: "compile-passes".to_string(), events, dropped: 0 }
 }
 
 /// A compiled stencil kernel.
@@ -120,13 +119,7 @@ impl Kernel {
 
     /// Start configuring a run of this kernel.
     pub fn runner(&self, config: MachineConfig) -> Runner<'_> {
-        Runner {
-            kernel: self,
-            config,
-            inits: Vec::new(),
-            engine: Engine::Sequential,
-            backend: Backend::Interp,
-        }
+        Runner { kernel: self, config, inits: Vec::new(), exec_cfg: ExecConfig::new() }
     }
 
     /// Start configuring a persistent execution plan for this kernel: the
@@ -138,8 +131,7 @@ impl Kernel {
             kernel: self,
             config,
             inits: Vec::new(),
-            engine: Engine::Sequential,
-            backend: Backend::Interp,
+            exec_cfg: ExecConfig::new(),
             swaps: Vec::new(),
         }
     }
@@ -248,8 +240,7 @@ pub struct Runner<'k> {
     kernel: &'k Kernel,
     config: MachineConfig,
     inits: Vec<(String, InitFn)>,
-    engine: Engine,
-    backend: Backend,
+    exec_cfg: ExecConfig,
 }
 
 impl Runner<'_> {
@@ -261,14 +252,28 @@ impl Runner<'_> {
 
     /// Select the executor.
     pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+        self.exec_cfg.engine = engine;
         self
     }
 
     /// Select how loop nests are evaluated: tree interpreter (default) or
     /// compiled bytecode kernels. Bitwise-identical results either way.
     pub fn backend(mut self, backend: Backend) -> Self {
-        self.backend = backend;
+        self.exec_cfg.backend = backend;
+        self
+    }
+
+    /// Replace the whole execution configuration (engine, backend, tracing,
+    /// checking) in one call — e.g. with a parsed
+    /// [`ExecConfig::from_cli_str`] value.
+    pub fn config(mut self, cfg: ExecConfig) -> Self {
+        self.exec_cfg = cfg;
+        self
+    }
+
+    /// Toggle per-PE event tracing for the run ([`Run::trace`]).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.exec_cfg = self.exec_cfg.trace(on);
         self
     }
 
@@ -281,8 +286,7 @@ impl Runner<'_> {
             kernel: self.kernel,
             config: self.config,
             inits: self.inits,
-            engine: self.engine,
-            backend: self.backend,
+            exec_cfg: self.exec_cfg,
             swaps: Vec::new(),
         }
         .build()?;
@@ -328,8 +332,7 @@ pub struct Planner<'k> {
     kernel: &'k Kernel,
     config: MachineConfig,
     inits: Vec<(String, InitFn)>,
-    engine: Engine,
-    backend: Backend,
+    exec_cfg: ExecConfig,
     swaps: Vec<(String, String)>,
 }
 
@@ -342,7 +345,7 @@ impl<'k> Planner<'k> {
 
     /// Select the executor.
     pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+        self.exec_cfg.engine = engine;
         self
     }
 
@@ -351,7 +354,21 @@ impl<'k> Planner<'k> {
     /// compiles every nest once at build time and reuses the kernels on
     /// every step. Bitwise-identical results either way.
     pub fn backend(mut self, backend: Backend) -> Self {
-        self.backend = backend;
+        self.exec_cfg.backend = backend;
+        self
+    }
+
+    /// Replace the whole execution configuration (engine, backend, tracing,
+    /// checking) in one call — e.g. with a parsed
+    /// [`ExecConfig::from_cli_str`] value.
+    pub fn config(mut self, cfg: ExecConfig) -> Self {
+        self.exec_cfg = cfg;
+        self
+    }
+
+    /// Toggle per-PE event tracing ([`Plan::take_trace`]).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.exec_cfg = self.exec_cfg.trace(on);
         self
     }
 
@@ -378,17 +395,18 @@ impl<'k> Planner<'k> {
         }
         machine.reset_stats();
         let node = &self.kernel.compiled.node;
-        let exec = match self.engine {
-            // Split-phase overlap is gated on the static halo-safety lints:
-            // only a kernel whose offset reads are all proven covered
-            // (HS001) and within the halo (HS002) may compute its interior
-            // while halo messages are in flight. Anything unproven takes
-            // the fully-blocking plan — same results, no overlap.
-            Engine::ThreadedOverlap if !hpf_analysis::has_errors(&self.kernel.lint()) => {
-                ExecPlan::build_overlapped(&mut machine, node, self.backend)?
-            }
-            _ => ExecPlan::build_with(&mut machine, node, self.backend)?,
-        };
+        let mut exec_cfg = self.exec_cfg;
+        // Split-phase overlap is gated on the static halo-safety lints:
+        // only a kernel whose offset reads are all proven covered (HS001)
+        // and within the halo (HS002) may compute its interior while halo
+        // messages are in flight. Anything unproven takes the
+        // fully-blocking threaded engine — same results, no overlap.
+        if exec_cfg.engine == Engine::ThreadedOverlap
+            && hpf_analysis::has_errors(&self.kernel.lint())
+        {
+            exec_cfg.engine = Engine::Threaded;
+        }
+        let exec = ExecPlan::build(&mut machine, node, &exec_cfg)?;
         let mut swaps = Vec::with_capacity(self.swaps.len());
         for (a, b) in &self.swaps {
             let (ia, ib) = (self.kernel.array_id(a)?, self.kernel.array_id(b)?);
@@ -398,15 +416,7 @@ impl<'k> Planner<'k> {
             }
             swaps.push((ia, ib));
         }
-        Ok(Plan {
-            kernel: self.kernel,
-            machine,
-            exec,
-            engine: self.engine,
-            swaps,
-            steps: 0,
-            wall: Duration::ZERO,
-        })
+        Ok(Plan { kernel: self.kernel, machine, exec, swaps, steps: 0, wall: Duration::ZERO })
     }
 }
 
@@ -420,28 +430,31 @@ pub struct Plan<'k> {
     /// access to subgrids and per-PE state).
     pub machine: Machine,
     exec: ExecPlan,
-    engine: Engine,
     swaps: Vec<(ArrayId, ArrayId)>,
     steps: u64,
     wall: Duration,
 }
 
 impl Plan<'_> {
-    /// Run one sweep of the kernel, reusing every compiled schedule, then
-    /// apply the configured double-buffer swaps.
+    /// Run one sweep of the kernel on the configured engine, reusing every
+    /// compiled schedule, then apply the configured double-buffer swaps.
+    /// With tracing on, the whole sweep is enveloped by a
+    /// [`SpanKind::Step`] span on the driver track.
     pub fn step(&mut self) -> &mut Self {
         let started = Instant::now();
-        match self.engine {
-            Engine::Sequential => self.exec.step_seq(&mut self.machine),
-            Engine::Threaded => self.exec.step_par(&mut self.machine),
-            // On a conservative-fallback plan (no windows fused) this is
-            // exactly the blocking threaded engine.
-            Engine::ThreadedOverlap => self.exec.step_par_overlap(&mut self.machine),
-        }
+        let t0 = self.machine.driver_tracer().now();
+        self.exec.step(&mut self.machine);
         apply_swaps(&mut self.machine, &self.swaps);
+        self.machine.driver_tracer().record(SpanKind::Step, t0);
         self.steps += 1;
         self.wall += started.elapsed();
         self
+    }
+
+    /// The engine stepping this plan (after any lint-gated fallback from
+    /// the overlapped engine to the blocking one).
+    pub fn engine(&self) -> Engine {
+        self.exec.engine()
     }
 
     /// Run `n` sweeps.
@@ -503,9 +516,40 @@ impl Plan<'_> {
         self.machine.modeled_time_ms()
     }
 
-    /// Finish: convert into a [`Run`] (machine state plus stepping time).
-    pub fn into_run(self) -> Run {
-        Run { machine: self.machine, wall: self.wall }
+    /// Whether the plan was built with event tracing enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.machine.tracing_enabled()
+    }
+
+    /// Take the trace recorded since the plan was built (or since the last
+    /// call): the synthetic `compile-passes` track, the `driver` track
+    /// (schedule builds, kernel compiles, step envelopes), and one track
+    /// per PE. Recording stays enabled; the rings restart empty. Returns
+    /// an empty trace when tracing was not enabled.
+    pub fn take_trace(&mut self) -> Trace {
+        let mut trace = self.machine.take_trace();
+        if self.machine.tracing_enabled() {
+            trace.tracks.insert(0, compile_passes_track(self.kernel.stats()));
+        }
+        trace
+    }
+
+    /// [`Plan::take_trace`] reduced to per-track per-kind aggregates.
+    pub fn trace_summary(&mut self) -> TraceSummary {
+        self.take_trace().summary()
+    }
+
+    /// Export [`Plan::take_trace`] as Chrome `trace_event` JSON at `path`
+    /// (load in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)).
+    pub fn write_chrome_trace(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.take_trace().to_chrome_json())
+    }
+
+    /// Finish: convert into a [`Run`] (machine state, stepping time, and —
+    /// when tracing was enabled — the recorded trace).
+    pub fn into_run(mut self) -> Run {
+        let trace = if self.machine.tracing_enabled() { Some(self.take_trace()) } else { None };
+        Run { machine: self.machine, wall: self.wall, trace }
     }
 }
 
@@ -515,6 +559,9 @@ pub struct Run {
     pub machine: Machine,
     /// Wall-clock time of the executor.
     pub wall: Duration,
+    /// The recorded event trace, when the run was configured with tracing
+    /// ([`Runner::trace`] / [`ExecConfig::trace`]); `None` otherwise.
+    pub trace: Option<Trace>,
 }
 
 impl Run {
@@ -626,6 +673,61 @@ mod tests {
         p_seq.iterate(2);
         assert_eq!(p_ovl.stats().overlapped_steps, 0, "fallback overlaps nothing");
         assert_eq!(p_ovl.gather("U").unwrap(), p_seq.gather("U").unwrap());
+    }
+
+    #[test]
+    fn traced_run_carries_compile_driver_and_pe_tracks() {
+        let kernel = Kernel::compile(&presets::jacobi(16, 3), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| ((p[0] * 3 + p[1]) as f64).sin();
+        let run = kernel
+            .runner(MachineConfig::sp2_2x2())
+            .init("U", init)
+            .config(ExecConfig::from_cli_str("threaded-overlap-bytecode").unwrap().trace(true))
+            .run()
+            .unwrap();
+        let trace = run.trace.as_ref().expect("tracing was configured");
+        let summary = trace.summary();
+        let compile = summary.track("compile-passes").expect("compile track");
+        assert!(compile.count(SpanKind::Pass) > 0, "one span per enabled pass");
+        let driver = summary.track("driver").expect("driver track");
+        assert_eq!(driver.count(SpanKind::Step), 1, "one step envelope");
+        assert!(driver.count(SpanKind::ScheduleBuild) > 0);
+        assert_eq!(summary.pe_tracks().len(), 4);
+        assert_eq!(
+            summary.hidden_comm_ns(),
+            run.stats().hidden_comm_ns,
+            "trace-derived hidden credit reproduces the counter"
+        );
+        // An untraced run carries no trace and identical results.
+        let plain = kernel
+            .runner(MachineConfig::sp2_2x2())
+            .init("U", init)
+            .engine(Engine::ThreadedOverlap)
+            .backend(Backend::Bytecode)
+            .run()
+            .unwrap();
+        assert!(plain.trace.is_none());
+        assert_eq!(run.gather(&kernel, "U"), plain.gather(&kernel, "U"));
+        assert_eq!(run.stats().per_pe, plain.stats().per_pe);
+    }
+
+    #[test]
+    fn plan_take_trace_drains_and_keeps_recording() {
+        let kernel = Kernel::compile(&presets::jacobi(16, 2), CompileOptions::full()).unwrap();
+        let mut plan = kernel
+            .plan(MachineConfig::sp2_2x2())
+            .init("U", |p| (p[0] - p[1]) as f64)
+            .trace(true)
+            .build()
+            .unwrap();
+        assert!(plan.tracing_enabled());
+        plan.step();
+        let first = plan.take_trace();
+        assert!(first.summary().track("driver").unwrap().count(SpanKind::Step) == 1);
+        plan.step();
+        plan.step();
+        let second = plan.take_trace();
+        assert_eq!(second.summary().track("driver").unwrap().count(SpanKind::Step), 2);
     }
 
     #[test]

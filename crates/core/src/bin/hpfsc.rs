@@ -10,6 +10,7 @@
 //!              [--emit ir|node|stats|diag-json] [--lint] [--deny-warnings]
 //!              [--run] [--grid RxC] [--halo W]
 //!              [--engine seq|threaded|threaded-overlap|interp|bytecode|...]
+//!              [--trace[=FILE]]
 //!              [--print-input NAME[:N]] [--naive] [--drop-shift K]
 //! ```
 //!
@@ -19,7 +20,8 @@
 use hpf_core::analysis;
 use hpf_core::baselines::naive;
 use hpf_core::passes::nodepretty;
-use hpf_core::{presets, Backend, CompileOptions, Engine, Kernel, MachineConfig, Stage};
+use hpf_core::passes::PASS_NAMES;
+use hpf_core::{presets, Backend, CompileOptions, ExecConfig, Kernel, MachineConfig, Stage};
 use std::process::exit;
 
 const USAGE: &str = "\
@@ -43,6 +45,11 @@ options:
                         (interp, bytecode), or both joined with '-'
                         (e.g. threaded-bytecode, threaded-overlap-bytecode);
                         default: seq-interp
+  --trace[=FILE]        record per-PE event spans during --run and print
+                        the per-step summary tables (compile passes,
+                        per-PE span times, counters); with =FILE also
+                        write Chrome trace_event JSON there (load in
+                        chrome://tracing or ui.perfetto.dev)
   --print-input NAME[:N]
                         print a preset kernel source (five-point,
                         nine-point-cshift, nine-point-array, problem9,
@@ -91,8 +98,9 @@ fn main() {
     let mut run = false;
     let mut grid: Vec<usize> = vec![2, 2];
     let mut halo = 1usize;
-    let mut engine = Engine::Sequential;
-    let mut backend = Backend::Interp;
+    let mut exec_cfg = ExecConfig::new();
+    let mut trace_on = false;
+    let mut trace_file: Option<String> = None;
     let mut naive_mode = false;
     let mut print_input: Option<String> = None;
     let mut drop_shift: Option<usize> = None;
@@ -137,30 +145,14 @@ fn main() {
             }
             "--engine" => {
                 let v = args.next().unwrap_or_else(|| usage_error("--engine needs an argument"));
-                // Engine prefix, longest name first so threaded-overlap is
-                // not misread as threaded + unknown backend.
-                let mut rest = v.as_str();
-                for (name, e) in [
-                    ("threaded-overlap", Engine::ThreadedOverlap),
-                    ("threaded", Engine::Threaded),
-                    ("par", Engine::Threaded),
-                    ("seq", Engine::Sequential),
-                ] {
-                    if let Some(r) = rest.strip_prefix(name) {
-                        engine = e;
-                        rest = r;
-                        break;
+                // One parser for every driver: hpfsc and the bench binary
+                // accept exactly the same spellings.
+                match ExecConfig::from_cli_str(&v) {
+                    Ok(parsed) => {
+                        exec_cfg.engine = parsed.engine;
+                        exec_cfg.backend = parsed.backend;
                     }
-                }
-                match rest.strip_prefix('-').unwrap_or(rest) {
-                    "" => {}
-                    "interp" => backend = Backend::Interp,
-                    "bytecode" => backend = Backend::Bytecode,
-                    _ => usage_error(&format!(
-                        "--engine: unknown value '{v}' (valid: seq, threaded, \
-                         threaded-overlap, interp, bytecode, or engine-backend pairs \
-                         like seq-bytecode, threaded-interp, threaded-overlap-bytecode)"
-                    )),
+                    Err(e) => usage_error(&format!("--engine: {e}")),
                 }
             }
             "--naive" => naive_mode = true,
@@ -178,6 +170,15 @@ fn main() {
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0)
+            }
+            other if other == "--trace" || other.starts_with("--trace=") => {
+                trace_on = true;
+                if let Some(f) = other.strip_prefix("--trace=") {
+                    if f.is_empty() {
+                        usage_error("--trace= needs a file name");
+                    }
+                    trace_file = Some(f.to_string());
+                }
             }
             other if other.starts_with('-') => {
                 usage_error(&format!("unrecognized option '{other}'"))
@@ -262,7 +263,7 @@ fn main() {
 
     if run {
         let cfg = MachineConfig::with_grid(grid.clone()).halo(halo);
-        let mut runner = kernel.runner(cfg).engine(engine).backend(backend);
+        let mut runner = kernel.runner(cfg).config(exec_cfg.trace(trace_on));
         // Default deterministic initialization for every *user* array the
         // node program touches. Compiler temporaries are always written
         // before they are read; arrays the optimizer eliminated (Problem 9's
@@ -301,12 +302,44 @@ fn main() {
                 println!("comm bytes      : {}", stats.total_comm_bytes());
                 println!("intra bytes     : {}", stats.total_intra_bytes());
                 println!("peak mem per PE : {} bytes", stats.max_peak_bytes());
-                if backend == Backend::Bytecode {
+                if exec_cfg.backend == Backend::Bytecode {
                     println!("kernels compiled: {}", stats.kernels_compiled);
                     println!("kernel execs    : {}", stats.kernel_execs);
                 }
                 println!("modeled time    : {:.3} ms", r.modeled_ms());
                 println!("wall clock      : {:.3} ms", r.wall.as_secs_f64() * 1e3);
+                if trace_on {
+                    let trace = r.trace.as_ref().expect("tracing was configured");
+                    println!("\n! compile passes");
+                    for (name, pt) in PASS_NAMES.iter().zip(kernel.stats().pass_timings.iter()) {
+                        if pt.wall_ns == 0 && pt.checks == 0 {
+                            continue; // pass disabled at this stage
+                        }
+                        println!(
+                            "{:<22} {:>9.1} us   {} checks, {} diagnostics",
+                            name,
+                            pt.wall_ns as f64 / 1e3,
+                            pt.checks,
+                            pt.diagnostics
+                        );
+                    }
+                    println!("\n! per-PE span summary (1 step)");
+                    print!("{}", trace.summary().render_table(1));
+                    println!("\n! per-PE counters");
+                    println!("{stats}");
+                    if let Some(path) = &trace_file {
+                        match std::fs::write(path, trace.to_chrome_json()) {
+                            Ok(()) => println!(
+                                "\ntrace written to {path} (open in chrome://tracing \
+                                 or ui.perfetto.dev)"
+                            ),
+                            Err(e) => {
+                                eprintln!("hpfsc: cannot write {path}: {e}");
+                                exit(1)
+                            }
+                        }
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("hpfsc: run failed: {e}");

@@ -35,7 +35,7 @@
 pub mod api;
 pub mod presets;
 
-pub use api::{CoreError, Engine, Kernel, OracleRunner, Plan, Planner, Run, Runner};
+pub use api::{CoreError, Kernel, OracleRunner, Plan, Planner, Run, Runner};
 
 pub use hpf_analysis as analysis;
 pub use hpf_baselines as baselines;
@@ -44,9 +44,11 @@ pub use hpf_frontend as frontend;
 pub use hpf_ir as ir;
 pub use hpf_passes as passes;
 pub use hpf_runtime as runtime;
+pub use hpf_trace as trace;
 
 pub use hpf_analysis::{Diagnostic, Severity};
-pub use hpf_exec::{max_abs_diff, Backend, Reference};
+pub use hpf_exec::{max_abs_diff, Backend, Engine, ExecConfig, Reference};
 pub use hpf_ir::pretty;
 pub use hpf_passes::{CompileOptions, PipelineStats, Stage, TempPolicy};
 pub use hpf_runtime::{AggStats, CostModel, Machine, MachineConfig, PeGrid, RtError};
+pub use hpf_trace::{TraceConfig, TraceSummary};

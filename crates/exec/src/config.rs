@@ -1,0 +1,208 @@
+//! Execution configuration: the engine/backend/tracing/checking knobs a
+//! plan is built with, and the one CLI spelling shared by every driver.
+//!
+//! [`ExecConfig`] is the single argument of [`crate::ExecPlan::build`] —
+//! instead of one constructor per engine/backend combination, callers
+//! describe the run once and the plan stores the choice, so
+//! [`crate::ExecPlan::step`] needs no per-call dispatch arguments.
+
+use crate::backend::Backend;
+use hpf_trace::TraceConfig;
+
+/// Which executor steps the plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// One PE at a time (deterministic, lowest overhead for small problems).
+    #[default]
+    Sequential,
+    /// One OS thread per PE with channel-based message passing; results are
+    /// bitwise identical to [`Engine::Sequential`].
+    Threaded,
+    /// [`Engine::Threaded`] with split-phase halo exchange: each PE posts
+    /// its sends, computes the interior of its block while the messages are
+    /// in flight, drains the receives in plan order, then computes the
+    /// boundary strips. Callers gate this on the halo-safety lints
+    /// (HS001/HS002): an unproven kernel must take a blocking engine
+    /// instead. Results stay bitwise identical to both blocking engines.
+    ThreadedOverlap,
+}
+
+impl Engine {
+    /// Short name, as accepted by `hpfsc --engine` and printed by benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Sequential => "seq",
+            Engine::Threaded => "threaded",
+            Engine::ThreadedOverlap => "threaded-overlap",
+        }
+    }
+}
+
+/// How to build and step an execution plan: engine, nest backend, event
+/// tracing, and extra invariant checking. A builder with by-value setters:
+///
+/// ```
+/// use hpf_exec::{Backend, Engine, ExecConfig};
+/// let cfg = ExecConfig::new().engine(Engine::ThreadedOverlap).backend(Backend::Bytecode);
+/// assert_eq!(cfg.label(), "threaded-overlap-bytecode");
+/// assert_eq!(ExecConfig::from_cli_str("threaded-overlap-bytecode").unwrap(), cfg);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExecConfig {
+    /// The executor stepping the plan.
+    pub engine: Engine,
+    /// How loop nests are evaluated (tree interpreter or compiled
+    /// bytecode kernels). Bitwise-identical results either way.
+    pub backend: Backend,
+    /// When set, the plan enables per-PE event tracing on its machine at
+    /// build time: every schedule build, pack/unpack, comm post/drain,
+    /// interior/boundary sweep and kernel compile/exec records a span.
+    /// `None` (the default) leaves every tracer disabled — recording
+    /// sites then cost one predictable branch and no clock read.
+    pub trace: Option<TraceConfig>,
+    /// Pre-validate every communication plan at build time (shift widths
+    /// against the halo), like the one-shot threaded executor does, so a
+    /// malformed program fails in `build` rather than on a worker thread.
+    pub check: bool,
+}
+
+impl ExecConfig {
+    /// The default configuration: sequential engine, interpreter backend,
+    /// tracing off, checks off.
+    pub fn new() -> ExecConfig {
+        ExecConfig::default()
+    }
+
+    /// Select the executor.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Select the nest-evaluation backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Enable event tracing with the default ring capacity.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = if on { Some(TraceConfig::default()) } else { None };
+        self
+    }
+
+    /// Enable event tracing with an explicit recorder configuration.
+    pub fn trace_with(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
+    }
+
+    /// Toggle build-time communication-plan pre-validation.
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.check = on;
+        self
+    }
+
+    /// The `engine[-backend]` spelling [`ExecConfig::from_cli_str`]
+    /// round-trips: the engine label, plus `-bytecode` when the bytecode
+    /// backend is selected (`-interp` being the default is omitted).
+    pub fn label(&self) -> String {
+        match self.backend {
+            Backend::Interp => self.engine.label().to_string(),
+            Backend::Bytecode => format!("{}-bytecode", self.engine.label()),
+        }
+    }
+
+    /// Parse a `--engine` argument: an engine (`seq`, `threaded`,
+    /// `threaded-overlap`), a backend (`interp`, `bytecode`), or both
+    /// joined with `-` (e.g. `threaded-bytecode`,
+    /// `threaded-overlap-interp`). Engine names are matched longest first
+    /// so `threaded-overlap` is not misread as `threaded` plus an unknown
+    /// backend. `hpfsc` and the bench driver share this parser, so one
+    /// spelling works everywhere.
+    pub fn from_cli_str(spec: &str) -> Result<ExecConfig, String> {
+        let mut cfg = ExecConfig::new();
+        let mut rest = spec;
+        for (name, engine) in [
+            ("threaded-overlap", Engine::ThreadedOverlap),
+            ("threaded", Engine::Threaded),
+            ("par", Engine::Threaded),
+            ("sequential", Engine::Sequential),
+            ("seq", Engine::Sequential),
+        ] {
+            if let Some(r) = rest.strip_prefix(name) {
+                cfg.engine = engine;
+                rest = r;
+                break;
+            }
+        }
+        match rest {
+            "" if !spec.is_empty() => Ok(cfg),
+            rest => match rest.strip_prefix('-').unwrap_or(rest) {
+                "interp" => Ok(cfg.backend(Backend::Interp)),
+                "bytecode" => Ok(cfg.backend(Backend::Bytecode)),
+                _ => Err(format!(
+                    "unknown engine spec '{spec}' (valid: seq, threaded, threaded-overlap, \
+                 interp, bytecode, or engine-backend pairs like seq-bytecode, \
+                 threaded-interp, threaded-overlap-bytecode)"
+                )),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential_interp_untraced() {
+        let cfg = ExecConfig::new();
+        assert_eq!(cfg.engine, Engine::Sequential);
+        assert_eq!(cfg.backend, Backend::Interp);
+        assert!(cfg.trace.is_none());
+        assert!(!cfg.check);
+    }
+
+    #[test]
+    fn cli_round_trips_every_combination() {
+        for engine in [Engine::Sequential, Engine::Threaded, Engine::ThreadedOverlap] {
+            for backend in [Backend::Interp, Backend::Bytecode] {
+                let cfg = ExecConfig::new().engine(engine).backend(backend);
+                let parsed = ExecConfig::from_cli_str(&cfg.label()).unwrap();
+                assert_eq!(parsed.engine, engine, "{}", cfg.label());
+                assert_eq!(parsed.backend, backend, "{}", cfg.label());
+            }
+        }
+    }
+
+    #[test]
+    fn cli_accepts_engine_or_backend_alone_and_aliases() {
+        assert_eq!(ExecConfig::from_cli_str("seq").unwrap().engine, Engine::Sequential);
+        assert_eq!(ExecConfig::from_cli_str("sequential").unwrap().engine, Engine::Sequential);
+        assert_eq!(ExecConfig::from_cli_str("par").unwrap().engine, Engine::Threaded);
+        let b = ExecConfig::from_cli_str("bytecode").unwrap();
+        assert_eq!(b.engine, Engine::Sequential);
+        assert_eq!(b.backend, Backend::Bytecode);
+        let ti = ExecConfig::from_cli_str("threaded-interp").unwrap();
+        assert_eq!(ti.engine, Engine::Threaded);
+        assert_eq!(ti.backend, Backend::Interp);
+        let tob = ExecConfig::from_cli_str("threaded-overlap-bytecode").unwrap();
+        assert_eq!(tob.engine, Engine::ThreadedOverlap);
+        assert_eq!(tob.backend, Backend::Bytecode);
+    }
+
+    #[test]
+    fn cli_rejects_garbage() {
+        for bad in ["", "fast", "threaded-", "threaded-turbo", "seq-bytecode-extra"] {
+            assert!(ExecConfig::from_cli_str(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn trace_toggle_sets_default_capacity() {
+        let cfg = ExecConfig::new().trace(true);
+        assert_eq!(cfg.trace.unwrap().capacity, TraceConfig::DEFAULT_CAPACITY);
+        assert!(ExecConfig::new().trace(true).trace(false).trace.is_none());
+    }
+}

@@ -18,15 +18,19 @@
 //! * [`plan`] — the persistent-schedule driver for time-stepped sweeps: an
 //!   [`ExecPlan`] compiles every communication operation once against the
 //!   allocated subgrids (flat pack/unpack index lists, pooled buffers) and
-//!   then steps the node program any number of times on either engine with
-//!   zero per-step setup.
+//!   then steps the node program any number of times on the configured
+//!   engine with zero per-step setup.
 //!
+//! Plans are described by one [`ExecConfig`] — engine ([`Engine`]), nest
+//! backend ([`Backend`]), per-PE event tracing, invariant checking — built
+//! with [`ExecPlan::build`] and stepped with [`ExecPlan::step`].
 //! Orthogonally to the engine choice, every machine executor can evaluate
 //! loop nests with the tree interpreter or with compiled bytecode kernels —
 //! see [`Backend`] and the `*_with` entry points. Both backends are bitwise
 //! identical.
 
 pub mod backend;
+pub mod config;
 pub mod nest;
 pub mod par;
 pub mod plan;
@@ -36,6 +40,7 @@ mod validate;
 pub mod verify;
 
 pub use backend::Backend;
+pub use config::{Engine, ExecConfig};
 pub use par::{execute_par, execute_par_with};
 pub use plan::ExecPlan;
 pub use reference::{DenseArray, Reference};

@@ -14,6 +14,7 @@ use crate::nest::{exec_nest, scalar_values};
 use hpf_passes::loopir::{CommOp, NodeItem, NodeProgram};
 use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan, split_halves, CommAction};
 use hpf_runtime::{ArrayMeta, Machine, MachineConfig, PeState, RtError};
+use hpf_trace::SpanKind;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
@@ -180,6 +181,7 @@ impl Worker<'_> {
         plan: &[CommAction],
         full_shift: bool,
     ) -> u64 {
+        let t0 = self.state.tracer.now();
         let seq = self.seq;
         self.seq += 1;
         let halves = split_halves(plan, self.pe);
@@ -209,13 +211,29 @@ impl Worker<'_> {
                 }
             }
         }
+        self.state.tracer.record(SpanKind::CommPost, t0);
         seq
     }
 
     /// Split-phase second half: block receiving this PE's incoming
     /// transfers, in plan order (phase 3), matching messages by
-    /// `(seq, sender)` with a stash for out-of-order arrivals.
+    /// `(seq, sender)` with a stash for out-of-order arrivals. Records one
+    /// [`SpanKind::CommDrain`] span for the whole drain.
     pub(crate) fn comm_finish(&mut self, dst: hpf_ir::ArrayId, plan: &[CommAction], seq: u64) {
+        let t0 = self.state.tracer.now();
+        self.comm_finish_quiet(dst, plan, seq);
+        self.state.tracer.record(SpanKind::CommDrain, t0);
+    }
+
+    /// [`Worker::comm_finish`] without the span: the overlap engine drains
+    /// a whole window under a single drain span carrying the cost-model
+    /// attribution, so its per-comm drains must not record their own.
+    pub(crate) fn comm_finish_quiet(
+        &mut self,
+        dst: hpf_ir::ArrayId,
+        plan: &[CommAction],
+        seq: u64,
+    ) {
         for t in &split_halves(plan, self.pe).recvs {
             let buf = self.recv_tagged(seq, t.src_pe);
             let bytes = (buf.len() * 8) as u64;

@@ -1,20 +1,29 @@
 //! Persistent-schedule execution plans: compile once, step many times.
 //!
-//! [`ExecPlan::build`] walks the compiled node program once, allocates every
-//! array it references, and compiles each communication op against the
-//! allocated subgrids into a [`CompiledComm`] — neighbor PEs, RSD-extended
-//! bounds, flat pack/unpack index lists, and pooled message buffers are all
-//! resolved here, at plan time. Each subsequent [`ExecPlan::step_seq`] /
-//! [`ExecPlan::step_par`] then executes one sweep of the kernel with **zero**
-//! per-step subgrid math, plan recomputation, or buffer allocation — the
-//! persistent-communication pattern of `MPI_Send_init`-style halo exchange.
+//! [`ExecPlan::build`] takes an [`ExecConfig`] describing the whole run —
+//! engine, nest backend, tracing, extra checking — then walks the compiled
+//! node program once, allocates every array it references, and compiles
+//! each communication op against the allocated subgrids into a
+//! [`CompiledComm`] — neighbor PEs, RSD-extended bounds, flat pack/unpack
+//! index lists, and pooled message buffers are all resolved here, at plan
+//! time. Each subsequent [`ExecPlan::step`] then executes one sweep of the
+//! kernel on the configured engine with **zero** per-step subgrid math,
+//! plan recomputation, or buffer allocation — the persistent-communication
+//! pattern of `MPI_Send_init`-style halo exchange.
 //!
-//! Both step engines are bitwise identical to their one-shot counterparts
+//! All step engines are bitwise identical to their one-shot counterparts
 //! ([`crate::seq::execute_seq`], [`crate::par::execute_par`]) and produce the
 //! same per-PE counters; the only observable difference is the
 //! `schedules_built` / `schedule_reuses` pair in `AggStats`.
+//!
+//! With tracing enabled ([`ExecConfig::trace`]) every step additionally
+//! records per-PE spans — kernel execution, pack/unpack, comm post/drain,
+//! and the overlap engine's interior/boundary sweeps — on the machine's
+//! `hpf_trace` recorders, plus schedule-build and kernel-compile spans on
+//! the driver track at build time.
 
 use crate::backend::{self, Backend};
+use crate::config::{Engine, ExecConfig};
 use crate::nest::{nest_local_bounds, scalar_values};
 use crate::par::{Msg, Worker};
 use hpf_analysis::overlap::{cells, split_region, RegionSplit};
@@ -24,6 +33,7 @@ use hpf_passes::loopir::{CommOp, Instr, LoopNest, NodeItem, NodeProgram};
 use hpf_passes::memopt::iteration_local;
 use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan, regions_intersect, CommAction};
 use hpf_runtime::{CompiledComm, Machine, MoveKind, RtError};
+use hpf_trace::SpanKind;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
@@ -37,7 +47,8 @@ enum PlanItem {
     /// kernel where one exists (`kernels` is empty under the interpreter
     /// backend and per-PE `None` where codegen declined the nest).
     Nest { nest: LoopNest, kernels: Vec<Option<CompiledNest>> },
-    /// A split-phase overlap window ([`ExecPlan::build_overlapped`]): a run
+    /// A split-phase overlap window (fused when building for
+    /// [`Engine::ThreadedOverlap`]): a run
     /// of consecutive overlap-shift schedules fused with the nest that
     /// consumes them. The overlapped engine posts every schedule's send
     /// half, runs the nest's interior while messages are in flight, drains
@@ -78,10 +89,12 @@ pub struct ExecPlan {
     items: Vec<PlanItem>,
     scheds: Vec<CompiledComm>,
     scalars: Vec<f64>,
+    /// The engine [`ExecPlan::step`] dispatches to, fixed at build time.
+    engine: Engine,
     comm_execs_per_step: u64,
     kernel_execs_per_step: u64,
     /// Split-phase windows one step executes (time-loop weighted; zero
-    /// unless built with [`ExecPlan::build_overlapped`]).
+    /// unless built for [`Engine::ThreadedOverlap`]).
     overlap_windows_per_step: u64,
     /// Interior points one step computes before draining receives, summed
     /// over PEs (time-loop weighted).
@@ -95,69 +108,103 @@ pub struct ExecPlan {
 }
 
 impl ExecPlan {
-    /// Allocate every referenced array (honoring the memory budget and
-    /// overlap-width checks, like the one-shot executors) and compile every
-    /// communication op of the node program into a persistent schedule.
-    /// Nests run on the interpreter backend; see [`ExecPlan::build_with`].
-    pub fn build(machine: &mut Machine, node: &NodeProgram) -> Result<ExecPlan, RtError> {
-        ExecPlan::build_with(machine, node, Backend::default())
+    /// Build an execution plan as described by `cfg`: allocate every
+    /// referenced array (honoring the memory budget and overlap-width
+    /// checks, like the one-shot executors), enable the machine's event
+    /// tracers when [`ExecConfig::trace`] is set, pre-validate every
+    /// communication plan when [`ExecConfig::check`] is set, and compile
+    /// every communication op of the node program into a persistent
+    /// schedule. Under [`Backend::Bytecode`] every nest is additionally
+    /// compiled to a per-PE bytecode kernel here, once, and every
+    /// subsequent step reuses the kernels — the loop-nest analogue of the
+    /// persistent communication schedules.
+    ///
+    /// For [`Engine::ThreadedOverlap`] the plan then fuses every maximal
+    /// run of consecutive overlap-shift schedules with the eligible nest
+    /// that follows it into a split-phase [window](PlanItem::Overlap),
+    /// computing each PE's interior/boundary split once, here at plan
+    /// time. Callers gate that engine on halo-safety (HS001/HS002) being
+    /// lint-clean — an unproven program must be built for a blocking
+    /// engine instead.
+    pub fn build(
+        machine: &mut Machine,
+        node: &NodeProgram,
+        cfg: &ExecConfig,
+    ) -> Result<ExecPlan, RtError> {
+        if let Some(tc) = cfg.trace {
+            machine.enable_tracing(tc);
+        }
+        crate::seq::allocate(machine, node)?;
+        if cfg.check {
+            crate::validate::prevalidate_comms(machine, &node.items)?;
+        }
+        let scalars = scalar_values(&node.symbols);
+        let mut scheds = Vec::new();
+        let mut compiled = 0u64;
+        let items =
+            compile_items(machine, &node.items, &mut scheds, &scalars, cfg.backend, &mut compiled)?;
+        machine.note_kernels_compiled(compiled);
+        let mut plan = ExecPlan {
+            items,
+            scheds,
+            scalars,
+            engine: cfg.engine,
+            comm_execs_per_step: 0,
+            kernel_execs_per_step: 0,
+            overlap_windows_per_step: 0,
+            interior_cells_per_step: 0,
+            boundary_cells_per_step: 0,
+            pe_points_per_step: 0,
+        };
+        if cfg.engine == Engine::ThreadedOverlap {
+            let items = std::mem::take(&mut plan.items);
+            plan.items = fuse_windows(machine, items, &plan.scheds);
+            let (windows, interior, boundary) = count_overlap(&plan.items);
+            plan.overlap_windows_per_step = windows;
+            plan.interior_cells_per_step = interior;
+            plan.boundary_cells_per_step = boundary;
+        }
+        plan.comm_execs_per_step = count_comm_execs(&plan.items);
+        plan.kernel_execs_per_step = count_kernel_execs(&plan.items);
+        plan.pe_points_per_step = pe_points(machine, &plan.items);
+        Ok(plan)
     }
 
-    /// [`ExecPlan::build`] with an explicit nest-evaluation [`Backend`].
-    /// Under [`Backend::Bytecode`] every nest is additionally compiled to a
-    /// per-PE bytecode kernel here, once, and every subsequent step reuses
-    /// the kernels — the loop-nest analogue of the persistent communication
-    /// schedules.
+    /// Superseded spelling of [`ExecPlan::build`] with an explicit backend
+    /// and the blocking engines implied.
+    #[deprecated(note = "use ExecPlan::build(machine, node, &ExecConfig) instead")]
     pub fn build_with(
         machine: &mut Machine,
         node: &NodeProgram,
         backend: Backend,
     ) -> Result<ExecPlan, RtError> {
-        crate::seq::allocate(machine, node)?;
-        let scalars = scalar_values(&node.symbols);
-        let mut scheds = Vec::new();
-        let mut compiled = 0u64;
-        let items =
-            compile_items(machine, &node.items, &mut scheds, &scalars, backend, &mut compiled)?;
-        machine.note_kernels_compiled(compiled);
-        let comm_execs_per_step = count_comm_execs(&items);
-        let kernel_execs_per_step = count_kernel_execs(&items);
-        let pe_points_per_step = pe_points(machine, &items);
-        Ok(ExecPlan {
-            items,
-            scheds,
-            scalars,
-            comm_execs_per_step,
-            kernel_execs_per_step,
-            overlap_windows_per_step: 0,
-            interior_cells_per_step: 0,
-            boundary_cells_per_step: 0,
-            pe_points_per_step,
-        })
+        ExecPlan::build(machine, node, &ExecConfig::new().backend(backend))
     }
 
-    /// [`ExecPlan::build_with`], then fuse every maximal run of consecutive
-    /// overlap-shift schedules with the eligible nest that follows it into
-    /// a split-phase [window](PlanItem::Overlap), computing each PE's
-    /// interior/boundary split once, here at plan time. The resulting plan
-    /// steps identically on the blocking engines; [`ExecPlan::step_par_overlap`]
-    /// additionally overlaps interior computation with the halo messages in
-    /// flight. Callers gate this on halo-safety (HS001/HS002) being
-    /// lint-clean — an unproven program must take the fully-blocking
-    /// [`ExecPlan::build_with`] path instead.
+    /// Superseded spelling of [`ExecPlan::build`] for the split-phase
+    /// overlapped engine.
+    #[deprecated(note = "use ExecPlan::build(machine, node, &ExecConfig) instead")]
     pub fn build_overlapped(
         machine: &mut Machine,
         node: &NodeProgram,
         backend: Backend,
     ) -> Result<ExecPlan, RtError> {
-        let mut plan = ExecPlan::build_with(machine, node, backend)?;
-        let items = std::mem::take(&mut plan.items);
-        plan.items = fuse_windows(machine, items, &plan.scheds);
-        let (windows, interior, boundary) = count_overlap(&plan.items);
-        plan.overlap_windows_per_step = windows;
-        plan.interior_cells_per_step = interior;
-        plan.boundary_cells_per_step = boundary;
-        Ok(plan)
+        let cfg = ExecConfig::new().engine(Engine::ThreadedOverlap).backend(backend);
+        ExecPlan::build(machine, node, &cfg)
+    }
+
+    /// The engine [`ExecPlan::step`] dispatches to (fixed at build time).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Run one sweep of the kernel on the configured engine.
+    pub fn step(&mut self, machine: &mut Machine) {
+        match self.engine {
+            Engine::Sequential => self.step_seq(machine),
+            Engine::Threaded => self.step_par(machine),
+            Engine::ThreadedOverlap => self.step_par_overlap(machine),
+        }
     }
 
     /// Number of distinct communication schedules compiled.
@@ -181,8 +228,8 @@ impl ExecPlan {
         self.scheds.iter().map(|s| s.pooled_bytes()).sum()
     }
 
-    /// Split-phase windows one step executes (zero unless built with
-    /// [`ExecPlan::build_overlapped`]).
+    /// Split-phase windows one step executes (zero unless built for
+    /// [`Engine::ThreadedOverlap`]).
     pub fn overlap_windows_per_step(&self) -> u64 {
         self.overlap_windows_per_step
     }
@@ -229,8 +276,8 @@ impl ExecPlan {
     /// boundary strips. Bitwise identical to the blocking engines by
     /// construction; the only observable difference is the
     /// `overlapped_steps` / `interior_cells` / `boundary_cells` counters.
-    /// On a plan built without [`ExecPlan::build_overlapped`] (or whose
-    /// windows all proved ineligible) this is exactly the blocking engine.
+    /// On a plan built for a blocking engine (or whose windows all proved
+    /// ineligible) this is exactly the blocking engine.
     pub fn step_par_overlap(&mut self, machine: &mut Machine) {
         if self.below_par_threshold(machine) {
             // Fully-blocking on the calling thread: nothing is overlapped,
@@ -321,7 +368,11 @@ fn compile_items(
                 let kernels: Vec<Option<CompiledNest>> = match backend {
                     Backend::Interp => Vec::new(),
                     Backend::Bytecode => {
-                        machine.pes.iter().map(|pe| compile_nest(nest, pe, scalars)).collect()
+                        let t0 = machine.driver_tracer().now();
+                        let kernels: Vec<Option<CompiledNest>> =
+                            machine.pes.iter().map(|pe| compile_nest(nest, pe, scalars)).collect();
+                        machine.driver_tracer().record(SpanKind::KernelCompile, t0);
+                        kernels
                     }
                 };
                 *compiled += kernels.iter().flatten().count() as u64;
@@ -577,6 +628,21 @@ fn pe_points(machine: &Machine, items: &[PlanItem]) -> u64 {
     per.into_iter().max().unwrap_or(0)
 }
 
+/// Run a nest sweep on one PE, recording a [`SpanKind::KernelExec`] span
+/// when it goes through a compiled kernel and [`SpanKind::Compute`] when
+/// the interpreter evaluates it (a no-op branch with tracing off).
+fn run_nest_traced(
+    pe: &mut hpf_runtime::PeState,
+    nest: &LoopNest,
+    kernel: Option<&CompiledNest>,
+    scalars: &[f64],
+) {
+    let t0 = pe.tracer.now();
+    backend::run_nest(pe, nest, kernel, scalars);
+    let kind = if kernel.is_some() { SpanKind::KernelExec } else { SpanKind::Compute };
+    pe.tracer.record(kind, t0);
+}
+
 fn step_items_seq(
     machine: &mut Machine,
     items: &[PlanItem],
@@ -596,7 +662,7 @@ fn step_items_seq(
                 }
                 for pe in 0..machine.num_pes() {
                     let kernel = kernels.get(pe).and_then(|k| k.as_ref());
-                    backend::run_nest(&mut machine.pes[pe], nest, kernel, scalars);
+                    run_nest_traced(&mut machine.pes[pe], nest, kernel, scalars);
                 }
             }
             PlanItem::TimeLoop { iters, body } => {
@@ -624,7 +690,7 @@ fn step_items_worker(w: &mut Worker, items: &[PlanItem], scheds: &[CompiledComm]
                     }
                 }
                 let kernel = kernels.get(w.pe).and_then(|k| k.as_ref());
-                backend::run_nest(w.state, nest, kernel, w.scalars);
+                run_nest_traced(w.state, nest, kernel, w.scalars);
             }
             PlanItem::TimeLoop { iters, body } => {
                 for _ in 0..*iters {
@@ -651,7 +717,7 @@ fn step_items_worker_overlap(w: &mut Worker, items: &[PlanItem], scheds: &[Compi
             }
             PlanItem::Nest { nest, kernels } => {
                 let kernel = kernels.get(w.pe).and_then(|k| k.as_ref());
-                backend::run_nest(w.state, nest, kernel, w.scalars);
+                run_nest_traced(w.state, nest, kernel, w.scalars);
             }
             PlanItem::Overlap { comms, barriers, pre_drain, nest, kernels, splits } => {
                 let drain = |w: &mut Worker, pending: &mut Vec<(usize, u64)>| {
@@ -690,21 +756,38 @@ fn step_items_worker_overlap(w: &mut Worker, items: &[PlanItem], scheds: &[Compi
                         // time that was covered by interior compute (the
                         // latency split-phase hides; DESIGN.md §5d).
                         let pre = w.state.stats;
+                        let t_int = w.state.tracer.now();
                         backend::run_nest_range(w.state, nest, kernel, w.scalars, &split.interior);
+                        let t_int_end = w.state.tracer.now();
                         let mid = w.state.stats;
-                        drain(w, &mut in_flight);
+                        // The window's receives drain under one span (the
+                        // per-comm spans stay quiet) so the drain's modeled
+                        // attribution is the same per-window quantity the
+                        // hidden-credit counter is built from.
+                        let t_drn = w.state.tracer.now();
+                        for (ci, seq) in in_flight.drain(..) {
+                            let s = &scheds[comms[ci]];
+                            w.comm_finish_quiet(s.dst, &s.actions, seq);
+                        }
+                        let t_drn_end = w.state.tracer.now();
                         let post = w.state.stats;
+                        let t_bnd = w.state.tracer.now();
                         for strip in &split.boundary {
                             backend::run_nest_range(w.state, nest, kernel, w.scalars, strip);
                         }
+                        w.state.tracer.record(SpanKind::Boundary, t_bnd);
                         let cost = &w.cfg.cost;
                         let interior_ns = cost.pe_time_ns(&mid.delta_since(&pre));
                         let recv_ns = cost.pe_time_ns(&post.delta_since(&mid));
-                        w.state.overlap_hidden_ns += recv_ns.min(interior_ns);
+                        let hidden = recv_ns.min(interior_ns);
+                        w.state.overlap_hidden_ns += hidden;
+                        let tracer = &mut w.state.tracer;
+                        tracer.record_at(SpanKind::Interior, t_int, t_int_end, interior_ns, 0.0);
+                        tracer.record_at(SpanKind::CommDrain, t_drn, t_drn_end, recv_ns, hidden);
                     }
                     None => {
                         drain(w, &mut pending);
-                        backend::run_nest(w.state, nest, kernel, w.scalars);
+                        run_nest_traced(w.state, nest, kernel, w.scalars);
                     }
                 }
             }
@@ -755,6 +838,11 @@ U = T
         ((p[0] * 31 + p[1] * 7) as f64).sin()
     }
 
+    /// Shorthand: the split-phase overlapped engine on a given backend.
+    fn ovl(backend: Backend) -> ExecConfig {
+        ExecConfig::new().engine(Engine::ThreadedOverlap).backend(backend)
+    }
+
     fn setup(
         src: &str,
         stage: Stage,
@@ -775,7 +863,8 @@ U = T
         for stage in [Stage::Original, Stage::MemOpt] {
             // Plan once, step 5 times.
             let (mut m_plan, compiled, u) = setup(JACOBI, stage, &[2, 2]);
-            let mut plan = ExecPlan::build(&mut m_plan, &compiled.node).unwrap();
+            let mut plan =
+                ExecPlan::build(&mut m_plan, &compiled.node, &ExecConfig::new()).unwrap();
             for _ in 0..5 {
                 plan.step_seq(&mut m_plan);
             }
@@ -797,9 +886,9 @@ U = T
     #[test]
     fn plan_step_par_bitwise_equals_seq() {
         let (mut m_seq, compiled, u) = setup(JACOBI, Stage::MemOpt, &[2, 2]);
-        let mut p_seq = ExecPlan::build(&mut m_seq, &compiled.node).unwrap();
+        let mut p_seq = ExecPlan::build(&mut m_seq, &compiled.node, &ExecConfig::new()).unwrap();
         let (mut m_par, compiled2, _) = setup(JACOBI, Stage::MemOpt, &[2, 2]);
-        let mut p_par = ExecPlan::build(&mut m_par, &compiled2.node).unwrap();
+        let mut p_par = ExecPlan::build(&mut m_par, &compiled2.node, &ExecConfig::new()).unwrap();
         for _ in 0..4 {
             p_seq.step_seq(&mut m_seq);
             p_par.step_par(&mut m_par);
@@ -820,7 +909,7 @@ U = T
 ENDDO
 "#;
         let (mut m, compiled, u) = setup(src, Stage::MemOpt, &[2, 2]);
-        let mut plan = ExecPlan::build(&mut m, &compiled.node).unwrap();
+        let mut plan = ExecPlan::build(&mut m, &compiled.node, &ExecConfig::new()).unwrap();
         // The DO body's comm ops are compiled once but execute 6× per step.
         assert_eq!(plan.comm_execs_per_step(), 6 * plan.comm_count() as u64);
         plan.step_seq(&mut m);
@@ -838,10 +927,15 @@ ENDDO
         for backend in [Backend::Interp, Backend::Bytecode] {
             for stage in [Stage::Original, Stage::MemOpt] {
                 let (mut m_seq, compiled, u) = setup(JACOBI16, stage, &[2, 2]);
-                let mut p_seq = ExecPlan::build_with(&mut m_seq, &compiled.node, backend).unwrap();
+                let mut p_seq = ExecPlan::build(
+                    &mut m_seq,
+                    &compiled.node,
+                    &ExecConfig::new().backend(backend),
+                )
+                .unwrap();
                 let (mut m_ovl, compiled2, _) = setup(JACOBI16, stage, &[2, 2]);
                 let mut p_ovl =
-                    ExecPlan::build_overlapped(&mut m_ovl, &compiled2.node, backend).unwrap();
+                    ExecPlan::build(&mut m_ovl, &compiled2.node, &ovl(backend)).unwrap();
                 if stage == Stage::MemOpt {
                     // Only the optimized pipeline emits overlap shifts; at
                     // Stage::Original every CSHIFT is a full-shift copy and
@@ -874,9 +968,9 @@ ENDDO
         // records a positive per-PE credit and its modeled time is strictly
         // below the blocking plan's. Blocking engines record zero.
         let (mut m_blk, compiled, _) = setup(JACOBI16, Stage::MemOpt, &[2, 2]);
-        let mut p_blk = ExecPlan::build_with(&mut m_blk, &compiled.node, Backend::Interp).unwrap();
+        let mut p_blk = ExecPlan::build(&mut m_blk, &compiled.node, &ExecConfig::new()).unwrap();
         let (mut m_ovl, c2, _) = setup(JACOBI16, Stage::MemOpt, &[2, 2]);
-        let mut p_ovl = ExecPlan::build_overlapped(&mut m_ovl, &c2.node, Backend::Interp).unwrap();
+        let mut p_ovl = ExecPlan::build(&mut m_ovl, &c2.node, &ovl(Backend::Interp)).unwrap();
         assert!(p_ovl.overlap_windows_per_step() > 0);
         for _ in 0..3 {
             p_blk.step_par(&mut m_blk);
@@ -909,11 +1003,11 @@ ENDDO
         // An overlapped plan stepped on the blocking engines executes the
         // windows as comm-then-nest, identical to an unfused plan.
         let (mut m_ref, compiled, u) = setup(JACOBI, Stage::MemOpt, &[2, 2]);
-        let mut p_ref = ExecPlan::build(&mut m_ref, &compiled.node).unwrap();
+        let mut p_ref = ExecPlan::build(&mut m_ref, &compiled.node, &ExecConfig::new()).unwrap();
         let (mut m_seq, c2, _) = setup(JACOBI, Stage::MemOpt, &[2, 2]);
-        let mut p_seq = ExecPlan::build_overlapped(&mut m_seq, &c2.node, Backend::Interp).unwrap();
+        let mut p_seq = ExecPlan::build(&mut m_seq, &c2.node, &ovl(Backend::Interp)).unwrap();
         let (mut m_par, c3, _) = setup(JACOBI, Stage::MemOpt, &[2, 2]);
-        let mut p_par = ExecPlan::build_overlapped(&mut m_par, &c3.node, Backend::Interp).unwrap();
+        let mut p_par = ExecPlan::build(&mut m_par, &c3.node, &ovl(Backend::Interp)).unwrap();
         for _ in 0..3 {
             p_ref.step_seq(&mut m_ref);
             p_seq.step_seq(&mut m_seq);
@@ -942,12 +1036,11 @@ ENDDO
             m
         };
         let mut m_seq = mk(MachineConfig::sp2_2x2());
-        let mut p_seq = ExecPlan::build(&mut m_seq, &compiled.node).unwrap();
+        let mut p_seq = ExecPlan::build(&mut m_seq, &compiled.node, &ExecConfig::new()).unwrap();
         let mut m_par = mk(cfg.clone());
-        let mut p_par = ExecPlan::build(&mut m_par, &compiled.node).unwrap();
+        let mut p_par = ExecPlan::build(&mut m_par, &compiled.node, &ExecConfig::new()).unwrap();
         let mut m_ovl = mk(cfg);
-        let mut p_ovl =
-            ExecPlan::build_overlapped(&mut m_ovl, &compiled.node, Backend::Interp).unwrap();
+        let mut p_ovl = ExecPlan::build(&mut m_ovl, &compiled.node, &ovl(Backend::Interp)).unwrap();
         for _ in 0..3 {
             p_seq.step_seq(&mut m_seq);
             p_par.step_par(&mut m_par);
@@ -968,9 +1061,9 @@ ENDDO
         // consumes the interior on every PE, so no window is fused and the
         // plan still steps correctly.
         let (mut m_seq, compiled, u) = setup(JACOBI, Stage::MemOpt, &[4, 1]);
-        let mut p_seq = ExecPlan::build(&mut m_seq, &compiled.node).unwrap();
+        let mut p_seq = ExecPlan::build(&mut m_seq, &compiled.node, &ExecConfig::new()).unwrap();
         let (mut m_ovl, c2, _) = setup(JACOBI, Stage::MemOpt, &[4, 1]);
-        let mut p_ovl = ExecPlan::build_overlapped(&mut m_ovl, &c2.node, Backend::Interp).unwrap();
+        let mut p_ovl = ExecPlan::build(&mut m_ovl, &c2.node, &ovl(Backend::Interp)).unwrap();
         assert_eq!(p_ovl.overlap_windows_per_step(), 0, "degenerate interiors: no window");
         for _ in 0..3 {
             p_seq.step_seq(&mut m_seq);
@@ -981,6 +1074,57 @@ ENDDO
     }
 
     #[test]
+    fn traced_overlap_plan_spans_reproduce_hidden_credit() {
+        // With tracing on, every overlap window records an Interior span
+        // and one window-drain CommDrain span carrying the cost-model
+        // attribution — summing the drains' hidden_ns per PE reproduces
+        // the always-on hidden_comm_ns counters exactly.
+        let (mut m, compiled, u) = setup(JACOBI16, Stage::MemOpt, &[2, 2]);
+        let cfg = ovl(Backend::Bytecode).trace(true);
+        let mut plan = ExecPlan::build(&mut m, &compiled.node, &cfg).unwrap();
+        assert_eq!(plan.engine(), Engine::ThreadedOverlap);
+        assert!(m.tracing_enabled());
+        for _ in 0..3 {
+            plan.step(&mut m);
+        }
+        let stats = m.stats();
+        let summary = m.take_trace().summary();
+        let derived = summary.hidden_comm_ns();
+        assert_eq!(derived, stats.hidden_comm_ns, "trace-derived hidden == counter");
+        assert!(derived.iter().all(|&h| h > 0.0));
+        for pe in summary.pe_tracks() {
+            assert!(pe.count(SpanKind::Interior) > 0, "{}", pe.name);
+            assert!(pe.count(SpanKind::Boundary) > 0, "{}", pe.name);
+            assert!(pe.count(SpanKind::CommPost) > 0, "{}", pe.name);
+            assert!(pe.count(SpanKind::KernelExec) > 0, "{}", pe.name);
+        }
+        let driver = summary.track("driver").expect("driver track");
+        assert!(driver.count(SpanKind::ScheduleBuild) > 0);
+        assert!(driver.count(SpanKind::KernelCompile) > 0);
+        // Results stay bitwise identical to an untraced sequential plan.
+        let (mut m_ref, c2, _) = setup(JACOBI16, Stage::MemOpt, &[2, 2]);
+        let mut p_ref = ExecPlan::build(&mut m_ref, &c2.node, &ExecConfig::new()).unwrap();
+        for _ in 0..3 {
+            p_ref.step(&mut m_ref);
+        }
+        assert_eq!(m.gather(u), m_ref.gather(u));
+        assert_eq!(m.stats().per_pe, m_ref.stats().per_pe);
+    }
+
+    #[test]
+    fn checked_build_rejects_bad_shifts_at_build_time() {
+        let src = "PARAM N = 8\nREAL U(N,N), T(N,N)\nT = CSHIFT(U, SHIFT=2, DIM=1) + U\n";
+        let checked = compile_source(src).unwrap();
+        let compiled = compile(&checked, CompileOptions::full().halo(2));
+        let u = checked.symbols.lookup_array("U").unwrap();
+        let mut m = Machine::new(MachineConfig::sp2_2x2()); // halo 1
+        m.alloc(u, checked.symbols.array(u)).unwrap();
+        let cfg = ExecConfig::new().check_invariants(true);
+        let err = ExecPlan::build(&mut m, &compiled.node, &cfg).unwrap_err();
+        assert!(matches!(err, RtError::ShiftTooWide { .. }));
+    }
+
+    #[test]
     fn plan_propagates_shift_too_wide() {
         let src = "PARAM N = 8\nREAL U(N,N), T(N,N)\nT = CSHIFT(U, SHIFT=2, DIM=1) + U\n";
         let checked = compile_source(src).unwrap();
@@ -988,7 +1132,7 @@ ENDDO
         let u = checked.symbols.lookup_array("U").unwrap();
         let mut m = Machine::new(MachineConfig::sp2_2x2()); // halo 1
         m.alloc(u, checked.symbols.array(u)).unwrap();
-        let err = ExecPlan::build(&mut m, &compiled.node).unwrap_err();
+        let err = ExecPlan::build(&mut m, &compiled.node, &ExecConfig::new()).unwrap_err();
         assert!(matches!(err, RtError::ShiftTooWide { .. }));
     }
 
@@ -1009,7 +1153,7 @@ T = C * (CSHIFT(U,1,1) + CSHIFT(U,-1,1) + CSHIFT(U,1,2) + CSHIFT(U,-1,2))
         let mut m = Machine::new(MachineConfig::sp2_2x2());
         m.alloc(u, checked.symbols.array(u)).unwrap();
         m.fill(u, init);
-        let mut plan = ExecPlan::build(&mut m, &compiled.node).unwrap();
+        let mut plan = ExecPlan::build(&mut m, &compiled.node, &ExecConfig::new()).unwrap();
         plan.step_seq(&mut m);
         let after_one = m.gather(t);
         apply_swaps(&mut m, &[(u, t)]);

@@ -43,4 +43,6 @@ pub mod unioning;
 
 pub use loopir::{Instr, LoopNest, NodeItem, NodeProgram, Reg};
 pub use normalize::{normalize, TempPolicy};
-pub use pipeline::{compile, CompileOptions, Compiled, PipelineStats, Stage};
+pub use pipeline::{
+    compile, CompileOptions, Compiled, PassTiming, PipelineStats, Stage, NUM_PASSES, PASS_NAMES,
+};

@@ -153,6 +153,30 @@ impl Default for CompileOptions {
     }
 }
 
+/// Number of timed pipeline passes (the fixed pipeline order).
+pub const NUM_PASSES: usize = 6;
+
+/// Pass names, in pipeline order — indexes [`PipelineStats::pass_timings`].
+pub const PASS_NAMES: [&str; NUM_PASSES] =
+    ["normalize", "offset-arrays", "context-partitioning", "comm-unioning", "scalarize", "memopt"];
+
+/// Wall time and post-condition checking effort of one pipeline pass.
+/// `PipelineStats` is `Copy`, so these live in a fixed-size array rather
+/// than a `Vec`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassTiming {
+    /// Wall nanoseconds spent in the pass, post-condition checks included.
+    /// Zero when the pass was disabled by the options.
+    pub wall_ns: u64,
+    /// Post-condition checks evaluated after the pass (zero when
+    /// `check_invariants` is off).
+    pub checks: u32,
+    /// Diagnostics those checks produced. Nonzero means the pass broke an
+    /// invariant; `compile` panics right after counting, so a value you
+    /// can observe is always zero.
+    pub diagnostics: u32,
+}
+
 /// Statistics from every pass that ran.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PipelineStats {
@@ -174,6 +198,15 @@ pub struct PipelineStats {
     pub nests: usize,
     /// Arrays the node program allocates.
     pub arrays_allocated: usize,
+    /// Per-pass wall time and checking effort, indexed like [`PASS_NAMES`].
+    pub pass_timings: [PassTiming; NUM_PASSES],
+}
+
+impl PipelineStats {
+    /// Total wall nanoseconds across all passes.
+    pub fn total_pass_ns(&self) -> u64 {
+        self.pass_timings.iter().map(|t| t.wall_ns).sum()
+    }
 }
 
 /// A compiled kernel: the optimized array-level IR (for inspection and the
@@ -237,9 +270,20 @@ fn enforce(stage: &str, diags: &[hpf_ir::Diagnostic]) {
     );
 }
 
-/// Run `checks` over the IR and [`enforce`] the result.
-fn enforce_checks(stage: &str, program: &Program, halo: i64, checks: &[hpf_analysis::Check]) {
-    enforce(stage, &hpf_analysis::run_checks(program, halo, checks));
+/// Run post-condition checks for one pass, recording how many checks ran
+/// and how many diagnostics they produced before enforcing (which panics
+/// on any diagnostic).
+fn check_pass(
+    timing: &mut PassTiming,
+    stage: &str,
+    program: &Program,
+    halo: i64,
+    checks: &[hpf_analysis::Check],
+) {
+    let diags = hpf_analysis::run_checks(program, halo, checks);
+    timing.checks += checks.len() as u32;
+    timing.diagnostics += diags.len() as u32;
+    enforce(stage, &diags);
 }
 
 /// Run the pipeline on a checked source program.
@@ -247,16 +291,37 @@ pub fn compile(checked: &Checked, options: CompileOptions) -> Compiled {
     let halo = options.halo as i64;
     let checking = options.check_invariants;
     let mut stats = PipelineStats::default();
+    let mut clock = std::time::Instant::now();
+    // Lap: wall time since the previous pass boundary.
+    let mut lap = move || {
+        let ns = clock.elapsed().as_nanos() as u64;
+        clock = std::time::Instant::now();
+        ns
+    };
     let (mut program, nstats) = normalize::normalize(checked, options.temp_policy);
     stats.normalize = nstats;
     if checking {
-        enforce_checks("normalize", &program, halo, normalize::post_conditions());
+        check_pass(
+            &mut stats.pass_timings[0],
+            "normalize",
+            &program,
+            halo,
+            normalize::post_conditions(),
+        );
     }
+    stats.pass_timings[0].wall_ns = lap();
     if options.offset_arrays {
         stats.offset = offset::run(&mut program, halo);
         if checking {
-            enforce_checks("offset-arrays", &program, halo, offset::post_conditions());
+            check_pass(
+                &mut stats.pass_timings[1],
+                "offset-arrays",
+                &program,
+                halo,
+                offset::post_conditions(),
+            );
         }
+        stats.pass_timings[1].wall_ns = lap();
     }
     if options.partition {
         if checking {
@@ -265,25 +330,42 @@ pub fn compile(checked: &Checked, options: CompileOptions) -> Compiled {
             let mut diags = Vec::new();
             stats.partition = partition::run_checked(&mut program, &mut diags);
             diags.extend(hpf_analysis::run_checks(&program, halo, partition::post_conditions()));
+            stats.pass_timings[2].checks += 1 + partition::post_conditions().len() as u32;
+            stats.pass_timings[2].diagnostics += diags.len() as u32;
             enforce("context-partitioning", &diags);
         } else {
             stats.partition = partition::run(&mut program);
         }
+        stats.pass_timings[2].wall_ns = lap();
     }
     if options.unioning {
         stats.unioning = unioning::run(&mut program);
         if checking {
-            enforce_checks("comm-unioning", &program, halo, unioning::post_conditions());
+            check_pass(
+                &mut stats.pass_timings[3],
+                "comm-unioning",
+                &program,
+                halo,
+                unioning::post_conditions(),
+            );
         }
+        stats.pass_timings[3].wall_ns = lap();
     }
     if checking {
-        enforce_checks("array passes", &program, halo, scalarize::pre_conditions());
+        check_pass(
+            &mut stats.pass_timings[4],
+            "array passes",
+            &program,
+            halo,
+            scalarize::pre_conditions(),
+        );
     }
     let (mut node, sstats) = scalarize::run(
         &program,
         ScalarizeOptions { fuse: options.fuse, fortran_order: options.fortran_order },
     );
     stats.scalarize = sstats;
+    stats.pass_timings[4].wall_ns = lap();
     stats.memopt = memopt::run(
         &mut node,
         MemOptOptions {
@@ -292,6 +374,7 @@ pub fn compile(checked: &Checked, options: CompileOptions) -> Compiled {
             permute: options.permute,
         },
     );
+    stats.pass_timings[5].wall_ns = lap();
     stats.comm_ops = node.comm_count();
     stats.nests = node.nest_count();
     stats.arrays_allocated = node.live_arrays.len();
@@ -385,6 +468,31 @@ END
         assert_eq!(full.stats.unioning.before, 8);
         assert_eq!(full.stats.unioning.after, 4);
         assert_eq!(full.stats.offset.converted, 8);
+    }
+
+    #[test]
+    fn pass_timings_track_enabled_passes() {
+        let checked = compile_source(PROBLEM9).unwrap();
+        let full = compile(&checked, CompileOptions::full().check_invariants(true));
+        // Every pass enabled: normalize/scalarize/memopt always run and the
+        // three optional array passes are on.
+        let t = &full.stats.pass_timings;
+        assert!(t[0].checks > 0, "normalize post-conditions ran");
+        assert!(t[1].checks > 0 && t[2].checks > 0 && t[3].checks > 0);
+        assert_eq!(t.iter().map(|p| p.diagnostics).sum::<u32>(), 0, "healthy pipeline");
+        assert!(full.stats.total_pass_ns() >= t[0].wall_ns);
+        // Disabled passes report zero time and zero checks.
+        let orig = compile(&checked, CompileOptions::original());
+        assert_eq!(orig.stats.pass_timings[1], PassTiming::default());
+        assert_eq!(orig.stats.pass_timings[2], PassTiming::default());
+        assert_eq!(orig.stats.pass_timings[3], PassTiming::default());
+    }
+
+    #[test]
+    fn pass_names_cover_all_slots() {
+        assert_eq!(PASS_NAMES.len(), NUM_PASSES);
+        let stats = PipelineStats::default();
+        assert_eq!(stats.pass_timings.len(), NUM_PASSES);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::schedule::{
 use crate::stats::{AggStats, PeStats};
 use crate::subgrid::Subgrid;
 use hpf_ir::{ArrayDecl, ArrayId, DimDist, Offsets, Rsd, Section, Shape, ShiftKind};
+use hpf_trace::{SpanKind, Trace, TraceConfig, Tracer, Track};
 
 /// Machine configuration.
 #[derive(Clone, Debug)]
@@ -118,6 +119,12 @@ pub struct PeState {
     pub cur_bytes: usize,
     /// Peak allocated bytes.
     pub peak_bytes: usize,
+    /// Span recorder for this PE's timeline ("PE n" track). Single writer:
+    /// only the thread currently driving this PE (the sequential engine on
+    /// the main thread, or this PE's worker under the threaded engines)
+    /// records into it, so tracing needs no locks. Disabled (a no-op)
+    /// unless [`Machine::enable_tracing`] was called.
+    pub tracer: Tracer,
 }
 
 impl PeState {
@@ -171,6 +178,9 @@ pub struct Machine {
     interior_cells: u64,
     /// Points computed in boundary strips of overlapped windows.
     boundary_cells: u64,
+    /// Span recorder for driver-side work (schedule builds, kernel
+    /// compiles, step envelopes) — the "driver" track.
+    driver_tracer: Tracer,
 }
 
 impl Machine {
@@ -185,6 +195,7 @@ impl Machine {
                 overlap_hidden_ns: 0.0,
                 cur_bytes: 0,
                 peak_bytes: 0,
+                tracer: Tracer::disabled(),
             })
             .collect();
         Machine {
@@ -198,7 +209,44 @@ impl Machine {
             overlapped_steps: 0,
             interior_cells: 0,
             boundary_cells: 0,
+            driver_tracer: Tracer::disabled(),
         }
+    }
+
+    /// Turn on span recording: the driver tracer and every PE's tracer get
+    /// a freshly preallocated ring. Until this is called, every tracer is a
+    /// no-op and instrumented code paths cost a single branch.
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        self.driver_tracer.enable(cfg);
+        for p in &mut self.pes {
+            p.tracer.enable(cfg);
+        }
+    }
+
+    /// Whether span recording is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.driver_tracer.is_enabled()
+    }
+
+    /// The driver-side tracer (schedule builds, kernel compiles, step
+    /// envelopes). Executors above this crate record driver-side spans
+    /// through this.
+    pub fn driver_tracer(&mut self) -> &mut Tracer {
+        &mut self.driver_tracer
+    }
+
+    /// Collect everything recorded so far into a [`Trace`] — the "driver"
+    /// track followed by one track per PE — and reset the rings (tracers
+    /// stay enabled, so stepping on records a fresh timeline).
+    pub fn take_trace(&mut self) -> Trace {
+        let mut tracks = Vec::with_capacity(self.pes.len() + 1);
+        let (events, dropped) = self.driver_tracer.drain();
+        tracks.push(Track { name: "driver".to_string(), events, dropped });
+        for p in &mut self.pes {
+            let (events, dropped) = p.tracer.drain();
+            tracks.push(Track { name: format!("PE {}", p.pe), events, dropped });
+        }
+        Trace { tracks }
     }
 
     /// Number of PEs.
@@ -446,6 +494,7 @@ impl Machine {
         plan: Vec<CommAction>,
         kind: MoveKind,
     ) -> CompiledComm {
+        let t0 = self.driver_tracer.now();
         let mut transfers = Vec::new();
         let mut fills = Vec::new();
         for action in &plan {
@@ -471,6 +520,7 @@ impl Machine {
             }
         }
         self.sched_built += 1;
+        self.driver_tracer.record(SpanKind::ScheduleBuild, t0);
         CompiledComm { dst, src, kind, transfers, fills, actions: plan }
     }
 
@@ -483,17 +533,21 @@ impl Machine {
         for t in &mut sched.transfers {
             // Pack (sender side).
             {
+                let t0 = self.pes[t.src_pe].tracer.now();
                 let raw = self.pes[t.src_pe].subgrid(sched.src).raw();
                 for (slot, &i) in t.buf.iter_mut().zip(&t.src_idx) {
                     *slot = raw[i];
                 }
+                self.pes[t.src_pe].tracer.record(SpanKind::Pack, t0);
             }
             // Unpack (receiver side).
             {
+                let t0 = self.pes[t.dst_pe].tracer.now();
                 let raw = self.pes[t.dst_pe].subgrid_mut(sched.dst).raw_mut();
                 for (&i, &v) in t.dst_idx.iter().zip(&t.buf) {
                     raw[i] = v;
                 }
+                self.pes[t.dst_pe].tracer.record(SpanKind::Unpack, t0);
             }
             let bytes = (t.buf.len() * std::mem::size_of::<f64>()) as u64;
             if t.src_pe == t.dst_pe {

@@ -106,9 +106,15 @@ pub struct AggStats {
     /// Per-PE modeled receive nanoseconds hidden behind interior compute by
     /// split-phase exchange windows: per window, `min(recv_ns, interior_ns)`
     /// where both terms come from the cost model applied to exact counter
-    /// deltas around the interior sweep and the drain. Zero on the blocking
-    /// engines; the per-PE `PeStats` themselves stay engine-independent.
-    /// Empty when no machine has run (e.g. hand-built aggregates).
+    /// deltas around the interior sweep and the drain. This value is
+    /// trace-derived: the overlap engine computes the per-window credit at
+    /// the span-recording boundary of the window's drain, accumulates it
+    /// here, and (with tracing on) attaches the same number to the drain's
+    /// `hpf_trace` span — so `TraceSummary::hidden_comm_ns()` reproduces
+    /// this vector exactly and the counter is just the always-on aggregate
+    /// view of the span data. Zero on the blocking engines; the per-PE
+    /// `PeStats` themselves stay engine-independent. Empty when no machine
+    /// has run (e.g. hand-built aggregates).
     pub hidden_comm_ns: Vec<f64>,
 }
 
@@ -143,6 +149,56 @@ impl AggStats {
     }
 }
 
+/// The per-PE summary table (`--trace` text output): one row per PE with
+/// its message/byte/compute counters and the hidden-communication credit.
+impl std::fmt::Display for AggStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<5} {:>6} {:>6} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10}",
+            "pe",
+            "msg-s",
+            "msg-r",
+            "KB-sent",
+            "KB-recv",
+            "KB-intra",
+            "loads",
+            "stores",
+            "flops",
+            "hidden-ms"
+        )?;
+        for (pe, s) in self.per_pe.iter().enumerate() {
+            let hidden_ms = self.hidden_comm_ns.get(pe).copied().unwrap_or(0.0) / 1e6;
+            writeln!(
+                f,
+                "{:<5} {:>6} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>10} {:>10} {:>10} {:>10.3}",
+                pe,
+                s.msgs_sent,
+                s.msgs_recv,
+                s.bytes_sent as f64 / 1024.0,
+                s.bytes_recv as f64 / 1024.0,
+                s.intra_bytes as f64 / 1024.0,
+                s.loads,
+                s.stores,
+                s.flops,
+                hidden_ms
+            )?;
+        }
+        write!(
+            f,
+            "schedules: {} built, {} reused | kernels: {} compiled, {} execs | \
+             overlap: {} windows, {} interior / {} boundary cells",
+            self.schedules_built,
+            self.schedule_reuses,
+            self.kernels_compiled,
+            self.kernel_execs,
+            self.overlapped_steps,
+            self.interior_cells,
+            self.boundary_cells
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +229,24 @@ mod tests {
         assert_eq!(agg.total_intra_bytes(), 10);
         assert_eq!(agg.max_peak_bytes(), 300);
         assert_eq!(agg.total().msgs_sent, 3);
+    }
+
+    #[test]
+    fn display_renders_one_row_per_pe() {
+        let agg = AggStats {
+            per_pe: vec![
+                PeStats { msgs_sent: 2, bytes_sent: 2048, loads: 7, ..Default::default() },
+                PeStats { msgs_recv: 1, bytes_recv: 1024, ..Default::default() },
+            ],
+            peak_bytes: vec![0, 0],
+            hidden_comm_ns: vec![1_500_000.0, 0.0],
+            schedules_built: 3,
+            ..Default::default()
+        };
+        let table = agg.to_string();
+        assert!(table.contains("hidden-ms"));
+        assert!(table.contains("1.500"), "hidden credit in ms: {table}");
+        assert!(table.contains("schedules: 3 built"));
+        assert_eq!(table.lines().count(), 1 + 2 + 1, "header + 2 PEs + footer");
     }
 }

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # hpf-trace — per-PE event tracing & profiling
+//!
+//! The simulator's evaluation layer reasons from aggregate counters
+//! ([`hpf-runtime`'s `AggStats`]), but attributing a step's wall time on
+//! each PE — how long packs took, how much of a drain hid behind interior
+//! compute — needs a timeline. This crate is that observability layer:
+//!
+//! * [`Tracer`] — a per-PE span recorder. Each worker thread owns exactly
+//!   one tracer (single writer), so recording is lock-free by construction:
+//!   an enabled-flag branch, a monotonic clock read, and a write into a
+//!   **preallocated ring** ([`TraceConfig::capacity`] events, no allocation
+//!   on the hot path, newest events dropped on overflow). When disabled,
+//!   [`Tracer::now`] and [`Tracer::record`] reduce to a single predictable
+//!   branch — no clock read, no write — so instrumented code paths cost
+//!   nothing measurable.
+//! * [`SpanKind`] — the span taxonomy: compile passes, schedule builds,
+//!   kernel compiles, pack/unpack, comm post/drain, interior/boundary
+//!   sweeps, whole compute sweeps, and step envelopes.
+//! * [`Trace`] / [`Track`] — the collected timeline: one track per PE plus
+//!   driver/compile tracks, all sharing one process-wide epoch
+//!   ([`now_ns`]) so cross-thread timestamps line up.
+//! * [`Trace::to_chrome_json`] — Chrome `trace_event` JSON for
+//!   `chrome://tracing` / Perfetto, hand-rolled (the container has no
+//!   serde) and validated by the bundled mini JSON parser ([`json`]).
+//! * [`TraceSummary`] — per-track per-kind aggregates consumable from
+//!   tests, including the trace-derived hidden-communication view
+//!   ([`TraceSummary::hidden_comm_ns`]) and a plain-text per-step summary
+//!   table ([`TraceSummary::render_table`]).
+
+pub mod chrome;
+pub mod json;
+pub mod span;
+pub mod summary;
+
+pub use span::{now_ns, Event, SpanKind, TraceConfig, Tracer};
+pub use summary::{Trace, TraceSummary, Track, TrackSummary};

@@ -1,0 +1,339 @@
+//! Span taxonomy, the process-wide clock, and the per-PE recorder.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// What a recorded span measured. One variant per instrumentation point in
+/// the compiler and the machine simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// One compile-pipeline pass (normalize, offset, …) — compile track.
+    Pass = 0,
+    /// Building one persistent communication schedule (index lists,
+    /// pooled buffers) — driver track.
+    ScheduleBuild = 1,
+    /// Compiling one loop nest to bytecode kernels across PEs — driver
+    /// track.
+    KernelCompile = 2,
+    /// One full subgrid sweep of a nest by a compiled bytecode kernel.
+    KernelExec = 3,
+    /// One full subgrid sweep of a nest by the interpreter backend.
+    Compute = 4,
+    /// Gathering one transfer's source elements into its pooled buffer
+    /// (sender side).
+    Pack = 5,
+    /// Scattering one transfer's buffer into the destination overlap area
+    /// (receiver side).
+    Unpack = 6,
+    /// Posting a comm op's sends (split-phase: pack + enqueue, no wait).
+    CommPost = 7,
+    /// Draining a comm op's receives (the blocking half of an exchange).
+    CommDrain = 8,
+    /// Interior sweep of a split-phase exchange window (runs while
+    /// messages are in flight).
+    Interior = 9,
+    /// Boundary-strip sweeps of a split-phase exchange window (run after
+    /// the drain).
+    Boundary = 10,
+    /// One whole plan step — driver track envelope.
+    Step = 11,
+}
+
+/// Number of span kinds (array-index bound for per-kind aggregates).
+pub const NUM_KINDS: usize = 12;
+
+impl SpanKind {
+    /// Every kind, in `repr` order.
+    pub const ALL: [SpanKind; NUM_KINDS] = [
+        SpanKind::Pass,
+        SpanKind::ScheduleBuild,
+        SpanKind::KernelCompile,
+        SpanKind::KernelExec,
+        SpanKind::Compute,
+        SpanKind::Pack,
+        SpanKind::Unpack,
+        SpanKind::CommPost,
+        SpanKind::CommDrain,
+        SpanKind::Interior,
+        SpanKind::Boundary,
+        SpanKind::Step,
+    ];
+
+    /// Short name used in exports and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Pass => "pass",
+            SpanKind::ScheduleBuild => "schedule-build",
+            SpanKind::KernelCompile => "kernel-compile",
+            SpanKind::KernelExec => "kernel-exec",
+            SpanKind::Compute => "compute",
+            SpanKind::Pack => "pack",
+            SpanKind::Unpack => "unpack",
+            SpanKind::CommPost => "comm-post",
+            SpanKind::CommDrain => "comm-drain",
+            SpanKind::Interior => "interior",
+            SpanKind::Boundary => "boundary",
+            SpanKind::Step => "step",
+        }
+    }
+
+    /// Chrome trace-event category (colour group in the viewer).
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Pass | SpanKind::ScheduleBuild | SpanKind::KernelCompile => "compile",
+            SpanKind::Pack | SpanKind::Unpack | SpanKind::CommPost | SpanKind::CommDrain => "comm",
+            SpanKind::KernelExec | SpanKind::Compute | SpanKind::Interior | SpanKind::Boundary => {
+                "compute"
+            }
+            SpanKind::Step => "step",
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Start, nanoseconds since the process-wide epoch ([`now_ns`]).
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Modeled nanoseconds attributed to the span by the cost model
+    /// (e.g. a drain's modeled receive time, an interior sweep's modeled
+    /// compute time). Zero when the span carries no model attribution.
+    pub modeled_ns: f64,
+    /// Modeled receive nanoseconds hidden behind interior compute —
+    /// nonzero only on [`SpanKind::CommDrain`] spans recorded by the
+    /// split-phase overlap engine (`min(recv_ns, interior_ns)` for the
+    /// window the drain closed).
+    pub hidden_ns: f64,
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide trace epoch (lazily pinned to the
+/// first call). All tracers share this epoch so spans recorded on
+/// different worker threads land on one consistent timeline.
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Recorder configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring capacity per tracer, in events. The ring is preallocated at
+    /// enable time; once full, new events are dropped (and counted) so
+    /// the hot path never reallocates.
+    pub capacity: usize,
+}
+
+impl TraceConfig {
+    /// Default ring capacity per tracer (events).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capacity: Self::DEFAULT_CAPACITY }
+    }
+}
+
+/// A single-writer span recorder. Each PE's worker thread (and the driver
+/// thread) owns one tracer exclusively, so recording needs no locks or
+/// atomics: check the enabled flag, read the clock, write into the
+/// preallocated ring.
+///
+/// Disabled (the default), every method is a branch that does nothing:
+/// [`Tracer::now`] returns 0 without reading the clock and
+/// [`Tracer::record`] returns without writing, which is what makes
+/// leaving the instrumentation compiled-in free.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    on: bool,
+    ring: Vec<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A disabled tracer: no buffer, every record call a no-op.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Turn recording on with a freshly preallocated ring.
+    pub fn enable(&mut self, cfg: TraceConfig) {
+        self.on = true;
+        self.cap = cfg.capacity;
+        self.ring = Vec::with_capacity(cfg.capacity);
+        self.dropped = 0;
+    }
+
+    /// Whether spans are currently being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Timestamp for a span about to start, or 0 when disabled (the
+    /// matching `record` call will ignore it). Skipping the clock read
+    /// when disabled is the zero-overhead guarantee.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        if self.on {
+            now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Close a span opened at `start_ns` (a [`Tracer::now`] value).
+    #[inline]
+    pub fn record(&mut self, kind: SpanKind, start_ns: u64) {
+        if self.on {
+            let dur = now_ns().saturating_sub(start_ns);
+            self.push(Event { kind, start_ns, dur_ns: dur, modeled_ns: 0.0, hidden_ns: 0.0 });
+        }
+    }
+
+    /// Close a span and attach cost-model attribution (`modeled_ns`) and,
+    /// for overlap-window drains, the hidden-communication credit.
+    #[inline]
+    pub fn record_modeled(
+        &mut self,
+        kind: SpanKind,
+        start_ns: u64,
+        modeled_ns: f64,
+        hidden_ns: f64,
+    ) {
+        if self.on {
+            let dur = now_ns().saturating_sub(start_ns);
+            self.push(Event { kind, start_ns, dur_ns: dur, modeled_ns, hidden_ns });
+        }
+    }
+
+    /// Record a span whose end was observed before its attribution was
+    /// known (the overlap engine measures the drain, then computes the
+    /// hidden credit from counter deltas, then records): both endpoints
+    /// are explicit [`Tracer::now`] values.
+    #[inline]
+    pub fn record_at(
+        &mut self,
+        kind: SpanKind,
+        start_ns: u64,
+        end_ns: u64,
+        modeled_ns: f64,
+        hidden_ns: f64,
+    ) {
+        if self.on {
+            let dur = end_ns.saturating_sub(start_ns);
+            self.push(Event { kind, start_ns, dur_ns: dur, modeled_ns, hidden_ns });
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        if self.ring.len() < self.cap {
+            self.ring.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Take the recorded events (sorted by start time — spans are pushed
+    /// at completion, so nested spans complete before their parents) and
+    /// reset the ring. The tracer stays enabled.
+    pub fn drain(&mut self) -> (Vec<Event>, u64) {
+        let mut evs = std::mem::take(&mut self.ring);
+        if self.on {
+            self.ring = Vec::with_capacity(self.cap);
+        }
+        evs.sort_by_key(|e| (e.start_ns, e.dur_ns));
+        let dropped = self.dropped;
+        self.dropped = 0;
+        (evs, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.now(), 0);
+        t.record(SpanKind::Pack, 0);
+        t.record_modeled(SpanKind::CommDrain, 0, 10.0, 5.0);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn enabled_tracer_records_and_drains_sorted() {
+        let mut t = Tracer::disabled();
+        t.enable(TraceConfig { capacity: 8 });
+        let a = t.now();
+        t.record(SpanKind::Pack, a);
+        let b = t.now();
+        t.record_modeled(SpanKind::CommDrain, b, 42.0, 7.0);
+        assert_eq!(t.len(), 2);
+        let (evs, dropped) = t.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(evs.len(), 2);
+        assert!(evs.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert_eq!(evs[1].kind, SpanKind::CommDrain);
+        assert_eq!(evs[1].modeled_ns, 42.0);
+        assert_eq!(evs[1].hidden_ns, 7.0);
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn full_ring_drops_newest_without_reallocating() {
+        let mut t = Tracer::disabled();
+        t.enable(TraceConfig { capacity: 2 });
+        let cap_before = t.ring.capacity();
+        for _ in 0..5 {
+            let s = t.now();
+            t.record(SpanKind::Compute, s);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.ring.capacity(), cap_before);
+    }
+
+    #[test]
+    fn epoch_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn kind_labels_are_unique() {
+        let mut labels: Vec<&str> = SpanKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), NUM_KINDS);
+    }
+}
