@@ -188,7 +188,10 @@ fn main() {
         return;
     }
     if tables.is_empty() {
-        eprintln!("unknown experiment '{}'; available: {}", args.exp, EXPERIMENTS.join(", "));
+        eprintln!(
+            "{}",
+            hpf_core::exec::config::unknown_value("experiment", &args.exp, EXPERIMENTS)
+        );
         std::process::exit(1);
     }
     if args.json {

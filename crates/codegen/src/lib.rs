@@ -26,13 +26,21 @@
 //! Nests the compiler cannot prove safe to specialize (mixed subgrid
 //! layouts, index-range overflow) report `None` from [`compile_nest`] and
 //! stay on the interpreter — per (nest, PE), not per program.
+//!
+//! Every invariant the unchecked executors rely on is machine-checked by
+//! the [`verify`] module's abstract interpreter (`BV001`–`BV004`), run in
+//! debug/checked builds and by `hpfsc --verify`.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 mod bytecode;
+pub mod verify;
 mod vm;
 
 pub use bytecode::{reads_before_def, KernelCode, Op, Reg, Slot};
+pub use verify::{verify_nest, Fault, BV001, BV002, BV003, BV004};
 pub use vm::{compile_nest, exec_compiled, exec_compiled_range, CompiledNest};
 
 #[cfg(test)]

@@ -36,45 +36,50 @@ use hpf_runtime::PeState;
 /// consecutive row points before the VM dispatches the next op, amortizing
 /// dispatch cost and exposing straight-line lane loops the optimizer
 /// auto-vectorizes.
-const LANES: usize = 32;
+pub(crate) const LANES: usize = 32;
 
 /// One loop nest compiled for one PE's subgrid layout. Build with
-/// [`compile_nest`]; execute (many times) with [`exec_compiled`].
+/// [`compile_nest`]; execute (many times) with [`exec_compiled`]. Fields are
+/// crate-visible so the static verifier (`crate::verify`) can re-derive the
+/// executor's safety obligations from the same data the executor runs on.
 #[derive(Clone, Debug)]
 pub struct CompiledNest {
     /// This PE owns no part of the iteration space: execution is a no-op.
-    empty: bool,
+    pub(crate) empty: bool,
     /// Local loop bounds (inclusive), per dimension.
-    lo: Vec<i64>,
-    hi: Vec<i64>,
+    pub(crate) lo: Vec<i64>,
+    pub(crate) hi: Vec<i64>,
     /// Row-major strides of every referenced subgrid (layouts verified equal).
-    strides: Vec<i64>,
+    pub(crate) strides: Vec<i64>,
     /// Ghost-layer width of the shared layout.
-    halo: i64,
+    pub(crate) halo: i64,
     /// Loop order, outermost first.
-    order: Vec<usize>,
+    pub(crate) order: Vec<usize>,
     /// Unroll factor of the outermost loop (1 when not unrolled).
-    factor: i64,
+    pub(crate) factor: i64,
     /// Jammed (interior) body.
-    jammed: KernelCode,
+    pub(crate) jammed: KernelCode,
     /// Unit body for remainder (boundary) iterations of the unrolled loop.
-    unit: Option<KernelCode>,
+    pub(crate) unit: Option<KernelCode>,
     /// Array table: `arrays[slot]` is the raw `ArrayId` index.
-    arrays: Vec<u32>,
+    pub(crate) arrays: Vec<u32>,
     /// Register-file size (jammed + unit + preloads).
-    regs: usize,
+    pub(crate) regs: usize,
     /// Constants written once per execution.
-    preloads: Vec<(u16, f64)>,
+    pub(crate) preloads: Vec<(u16, f64)>,
     /// Innermost loop is not over the storage-contiguous dimension.
-    strided: bool,
+    pub(crate) strided: bool,
     /// Flat length of every referenced subgrid.
-    len: usize,
+    pub(crate) len: usize,
     /// Jammed rows may run through the chunked (vectorized) executor.
-    jam_vec: bool,
+    pub(crate) jam_vec: bool,
     /// Unit/remainder rows may run through the chunked executor.
-    unit_vec: bool,
+    pub(crate) unit_vec: bool,
+    /// Bodies share one register file with the interpreter's persistent
+    /// numbering (loop-carried state): no hoisting, fusion or chunking.
+    pub(crate) strict: bool,
     /// Wall nanoseconds [`compile_nest`] spent producing this kernel.
-    compile_ns: u64,
+    pub(crate) compile_ns: u64,
 }
 
 impl CompiledNest {
@@ -189,6 +194,7 @@ pub fn compile_nest(nest: &LoopNest, pe: &PeState, scalars: &[f64]) -> Option<Co
         len,
         jam_vec,
         unit_vec,
+        strict,
         compile_ns: t0.elapsed().as_nanos() as u64,
     })
 }
@@ -243,6 +249,22 @@ impl CompiledNest {
     /// tests and debugging.)
     pub fn vectorized(&self) -> (bool, bool) {
         (self.jam_vec, self.unit_vec)
+    }
+
+    /// Was this nest compiled in strict mode (a body reads registers it did
+    /// not define, so state carries across iteration points)? Strict kernels
+    /// take no hoisting, fusion or chunking — the discipline BV002 checks.
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// The declared `[min_delta, max_delta]` flat-index envelope of the
+    /// jammed (`unit == false`) or unit body — the envelope the per-row
+    /// bounds proof hoists, and the soundness precondition BV003 re-checks
+    /// against the actual memory ops.
+    pub fn declared_deltas(&self, unit: bool) -> (i64, i64) {
+        let k = if unit { self.unit.as_ref().unwrap_or(&self.jammed) } else { &self.jammed };
+        (k.min_delta, k.max_delta)
     }
 
     /// Local loop bounds (inclusive, per dimension) this nest was compiled
@@ -375,6 +397,9 @@ fn exec_over(pe: &mut PeState, cn: &CompiledNest, lo: &[i64], hi: &[i64], reorde
             } else {
                 // Out-of-layout access (a halo violation the lints would
                 // flag): run checked, panicking like the interpreter.
+                // SAFETY: register and slot indices were validated at
+                // compile time; CHECKED = true asserts every memory index
+                // before touching it, so no out-of-bounds access occurs.
                 unsafe { run_row::<true>(&kernel.ops, &arrs, &mut regs, base, count, step) }
             }
         };
@@ -489,9 +514,11 @@ fn exec_over(pe: &mut PeState, cn: &CompiledNest, lo: &[i64], hi: &[i64], reorde
 ///
 /// # Safety
 /// Register indices must be `< regs.len()` and slot indices `< arrs.len()`
-/// (guaranteed by `compile_body`). With `CHECKED = false`, the caller must
-/// guarantee `base + delta ∈ [0, len)` for every memory op at every point
-/// of the row.
+/// (guaranteed by `compile_body`; machine-checked by the bytecode verifier,
+/// BV001). With `CHECKED = false`, the caller must guarantee
+/// `base + delta ∈ [0, len)` for every memory op at every point of the row
+/// — the obligation the hoisted row proof discharges and BV003 re-derives
+/// by interval analysis.
 unsafe fn run_row<const CHECKED: bool>(
     ops: &[Op],
     arrs: &[(*mut f64, usize)],
@@ -502,30 +529,56 @@ unsafe fn run_row<const CHECKED: bool>(
 ) {
     macro_rules! r {
         ($i:expr) => {
-            *regs.get_unchecked($i as usize)
+            // SAFETY: every register operand is < `cn.regs`, which sized
+            // `regs` — validated by `compile_body` and machine-checked by
+            // the bytecode verifier (BV001).
+            unsafe { *regs.get_unchecked($i as usize) }
         };
     }
     macro_rules! w {
-        ($i:expr, $v:expr) => {
-            *regs.get_unchecked_mut($i as usize) = $v
-        };
+        ($i:expr, $v:expr) => {{
+            let v = $v;
+            // SAFETY: destination registers are < `regs.len()` (BV001).
+            unsafe { *regs.get_unchecked_mut($i as usize) = v }
+        }};
     }
-    macro_rules! mem {
+    macro_rules! ld {
         ($arr:expr, $delta:expr) => {{
-            let (ptr, len) = *arrs.get_unchecked($arr as usize);
+            // SAFETY: array-slot operands index the kernel's slot table,
+            // which `arrs` mirrors entry for entry (BV001).
+            let (ptr, len) = unsafe { *arrs.get_unchecked($arr as usize) };
             let idx = (base + $delta as i64) as usize;
             if CHECKED {
                 assert!(idx < len, "subgrid access out of bounds: {idx} >= {len}");
             }
-            ptr.add(idx)
+            // SAFETY: `idx < len` — asserted just above under CHECKED;
+            // in fast mode the caller's hoisted row proof guarantees
+            // `base + delta ∈ [0, len)` for every memory op of the row,
+            // because every delta lies inside the kernel's declared
+            // `[min_delta, max_delta]` envelope (BV003).
+            unsafe { *ptr.add(idx) }
+        }};
+    }
+    macro_rules! st {
+        ($arr:expr, $delta:expr, $v:expr) => {{
+            let v = $v;
+            // SAFETY: slot < `arrs.len()` (BV001), as in `ld!`.
+            let (ptr, len) = unsafe { *arrs.get_unchecked($arr as usize) };
+            let idx = (base + $delta as i64) as usize;
+            if CHECKED {
+                assert!(idx < len, "subgrid access out of bounds: {idx} >= {len}");
+            }
+            // SAFETY: `idx < len` — by the CHECKED assert or the hoisted
+            // row bounds proof over the declared delta envelope (BV003).
+            unsafe { *ptr.add(idx) = v }
         }};
     }
     for _ in 0..count {
         for op in ops {
             match *op {
                 Op::Const { dst, v } => w!(dst, v),
-                Op::Load { dst, arr, delta } => w!(dst, *mem!(arr, delta)),
-                Op::Store { arr, delta, src } => *mem!(arr, delta) = r!(src),
+                Op::Load { dst, arr, delta } => w!(dst, ld!(arr, delta)),
+                Op::Store { arr, delta, src } => st!(arr, delta, r!(src)),
                 Op::Bin { op, dst, a, b } => w!(dst, op.apply(r!(a), r!(b))),
                 Op::BinImmR { op, dst, a, v } => w!(dst, op.apply(r!(a), v)),
                 Op::BinImmL { op, dst, v, b } => w!(dst, op.apply(v, r!(b))),
@@ -541,7 +594,7 @@ unsafe fn run_row<const CHECKED: bool>(
                     w!(dst, if r!(c) != 0.0 { r!(t) } else { r!(e) })
                 }
                 Op::SelStore { arr, delta, c, t, e } => {
-                    *mem!(arr, delta) = if r!(c) != 0.0 { r!(t) } else { r!(e) }
+                    st!(arr, delta, if r!(c) != 0.0 { r!(t) } else { r!(e) })
                 }
             }
         }
@@ -560,7 +613,8 @@ unsafe fn run_row<const CHECKED: bool>(
 /// Same contract as `run_row::<false>` (every `base + i*step + delta` in
 /// range, register/slot indices compile-time validated), plus: `strips` has
 /// `LANES` lanes per register with preloads broadcast, and the kernel was
-/// admitted by `vector_safe` for this `step`.
+/// admitted by `vector_safe` for this `step` (re-derived independently by
+/// the bytecode verifier, BV004).
 unsafe fn run_row_vec(
     ops: &[Op],
     arrs: &[(*mut f64, usize)],
@@ -573,7 +627,12 @@ unsafe fn run_row_vec(
     let mut left = count;
     while left > 0 {
         let n = (left as usize).min(LANES);
-        run_chunk(ops, arrs, sp, base, n, step);
+        // SAFETY: `n <= LANES` points starting at `base` lie inside this
+        // row, so the caller's row bounds proof covers every lane access;
+        // `sp` points at the caller's `regs * LANES` strip buffer with
+        // preloads broadcast, and the kernel was admitted by the chunk-
+        // safety test for this step (independently re-derived by BV004).
+        unsafe { run_chunk(ops, arrs, sp, base, n, step) };
         base += n as i64 * step;
         left -= n as i64;
     }
@@ -597,15 +656,21 @@ unsafe fn run_chunk(
     // Lane pointer of register `r`.
     macro_rules! strip {
         ($r:expr) => {
-            sp.add($r as usize * LANES)
+            // SAFETY: register operands are < the kernel's register-file
+            // size (BV001) and `sp` spans `regs * LANES` elements.
+            unsafe { sp.add($r as usize * LANES) }
         };
     }
     // Whole-register reads/writes as fixed-size arrays: value semantics keep
     // the lane loops free of aliasing, so they compile to vector code.
     macro_rules! rd {
-        ($r:expr) => {
-            *(strip!($r) as *const [f64; LANES])
-        };
+        ($r:expr) => {{
+            let p = strip!($r) as *const [f64; LANES];
+            // SAFETY: `strip!` points at `LANES` initialized `f64`s inside
+            // the strip buffer (zero-filled at allocation, preloads
+            // broadcast), properly aligned for `[f64; LANES]`.
+            unsafe { *p }
+        }};
     }
     macro_rules! lanes {
         ($dst:expr, |$i:ident| $e:expr) => {{
@@ -613,12 +678,19 @@ unsafe fn run_chunk(
             for $i in 0..LANES {
                 out[$i] = $e;
             }
-            *(strip!($dst) as *mut [f64; LANES]) = out;
+            let p = strip!($dst) as *mut [f64; LANES];
+            // SAFETY: as in `rd!` — the destination strip holds `LANES`
+            // `f64`s owned exclusively by this call (registers and subgrid
+            // storage are distinct allocations).
+            unsafe { *p = out };
         }};
     }
     macro_rules! mem_at {
         ($ptr:expr, $delta:expr, $i:expr) => {
-            $ptr.add((base + $i as i64 * step + $delta as i64) as usize)
+            // SAFETY: lane `i < n` lies in this row, so the caller's row
+            // bounds proof over the declared delta envelope (BV003) puts
+            // `base + i*step + delta` inside `[0, len)` of the subgrid.
+            unsafe { $ptr.add((base + $i as i64 * step + $delta as i64) as usize) }
         };
     }
     // Comparison with the predicate match hoisted out of the lane loop.
@@ -638,24 +710,41 @@ unsafe fn run_chunk(
         match *op {
             Op::Const { dst, v } => lanes!(dst, |_i| v),
             Op::Load { dst, arr, delta } => {
-                let (ptr, _) = *arrs.get_unchecked(arr as usize);
+                // SAFETY: slot < `arrs.len()` (BV001).
+                let (ptr, _) = unsafe { *arrs.get_unchecked(arr as usize) };
                 let d = strip!(dst);
                 if step == 1 {
-                    std::ptr::copy_nonoverlapping(ptr.add((base + delta as i64) as usize), d, n);
+                    // SAFETY: the `n` contiguous source elements lie in the
+                    // row (bounds proof, BV003); the destination strip is a
+                    // separate allocation, so the copies never overlap.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(ptr.add((base + delta as i64) as usize), d, n)
+                    };
                 } else {
                     for i in 0..n {
-                        *d.add(i) = *mem_at!(ptr, delta, i);
+                        let m = mem_at!(ptr, delta, i);
+                        // SAFETY: lane `i < n <= LANES` of the strip; the
+                        // subgrid read is covered by the row bounds proof.
+                        unsafe { *d.add(i) = *m };
                     }
                 }
             }
             Op::Store { arr, delta, src } => {
-                let (ptr, _) = *arrs.get_unchecked(arr as usize);
+                // SAFETY: slot < `arrs.len()` (BV001).
+                let (ptr, _) = unsafe { *arrs.get_unchecked(arr as usize) };
                 let s = strip!(src);
                 if step == 1 {
-                    std::ptr::copy_nonoverlapping(s, ptr.add((base + delta as i64) as usize), n);
+                    // SAFETY: mirror of the Load block-move — `n` in-row
+                    // destination elements, disjoint strip source.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(s, ptr.add((base + delta as i64) as usize), n)
+                    };
                 } else {
                     for i in 0..n {
-                        *mem_at!(ptr, delta, i) = *s.add(i);
+                        let m = mem_at!(ptr, delta, i);
+                        // SAFETY: lane `i < n` strip read; in-row subgrid
+                        // write covered by the row bounds proof (BV003).
+                        unsafe { *m = *s.add(i) };
                     }
                 }
             }
@@ -723,12 +812,126 @@ unsafe fn run_chunk(
                 lanes!(dst, |i| if cv[i] != 0.0 { tv[i] } else { ev[i] });
             }
             Op::SelStore { arr, delta, c, t, e } => {
-                let (ptr, _) = *arrs.get_unchecked(arr as usize);
+                // SAFETY: slot < `arrs.len()` (BV001).
+                let (ptr, _) = unsafe { *arrs.get_unchecked(arr as usize) };
                 let (cv, tv, ev) = (rd!(c), rd!(t), rd!(e));
                 for i in 0..n {
-                    *mem_at!(ptr, delta, i) = if cv[i] != 0.0 { tv[i] } else { ev[i] };
+                    let m = mem_at!(ptr, delta, i);
+                    // SAFETY: in-row subgrid write, covered by the row
+                    // bounds proof over the declared deltas (BV003).
+                    unsafe { *m = if cv[i] != 0.0 { tv[i] } else { ev[i] } };
                 }
             }
+        }
+    }
+}
+
+/// Unit tests that drive the unsafe row executors directly on hand-built
+/// buffers — the `miri_` prefix is what CI's Miri pass filters on, backing
+/// the SAFETY comments above with an actual aliasing/UB check of every
+/// raw-pointer path (scalar unchecked, scalar checked, chunked block-move,
+/// chunked strided, predicated store).
+#[cfg(test)]
+mod unsafe_row_tests {
+    use super::*;
+    use hpf_ir::expr::CmpOp;
+
+    fn arrs_of(bufs: &mut [Vec<f64>]) -> Vec<(*mut f64, usize)> {
+        bufs.iter_mut().map(|b| (b.as_mut_ptr(), b.len())).collect()
+    }
+
+    #[test]
+    fn miri_run_row_unchecked_and_checked_match() {
+        let mut bufs = vec![vec![0.0f64; 16], (0..16).map(|i| i as f64).collect::<Vec<_>>()];
+        let ops = [
+            Op::Load { dst: 0, arr: 1, delta: -1 },
+            Op::BinImmR { op: BinOp::Add, dst: 1, a: 0, v: 10.0 },
+            Op::Store { arr: 0, delta: 0, src: 1 },
+        ];
+        let mut regs = [0.0f64; 2];
+        {
+            let arrs = arrs_of(&mut bufs);
+            // Points 1..=14: every access (delta -1..0) stays in [0, 16).
+            // SAFETY: regs/slots < 2; min index 0, max index 14 < 16.
+            unsafe { run_row::<false>(&ops, &arrs, &mut regs, 1, 7, 1) };
+            // SAFETY: same contract; the checked variant asserts per access.
+            unsafe { run_row::<true>(&ops, &arrs, &mut regs, 8, 7, 1) };
+        }
+        for (i, &v) in bufs[0].iter().enumerate().take(15).skip(1) {
+            assert_eq!(v, (i - 1) as f64 + 10.0, "point {i}");
+        }
+        assert_eq!(bufs[0][0], 0.0);
+        assert_eq!(bufs[0][15], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn miri_checked_row_panics_like_the_interpreter() {
+        let mut bufs = vec![vec![0.0f64; 8]];
+        let ops = [Op::Const { dst: 0, v: 1.0 }, Op::Store { arr: 0, delta: 0, src: 0 }];
+        let mut regs = [0.0f64; 1];
+        let arrs = arrs_of(&mut bufs);
+        // SAFETY: regs/slots in range; CHECKED = true asserts every index,
+        // so the out-of-range fourth point panics instead of writing.
+        unsafe { run_row::<true>(&ops, &arrs, &mut regs, 5, 4, 1) };
+    }
+
+    #[test]
+    fn miri_chunked_row_contiguous_and_strided() {
+        // 40 points: a full 32-lane chunk plus an 8-point tail, once with
+        // step 1 (memcpy-style block moves) and once with step 2 (per-lane
+        // loops), both against the same scalar recurrence.
+        const N: usize = 96;
+        let mut bufs =
+            vec![vec![0.0f64; N], (0..N).map(|i| ((i * i) % 37) as f64).collect::<Vec<_>>()];
+        let ops = [
+            Op::Load { dst: 0, arr: 1, delta: 0 },
+            Op::BinImmR { op: BinOp::Mul, dst: 1, a: 0, v: 3.0 },
+            Op::Store { arr: 0, delta: 0, src: 1 },
+        ];
+        let mut strips = vec![0.0f64; 2 * LANES];
+        {
+            let arrs = arrs_of(&mut bufs);
+            // SAFETY: regs/slots < 2; step-1 indices span [0, 40) and
+            // step-2 indices span [40, 95), all < 96; `strips` holds
+            // 2 registers x LANES lanes; stores and loads hit different
+            // arrays, so chunking is alias-free.
+            unsafe { run_row_vec(&ops, &arrs, &mut strips, 0, 40, 1) };
+            // SAFETY: same contract, step-2 half.
+            unsafe { run_row_vec(&ops, &arrs, &mut strips, 40, 28, 2) };
+        }
+        for (i, &v) in bufs[0].iter().enumerate().take(40) {
+            assert_eq!(v, 3.0 * (((i * i) % 37) as f64), "step-1 point {i}");
+        }
+        for k in 0..28usize {
+            let i = 40 + 2 * k;
+            assert_eq!(bufs[0][i], 3.0 * (((i * i) % 37) as f64), "step-2 point {k}");
+        }
+    }
+
+    #[test]
+    fn miri_chunked_predicated_store_lanes() {
+        // WHERE (x > 20) x = -x through the chunked SelStore path; the
+        // store's delta equals the load's, so per-lane locations coincide
+        // (diff 0) and chunking is admissible.
+        const N: usize = 40;
+        let mut bufs = vec![(0..N).map(|i| i as f64).collect::<Vec<f64>>()];
+        let ops = [
+            Op::Load { dst: 0, arr: 0, delta: 0 },
+            Op::CmpImmR { op: CmpOp::Gt, dst: 1, a: 0, v: 20.0 },
+            Op::Neg { dst: 2, src: 0 },
+            Op::SelStore { arr: 0, delta: 0, c: 1, t: 2, e: 0 },
+        ];
+        let mut strips = vec![0.0f64; 3 * LANES];
+        {
+            let arrs = arrs_of(&mut bufs);
+            // SAFETY: regs < 3, one slot; indices span [0, N); strips holds
+            // 3 registers x LANES lanes.
+            unsafe { run_row_vec(&ops, &arrs, &mut strips, 0, N as i64, 1) };
+        }
+        for (i, &v) in bufs[0].iter().enumerate() {
+            let want = if i as f64 > 20.0 { -(i as f64) } else { i as f64 };
+            assert_eq!(v, want, "point {i}");
         }
     }
 }

@@ -396,6 +396,11 @@ impl<'k> Planner<'k> {
         machine.reset_stats();
         let node = &self.kernel.compiled.node;
         let mut exec_cfg = self.exec_cfg;
+        // The pipeline's `check_invariants` option (on by default in debug
+        // builds) promotes the plan to a checked build: communication plans
+        // are prevalidated and the static verifiers (BV*/PL*) fail hard
+        // instead of demoting rejected kernels and windows.
+        exec_cfg.check = exec_cfg.check || self.kernel.compiled.options.check_invariants;
         // Split-phase overlap is gated on the static halo-safety lints:
         // only a kernel whose offset reads are all proven covered (HS001)
         // and within the halo (HS002) may compute its interior while halo
@@ -499,6 +504,23 @@ impl Plan<'_> {
     /// Number of distinct communication schedules compiled at build time.
     pub fn comm_count(&self) -> usize {
         self.exec.comm_count()
+    }
+
+    /// Split-phase overlap windows one step executes (zero unless the plan
+    /// was built for [`Engine::ThreadedOverlap`] and kept its windows
+    /// through lint gating and verification).
+    pub fn overlap_windows_per_step(&self) -> u64 {
+        self.exec.overlap_windows_per_step()
+    }
+
+    /// Run the static verifiers over the built plan — the bytecode
+    /// verifier's `BV*` obligations on every compiled kernel and the race
+    /// checker's `PL*` obligations on every overlap window — and return
+    /// the diagnostics (empty = machine-checked safe). `ExecPlan::build`
+    /// already enforces this in debug/checked builds; this re-runs it for
+    /// observation, e.g. behind `hpfsc --verify`.
+    pub fn verify_static(&self) -> Vec<hpf_ir::Diagnostic> {
+        self.exec.verify()
     }
 
     /// Bytes held by the pooled message buffers (allocated once at build).

@@ -8,14 +8,15 @@
 //! ```text
 //! hpfsc [FILE] [--stage original|offset|partition|unioning|full]
 //!              [--emit ir|node|stats|diag-json] [--lint] [--deny-warnings]
-//!              [--run] [--grid RxC] [--halo W]
+//!              [--verify] [--run] [--grid RxC] [--halo W]
 //!              [--engine seq|threaded|threaded-overlap|interp|bytecode|...]
 //!              [--trace[=FILE]]
 //!              [--print-input NAME[:N]] [--naive] [--drop-shift K]
 //! ```
 //!
 //! Exit codes: 0 success; 1 compile, run, or I/O failure; 2 usage error;
-//! 3 lint warnings under `--deny-warnings`; 4 lint errors.
+//! 3 lint warnings under `--deny-warnings`; 4 lint errors; 5 static
+//! verification failure under `--verify`.
 
 use hpf_core::analysis;
 use hpf_core::baselines::naive;
@@ -36,6 +37,12 @@ options:
   --lint                run the static analyzer (HS/CU/DF/FP lints) and
                         report diagnostics with source spans
   --deny-warnings       exit 3 when linting reports any warning
+  --verify              machine-check the compiled program: run the
+                        bytecode verifier (BV001-BV004) over every per-PE
+                        kernel and the plan-level race checker
+                        (PL001-PL003) over every overlap window of a
+                        threaded-overlap-bytecode plan on the --grid
+                        machine; print any diagnostics, exit 5 on failure
   --run                 execute on the simulated machine, verified against
                         the reference interpreter
   --grid RxC            PE grid for --run (default: 2x2)
@@ -63,7 +70,8 @@ options:
   --help, -h            show this help
 
 exit codes: 0 success, 1 compile/run/IO failure, 2 usage error,
-            3 lint warnings under --deny-warnings, 4 lint errors";
+            3 lint warnings under --deny-warnings, 4 lint errors,
+            5 static verification failure under --verify";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("hpfsc: {msg}");
@@ -95,6 +103,7 @@ fn main() {
     let mut emit: Option<Vec<String>> = None;
     let mut lint = false;
     let mut deny_warnings = false;
+    let mut verify = false;
     let mut run = false;
     let mut grid: Vec<usize> = vec![2, 2];
     let mut halo = 1usize;
@@ -129,6 +138,7 @@ fn main() {
             }
             "--lint" => lint = true,
             "--deny-warnings" => deny_warnings = true,
+            "--verify" => verify = true,
             "--run" => run = true,
             "--grid" => {
                 let g = args.next().unwrap_or_else(|| usage_error("--grid needs an argument"));
@@ -259,6 +269,47 @@ fn main() {
 
     if lint && !want_diag_json && !diags.is_empty() {
         eprint!("{}", analysis::render_text(&diags));
+    }
+
+    if verify {
+        // Verify the most aggressive configuration regardless of --engine:
+        // overlap windows give the race checker (PL001-PL003) something to
+        // prove and compiled bytecode kernels give the bytecode verifier
+        // (BV001-BV004) something to prove. An unchecked build cannot be
+        // rejected at build time, so every diagnostic reaches the report.
+        let vcfg = ExecConfig::new()
+            .engine(hpf_core::Engine::ThreadedOverlap)
+            .backend(Backend::Bytecode)
+            .check_invariants(false);
+        let mcfg = MachineConfig::with_grid(grid.clone()).halo(halo);
+        match kernel.plan(mcfg).config(vcfg).build() {
+            Ok(plan) => {
+                let vdiags = plan.verify_static();
+                if vdiags.is_empty() {
+                    println!(
+                        "! verified: {} per-PE kernels, {} overlap windows per step \
+                         ({:?} grid)",
+                        grid.iter().product::<usize>(),
+                        plan.overlap_windows_per_step(),
+                        grid
+                    );
+                } else {
+                    eprint!("{}", analysis::render_text(&vdiags));
+                    exit(5)
+                }
+            }
+            // A checked build (debug default) rejects an unverifiable plan
+            // inside `build` instead of returning it; that is still a
+            // verification failure, not an I/O or machine error.
+            Err(hpf_core::CoreError::Runtime(hpf_core::RtError::VerificationFailed { report })) => {
+                eprintln!("{report}");
+                exit(5)
+            }
+            Err(e) => {
+                eprintln!("hpfsc: --verify: cannot build plan: {e}");
+                exit(1)
+            }
+        }
     }
 
     if run {

@@ -39,6 +39,7 @@ pub use api::{CoreError, Kernel, OracleRunner, Plan, Planner, Run, Runner};
 
 pub use hpf_analysis as analysis;
 pub use hpf_baselines as baselines;
+pub use hpf_codegen as codegen;
 pub use hpf_exec as exec;
 pub use hpf_frontend as frontend;
 pub use hpf_ir as ir;

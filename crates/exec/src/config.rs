@@ -141,14 +141,30 @@ impl ExecConfig {
             rest => match rest.strip_prefix('-').unwrap_or(rest) {
                 "interp" => Ok(cfg.backend(Backend::Interp)),
                 "bytecode" => Ok(cfg.backend(Backend::Bytecode)),
-                _ => Err(format!(
-                    "unknown engine spec '{spec}' (valid: seq, threaded, threaded-overlap, \
-                 interp, bytecode, or engine-backend pairs like seq-bytecode, \
-                 threaded-interp, threaded-overlap-bytecode)"
+                _ => Err(unknown_value(
+                    "engine",
+                    spec,
+                    &[
+                        "seq",
+                        "threaded",
+                        "threaded-overlap",
+                        "interp",
+                        "bytecode",
+                        "engine-backend pairs like seq-bytecode, threaded-interp, \
+                         threaded-overlap-bytecode",
+                    ],
                 )),
             },
         }
     }
+}
+
+/// Render the one unknown-CLI-value error every driver prints the same way:
+/// `unknown <flag> '<value>' (valid: a, b, c)`. Shared by
+/// [`ExecConfig::from_cli_str`], `hpfsc`, and the bench drivers so the
+/// "choices are…" list is spelled once.
+pub fn unknown_value(flag: &str, value: &str, choices: &[&str]) -> String {
+    format!("unknown {flag} '{value}' (valid: {})", choices.join(", "))
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ pub mod config;
 pub mod nest;
 pub mod par;
 pub mod plan;
+pub mod plan_verify;
 pub mod reference;
 pub mod seq;
 mod validate;

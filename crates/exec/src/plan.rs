@@ -38,9 +38,11 @@ use std::collections::HashMap;
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
 /// One step-program item: like `NodeItem`, but communication ops are slots
-/// into the plan's compiled-schedule table.
+/// into the plan's compiled-schedule table. Crate-visible so the
+/// [`crate::plan_verify`] race checker can walk and (in its mutation tests)
+/// corrupt the step program.
 #[derive(Debug)]
-enum PlanItem {
+pub(crate) enum PlanItem {
     /// Execute the compiled schedule at this slot.
     Comm(usize),
     /// Run a subgrid loop nest on every PE, through the per-PE compiled
@@ -86,8 +88,8 @@ enum PlanItem {
 /// bytecode [`Backend`]), and a step program that reuses them all.
 #[derive(Debug)]
 pub struct ExecPlan {
-    items: Vec<PlanItem>,
-    scheds: Vec<CompiledComm>,
+    pub(crate) items: Vec<PlanItem>,
+    pub(crate) scheds: Vec<CompiledComm>,
     scalars: Vec<f64>,
     /// The engine [`ExecPlan::step`] dispatches to, fixed at build time.
     engine: Engine,
@@ -159,6 +161,16 @@ impl ExecPlan {
         if cfg.engine == Engine::ThreadedOverlap {
             let items = std::mem::take(&mut plan.items);
             plan.items = fuse_windows(machine, items, &plan.scheds);
+        }
+        // Static verification (BV* kernel obligations, PL* plan-level
+        // races): always in debug builds, and on demand via `cfg.check`.
+        // Checked builds fail hard; otherwise a rejected kernel falls back
+        // to the interpreter and a rejected window to the blocking path —
+        // the counters below then describe the demoted plan.
+        if cfg.check || cfg!(debug_assertions) {
+            crate::plan_verify::enforce(&mut plan.items, &plan.scheds, cfg.check)?;
+        }
+        if cfg.engine == Engine::ThreadedOverlap {
             let (windows, interior, boundary) = count_overlap(&plan.items);
             plan.overlap_windows_per_step = windows;
             plan.interior_cells_per_step = interior;

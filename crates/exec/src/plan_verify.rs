@@ -1,0 +1,504 @@
+//! The plan-level race checker: a happens-before analysis over the step
+//! program that machine-checks the split-phase overlap engine's ordering
+//! assumptions before any worker thread runs.
+//!
+//! For every [Overlap window](crate::plan::PlanItem::Overlap) the checker
+//! reconstructs the per-PE event chain the overlapped engine executes —
+//! post (with dependency-barrier drains), pre-drain, interior sweep, quiet
+//! drain of in-flight receives, boundary strips — and verifies three
+//! obligations, each reported as a standard `Diagnostic`:
+//!
+//! - **PL001 — interior/receive disjointness.** On every split PE, no
+//!   receive left in flight across the interior sweep may write a cell the
+//!   interior reads. The read set is the interior box expanded by the
+//!   nest's per-dimension read radii, re-derived here from the unit body's
+//!   load/store offsets (not taken from the fuser); the write set is each
+//!   in-flight schedule's cross-PE unpack regions. Geometric
+//!   [`regions_intersect`] decides. An in-flight message sits in the stash
+//!   until drained, so the hazard is staleness: the interior would consume
+//!   pre-exchange ghost values the post-interior drain then overwrites.
+//! - **PL002 — drain order under corner forwarding.** When schedule `c`'s
+//!   sends read ghost cells an earlier schedule `e`'s receives write
+//!   ([`CompiledComm::depends_on`]), `e` must be fully drained before `c`
+//!   posts — i.e. some dependency barrier must fire in between. Posting
+//!   `c` early would pack stale corner values.
+//! - **PL003 — buffer-pool aliasing.** A schedule's pooled message buffers
+//!   are single-occupancy: the same schedule slot must not be posted again
+//!   while a previous post is still in flight (no barrier in between).
+//!
+//! Blocking items need no checking — a plain [`PlanItem::Comm`] completes
+//! before the next item starts, and non-split PEs inside a window drain
+//! everything before their nest. The checker is wired into
+//! [`ExecPlan::build`](crate::ExecPlan::build) together with the bytecode
+//! verifier (`hpf_codegen::verify`): debug and checked builds verify every
+//! plan; checked builds fail hard on any diagnostic, unchecked builds
+//! demote the offending kernel to the interpreter or the offending window
+//! to the blocking comm-then-nest path.
+
+use crate::plan::{ExecPlan, PlanItem};
+use hpf_ir::diag::Diagnostic;
+use hpf_passes::loopir::{Instr, LoopNest};
+use hpf_runtime::schedule::{regions_intersect, CommAction};
+use hpf_runtime::{CompiledComm, RtError};
+
+/// An Overlap window's interior sweep may read a cell an in-flight receive
+/// writes.
+pub const PL001: &str = "PL001";
+/// A schedule posts before a schedule it depends on (corner forwarding)
+/// has drained.
+pub const PL002: &str = "PL002";
+/// A schedule's pooled buffers are posted again while still in flight.
+pub const PL003: &str = "PL003";
+
+impl ExecPlan {
+    /// Run the plan-level race checker over the whole step program,
+    /// returning every violated obligation (empty = the plan's overlap
+    /// windows are proven race-free). Kernel-level (`BV*`) obligations are
+    /// covered separately by `CompiledNest::verify`; [`ExecPlan::verify`]
+    /// reports both families.
+    pub fn verify(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        verify_items(&self.items, &self.scheds, &mut out);
+        for item in &self.items {
+            collect_kernel_diags(item, &mut out);
+        }
+        out
+    }
+
+    /// Corrupt the first window that has a dependency barrier by clearing
+    /// all its barriers — the drain-reorder fault for the mutation-kill
+    /// suite (PL002). Returns `false` when the plan has no such window.
+    #[doc(hidden)]
+    pub fn corrupt_clear_barriers(&mut self) -> bool {
+        // The recursive `if walk(body)` cannot become a match guard:
+        // guards only get a shared borrow and `walk` mutates.
+        #[allow(clippy::collapsible_match)]
+        fn walk(items: &mut [PlanItem]) -> bool {
+            for item in items {
+                match item {
+                    PlanItem::Overlap { barriers, .. } if barriers.contains(&true) => {
+                        barriers.iter_mut().for_each(|b| *b = false);
+                        return true;
+                    }
+                    PlanItem::TimeLoop { body, .. } => {
+                        if walk(body) {
+                            return true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        walk(&mut self.items)
+    }
+
+    /// Corrupt the first window that overlaps anything by widening every
+    /// split PE's interior box, so the interior sweep reads cells the
+    /// in-flight receives write (PL001). Returns `false` when no window
+    /// keeps a receive in flight.
+    #[doc(hidden)]
+    pub fn corrupt_widen_interior(&mut self) -> bool {
+        // See corrupt_clear_barriers on why this is not a match guard.
+        #[allow(clippy::collapsible_match)]
+        fn walk(items: &mut [PlanItem]) -> bool {
+            for item in items {
+                match item {
+                    PlanItem::Overlap { pre_drain, splits, .. }
+                        if pre_drain.contains(&false) && splits.iter().any(|s| s.is_some()) =>
+                    {
+                        for split in splits.iter_mut().flatten() {
+                            for r in &mut split.interior {
+                                r.0 -= 8;
+                                r.1 += 8;
+                            }
+                        }
+                        return true;
+                    }
+                    PlanItem::TimeLoop { body, .. } => {
+                        if walk(body) {
+                            return true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        walk(&mut self.items)
+    }
+
+    /// Corrupt the first window by posting its first schedule twice with no
+    /// barrier in between — the buffer-pool aliasing fault (PL003).
+    /// Returns `false` when the plan has no window.
+    #[doc(hidden)]
+    pub fn corrupt_duplicate_post(&mut self) -> bool {
+        // See corrupt_clear_barriers on why this is not a match guard.
+        #[allow(clippy::collapsible_match)]
+        fn walk(items: &mut [PlanItem]) -> bool {
+            for item in items {
+                match item {
+                    PlanItem::Overlap { comms, barriers, pre_drain, .. } if !comms.is_empty() => {
+                        comms.insert(1, comms[0]);
+                        barriers.insert(1, false);
+                        pre_drain.insert(1, pre_drain[0]);
+                        return true;
+                    }
+                    PlanItem::TimeLoop { body, .. } => {
+                        if walk(body) {
+                            return true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        walk(&mut self.items)
+    }
+}
+
+/// Kernel-level (`BV*`) diagnostics of every compiled kernel in the item
+/// tree, annotated with the owning PE.
+fn collect_kernel_diags(item: &PlanItem, out: &mut Vec<Diagnostic>) {
+    match item {
+        PlanItem::Nest { kernels, .. } | PlanItem::Overlap { kernels, .. } => {
+            for (pe, kernel) in kernels.iter().enumerate() {
+                if let Some(k) = kernel {
+                    out.extend(
+                        k.verify().into_iter().map(|d| d.note(format!("kernel for PE {pe}"))),
+                    );
+                }
+            }
+        }
+        PlanItem::TimeLoop { body, .. } => {
+            for item in body {
+                collect_kernel_diags(item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Walk the item tree checking every Overlap window.
+fn verify_items(items: &[PlanItem], scheds: &[CompiledComm], out: &mut Vec<Diagnostic>) {
+    for (w, item) in items.iter().enumerate() {
+        match item {
+            PlanItem::Overlap { comms, barriers, pre_drain, nest, splits, .. } => {
+                verify_window(w, comms, barriers, pre_drain, nest, splits, scheds, out);
+            }
+            PlanItem::TimeLoop { body, .. } => verify_items(body, scheds, out),
+            _ => {}
+        }
+    }
+}
+
+/// The per-dimension read radii of the nest's semantic unit body: how far
+/// outside the iteration box its loads and stores reach. Re-derived from
+/// the instruction stream, independently of the fuser's copy.
+fn read_radii(nest: &LoopNest) -> (Vec<i64>, Vec<i64>) {
+    let unit = nest.unroll.as_ref().map_or(&nest.body, |u| &u.unit_body);
+    let rank = nest.order.len();
+    let (mut lo, mut hi) = (vec![0i64; rank], vec![0i64; rank]);
+    for i in unit {
+        if let Instr::Load { offsets, .. } | Instr::Store { offsets, .. } = i {
+            for (d, &o) in offsets.iter().enumerate() {
+                lo[d] = lo[d].max(-o);
+                hi[d] = hi[d].max(o);
+            }
+        }
+    }
+    (lo, hi)
+}
+
+/// Check one Overlap window's happens-before obligations (PL001–PL003).
+#[allow(clippy::too_many_arguments)]
+fn verify_window(
+    w: usize,
+    comms: &[usize],
+    barriers: &[bool],
+    pre_drain: &[bool],
+    nest: &LoopNest,
+    splits: &[Option<hpf_analysis::overlap::RegionSplit>],
+    scheds: &[CompiledComm],
+    out: &mut Vec<Diagnostic>,
+) {
+    if barriers.len() != comms.len() || pre_drain.len() != comms.len() {
+        out.push(Diagnostic::error(
+            PL002,
+            format!(
+                "window {w}: malformed event tables ({} comms, {} barriers, {} pre-drains)",
+                comms.len(),
+                barriers.len(),
+                pre_drain.len()
+            ),
+        ));
+        return;
+    }
+
+    // A barrier at post `j` drains everything still pending, so the post of
+    // `comms[e]` happens-before the post of `comms[ci]` *with a drain in
+    // between* iff some barrier fires in (e, ci].
+    let drained_between = |e: usize, ci: usize| barriers[e + 1..=ci].iter().any(|&b| b);
+
+    for ci in 0..comms.len() {
+        for e in 0..ci {
+            // PL002: dependency order. `depends_on` is the corner-forwarding
+            // relation — comms[ci]'s sends pack ghost cells comms[e]'s
+            // receives write.
+            if scheds[comms[ci]].depends_on(&scheds[comms[e]]) && !drained_between(e, ci) {
+                out.push(Diagnostic::error(
+                    PL002,
+                    format!(
+                        "window {w}: schedule {} posts before schedule {} it depends on \
+                         has drained — its sends would pack stale corner values",
+                        comms[ci], comms[e]
+                    ),
+                ));
+            }
+            // PL003: single-occupancy pooled buffers.
+            if comms[ci] == comms[e] && !drained_between(e, ci) {
+                out.push(Diagnostic::error(
+                    PL003,
+                    format!(
+                        "window {w}: schedule {} is posted at positions {e} and {ci} with no \
+                         drain in between — its pooled message buffers would be aliased",
+                        comms[ci]
+                    ),
+                ));
+            }
+        }
+    }
+
+    // PL001: on every split PE, every receive still in flight across the
+    // interior sweep must be disjoint from the cells the interior reads.
+    let (read_lo, read_hi) = read_radii(nest);
+    for (pe, split) in splits.iter().enumerate() {
+        let Some(split) = split else { continue };
+        if split.interior.len() != read_lo.len() {
+            out.push(Diagnostic::error(
+                PL001,
+                format!(
+                    "window {w}: PE {pe} interior rank {} != nest rank {}",
+                    split.interior.len(),
+                    read_lo.len()
+                ),
+            ));
+            continue;
+        }
+        let read: Vec<(i64, i64)> = split
+            .interior
+            .iter()
+            .enumerate()
+            .map(|(d, &(l, h))| (l - read_lo[d], h + read_hi[d]))
+            .collect();
+        for (ci, &slot) in comms.iter().enumerate() {
+            if pre_drain[ci] {
+                continue;
+            }
+            for action in &scheds[slot].actions {
+                let CommAction::Transfer(t) = action else { continue };
+                if t.dst_pe == pe && t.src_pe != pe && regions_intersect(&read, &t.dst_local) {
+                    out.push(Diagnostic::error(
+                        PL001,
+                        format!(
+                            "window {w}: PE {pe} interior sweep reads cells schedule {slot}'s \
+                             in-flight receive writes (unpack region {:?} vs read box {:?}) — \
+                             the interior would consume stale ghost values",
+                            t.dst_local, read
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Enforcement behind [`ExecPlan::build`](crate::ExecPlan::build): verify
+/// every compiled kernel (`BV*`) and every Overlap window (`PL*`). With
+/// `checked` set, any diagnostic aborts the build with
+/// [`RtError::VerificationFailed`]; otherwise each rejected kernel falls
+/// back to the interpreter (`kernels[pe] = None`) and each rejected window
+/// is demoted to the blocking comm-then-nest sequence, leaving a plan that
+/// verifies clean.
+pub(crate) fn enforce(
+    items: &mut Vec<PlanItem>,
+    scheds: &[CompiledComm],
+    checked: bool,
+) -> Result<(), RtError> {
+    let mut report = Vec::new();
+    demote_items(items, scheds, checked, &mut report);
+    if checked && !report.is_empty() {
+        let report =
+            report.iter().map(|d| format!("{}: {}", d.code, d.message)).collect::<Vec<_>>();
+        return Err(RtError::VerificationFailed { report: report.join("\n") });
+    }
+    Ok(())
+}
+
+fn demote_items(
+    items: &mut Vec<PlanItem>,
+    scheds: &[CompiledComm],
+    checked: bool,
+    report: &mut Vec<Diagnostic>,
+) {
+    let old = std::mem::take(items);
+    for mut item in old {
+        // Kernel obligations first: a demoted window keeps its kernels, so
+        // they must hold either way.
+        if let PlanItem::Nest { kernels, .. } | PlanItem::Overlap { kernels, .. } = &mut item {
+            for (pe, kernel) in kernels.iter_mut().enumerate() {
+                let Some(k) = kernel else { continue };
+                let diags = k.verify();
+                if !diags.is_empty() {
+                    report.extend(diags.into_iter().map(|d| d.note(format!("kernel for PE {pe}"))));
+                    if !checked {
+                        *kernel = None; // fall back to the interpreter
+                    }
+                }
+            }
+        }
+        match item {
+            PlanItem::Overlap { comms, barriers, pre_drain, nest, kernels, splits } => {
+                let mut diags = Vec::new();
+                verify_window(
+                    items.len(),
+                    &comms,
+                    &barriers,
+                    &pre_drain,
+                    &nest,
+                    &splits,
+                    scheds,
+                    &mut diags,
+                );
+                if diags.is_empty() {
+                    items.push(PlanItem::Overlap {
+                        comms,
+                        barriers,
+                        pre_drain,
+                        nest,
+                        kernels,
+                        splits,
+                    });
+                } else {
+                    report.extend(diags);
+                    if !checked {
+                        // Blocking demotion: each schedule completes before
+                        // the next item starts, so every PL* hazard is
+                        // structurally gone.
+                        items.extend(comms.into_iter().map(PlanItem::Comm));
+                        items.push(PlanItem::Nest { nest, kernels });
+                    }
+                }
+            }
+            PlanItem::TimeLoop { iters, mut body } => {
+                demote_items(&mut body, scheds, checked, report);
+                items.push(PlanItem::TimeLoop { iters, body });
+            }
+            other => items.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::config::{Engine, ExecConfig};
+    use hpf_frontend::compile_source;
+    use hpf_passes::{compile, CompileOptions, Stage};
+    use hpf_runtime::{Machine, MachineConfig};
+
+    const JACOBI16: &str = r#"
+PARAM N = 16
+REAL U(N,N), T(N,N)
+REAL C = 0.25
+T = C * (CSHIFT(U,1,1) + CSHIFT(U,-1,1) + CSHIFT(U,1,2) + CSHIFT(U,-1,2))
+U = T
+"#;
+
+    /// 9-point stencil (the paper's problem 9): the diagonal neighbors go
+    /// through shifted temporaries, so the fused window's schedules forward
+    /// corners and carry dependency barriers.
+    const NINE_POINT16: &str = r#"
+PARAM N = 16
+REAL U(N,N), T(N,N), RIP(N,N), RIN(N,N)
+RIP = CSHIFT(U,SHIFT=+1,DIM=1)
+RIN = CSHIFT(U,SHIFT=-1,DIM=1)
+T = U + RIP + RIN + CSHIFT(U,-1,2) + CSHIFT(U,1,2) + CSHIFT(RIP,-1,2) + CSHIFT(RIP,1,2) + CSHIFT(RIN,-1,2) + CSHIFT(RIN,1,2)
+U = T
+"#;
+
+    fn overlapped_plan(src: &str) -> (Machine, ExecPlan) {
+        let checked = compile_source(src).unwrap();
+        let compiled = compile(&checked, CompileOptions::upto(Stage::MemOpt));
+        let u = checked.symbols.lookup_array("U").unwrap();
+        let mut m = Machine::new(MachineConfig::with_grid(vec![2, 2]));
+        m.alloc(u, checked.symbols.array(u)).unwrap();
+        m.fill(u, |p| ((p[0] * 31 + p[1] * 7) as f64).sin());
+        let cfg = ExecConfig::new().engine(Engine::ThreadedOverlap).backend(Backend::Bytecode);
+        let plan = ExecPlan::build(&mut m, &compiled.node, &cfg).unwrap();
+        (m, plan)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn compiler_built_plans_verify_clean() {
+        for src in [JACOBI16, NINE_POINT16] {
+            let (_, plan) = overlapped_plan(src);
+            assert!(plan.overlap_windows_per_step() > 0, "fixture must fuse a window");
+            assert!(plan.verify().is_empty(), "{:?}", plan.verify());
+        }
+    }
+
+    #[test]
+    fn cleared_barriers_trip_pl002() {
+        let (_, mut plan) = overlapped_plan(NINE_POINT16);
+        assert!(plan.corrupt_clear_barriers(), "9-point window must carry barriers");
+        let d = plan.verify();
+        assert!(codes(&d).contains(&PL002), "{d:?}");
+    }
+
+    #[test]
+    fn widened_interior_trips_pl001() {
+        let (_, mut plan) = overlapped_plan(JACOBI16);
+        assert!(plan.corrupt_widen_interior());
+        let d = plan.verify();
+        assert!(codes(&d).contains(&PL001), "{d:?}");
+    }
+
+    #[test]
+    fn duplicate_post_trips_pl003() {
+        let (_, mut plan) = overlapped_plan(JACOBI16);
+        assert!(plan.corrupt_duplicate_post());
+        let d = plan.verify();
+        assert!(codes(&d).contains(&PL003), "{d:?}");
+    }
+
+    #[test]
+    fn checked_build_rejects_corrupted_kernel_via_enforce() {
+        // Corrupt a window, then re-run enforcement in unchecked mode: the
+        // window is demoted to blocking and the plan verifies clean again.
+        let (_, mut plan) = overlapped_plan(JACOBI16);
+        assert!(plan.corrupt_widen_interior());
+        assert!(!plan.verify().is_empty());
+        let items = &mut plan.items;
+        let scheds = &plan.scheds;
+        enforce(items, scheds, false).unwrap();
+        assert!(plan.verify().is_empty(), "{:?}", plan.verify());
+
+        // Checked enforcement on a corrupted plan fails hard.
+        let (_, mut plan) = overlapped_plan(JACOBI16);
+        assert!(plan.corrupt_duplicate_post());
+        let items = &mut plan.items;
+        let scheds = &plan.scheds;
+        let err = enforce(items, scheds, true).unwrap_err();
+        let RtError::VerificationFailed { report } = err else {
+            panic!("expected VerificationFailed")
+        };
+        assert!(report.contains(PL003), "{report}");
+    }
+}

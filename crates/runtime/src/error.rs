@@ -39,6 +39,13 @@ pub enum RtError {
         /// Array rank.
         array: usize,
     },
+    /// The static verifiers rejected a compiled kernel or execution plan in
+    /// a checked build (`BV*` bytecode diagnostics, `PL*` plan-level race
+    /// diagnostics). The report carries one line per violated obligation.
+    VerificationFailed {
+        /// Rendered diagnostics, one `CODE: message` line each.
+        report: String,
+    },
 }
 
 impl fmt::Display for RtError {
@@ -55,6 +62,9 @@ impl fmt::Display for RtError {
             RtError::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
             RtError::RankMismatch { machine, array } => {
                 write!(f, "machine grid rank {machine} != array rank {array}")
+            }
+            RtError::VerificationFailed { report } => {
+                write!(f, "static verification failed:\n{report}")
             }
         }
     }
