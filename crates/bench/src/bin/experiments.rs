@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen|overlap|trace|fig7to10|fuzz]
+//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen|overlap|trace|tune|fig7to10|fuzz]
 //!             [--n SIZE] [--sizes a,b,c] [--steps K]
 //!             [--engine seq|threaded|threaded-overlap] [--json]
 //! ```
@@ -13,7 +13,10 @@
 //! engine (defaulting to N in {128, 512, 2048}) and writes
 //! `BENCH_overlap.json`. `--exp trace` runs Problem 9 traced under every
 //! engine, attributes step time to compute/pack/send/drain/boundary from
-//! the recorded spans, and writes `BENCH_trace.json`.
+//! the recorded spans, and writes `BENCH_trace.json`. `--exp tune` compares
+//! the auto-tuner's pick against the default configuration and an
+//! exhaustive search (defaulting to N in {128, 512, 2048}) and writes
+//! `BENCH_tune.json`.
 //!
 //! `--engine` accepts the same specs as `hpfsc` (parsed by
 //! [`ExecConfig::from_cli_str`]): an engine (`seq`, `threaded`,
@@ -39,6 +42,7 @@ const EXPERIMENTS: &[&str] = &[
     "codegen",
     "overlap",
     "trace",
+    "tune",
     "fig7to10",
     "fuzz",
 ];
@@ -171,6 +175,21 @@ fn main() {
             println!("{}", t.render());
         }
         eprintln!("wrote BENCH_trace.json");
+        return;
+    }
+    if args.exp == "tune" {
+        // Tuned vs default vs exhaustive-search config; defaults to the
+        // same headline sizes as the overlap experiment.
+        let sizes: Vec<usize> =
+            if args.sizes_given { args.sizes.clone() } else { vec![128, 512, 2048] };
+        let t = tune(&sizes, args.steps);
+        std::fs::write("BENCH_tune.json", t.to_json() + "\n").expect("write BENCH_tune.json");
+        if args.json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{}", t.render());
+        }
+        eprintln!("wrote BENCH_tune.json");
         return;
     }
     if args.exp == "fig7to10" {

@@ -694,9 +694,128 @@ pub fn scaling(n: usize, engine: Engine) -> Table {
     t
 }
 
+/// Run one tuner candidate as a persistent plan for `steps` steps, returning
+/// (wall ms, gathered output) — the measurement loop of [`tune`].
+fn tune_run(
+    kernel: &Kernel,
+    steps: usize,
+    cfg: MachineConfig,
+    exec: hpf_core::ExecConfig,
+) -> (f64, Vec<f64>) {
+    let mut plan = kernel.plan(cfg).init("U", input).config(exec).build().unwrap();
+    let t0 = std::time::Instant::now();
+    plan.iterate(steps);
+    (t0.elapsed().as_secs_f64() * 1e3, plan.gather("T").unwrap())
+}
+
+/// **Auto-tuning** — the cost-guided search vs the default configuration on
+/// Problem 9, across problem sizes. For each N the tuner (cache disabled, so
+/// every row is a fresh search) picks a configuration by pruning the full
+/// grid × engine × backend × threshold space with the SP-2 cost model and
+/// timing the top-8 survivors; an exhaustive search times *every* buildable
+/// candidate as the reference optimum. Default (`2x2 seq-interp`), tuned,
+/// and exhaustive-best configurations are then re-measured in the same
+/// alternating best-of-reps loop, and the tuned/exhaustive ratio shows how
+/// much the model's pruning gives up (1.000 when both searches agree on the
+/// winner, which is the common case). Final states are verified bitwise
+/// across all three configurations every row.
+pub fn tune(sizes: &[usize], steps: usize) -> Table {
+    const TUNE_REPS: usize = 5;
+    let mut t = Table::new(
+        format!("Auto-tuning — tuned vs default config, Problem 9 ({steps} steps, 4 PEs)"),
+        &[
+            "N",
+            "candidates",
+            "timed",
+            "search [ms]",
+            "default wall [ms]",
+            "tuned wall [ms]",
+            "speedup",
+            "exhaustive wall [ms]",
+            "tuned/exhaustive",
+            "tuned config",
+        ],
+    );
+    for &n in sizes {
+        let kernel = Kernel::compile(&presets::problem9(n), CompileOptions::full()).unwrap();
+        let base = MachineConfig::with_grid(vec![2, 2]).par_threshold(4096);
+        let tuned = kernel.tune(&hpf_core::Tuner::new(base.clone()).no_cache()).unwrap();
+        let exhaustive =
+            kernel.tune(&hpf_core::Tuner::new(base.clone()).no_cache().exhaustive()).unwrap();
+        let same_winner = tuned.best.grid == exhaustive.best.grid
+            && tuned.best.exec_config() == exhaustive.best.exec_config()
+            && tuned.best.par_threshold == exhaustive.best.par_threshold;
+
+        let default_exec = hpf_core::ExecConfig::new();
+        let (mut dw, mut tw, mut ew) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut out: Option<Vec<f64>> = None;
+        for _ in 0..TUNE_REPS {
+            let (w, u) = tune_run(&kernel, steps, base.clone(), default_exec);
+            dw = dw.min(w);
+            let prev = out.replace(u);
+            if let (Some(a), Some(b)) = (prev.as_ref(), out.as_ref()) {
+                assert_eq!(a, b, "configs diverged at N={n}");
+            }
+            let (w, u) = tune_run(
+                &kernel,
+                steps,
+                tuned.best.machine_config(&base),
+                tuned.best.exec_config(),
+            );
+            tw = tw.min(w);
+            assert_eq!(out.as_ref().unwrap(), &u, "tuned config diverged at N={n}");
+            if !same_winner {
+                let (w, u) = tune_run(
+                    &kernel,
+                    steps,
+                    exhaustive.best.machine_config(&base),
+                    exhaustive.best.exec_config(),
+                );
+                ew = ew.min(w);
+                assert_eq!(out.as_ref().unwrap(), &u, "exhaustive config diverged at N={n}");
+            }
+        }
+        if same_winner {
+            ew = tw;
+        }
+        t.row(vec![
+            n.to_string(),
+            exhaustive.candidates.len().to_string(),
+            tuned.timed.to_string(),
+            ms(tuned.search_ns as f64 / 1e6),
+            ms(dw),
+            ms(tw),
+            format!("{:.2}x", dw / tw),
+            ms(ew),
+            format!("{:.3}", tw / ew),
+            tuned.best.label(),
+        ]);
+    }
+    t.note(
+        "tuner: model-probe pruning (one plan build + one step per distinct modeled \
+         configuration) then best-of-3 step timings for the top-8; exhaustive: every \
+         buildable candidate timed; all three configurations re-measured in the same \
+         alternating best-of-5 loop and verified bitwise per row; search time is the \
+         cold tuner wall clock including all probes and timings",
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tune_experiment_beats_or_matches_the_default() {
+        let t = tune(&[24], 2);
+        assert_eq!(t.rows.len(), 1);
+        // 3 grid factorizations of 4 PEs x (seq: 2 + threaded: 4 + overlap: 4).
+        assert_eq!(t.rows[0][1], "30");
+        let timed: usize = t.rows[0][2].parse().unwrap();
+        assert!(timed > 0 && timed <= 8);
+        let ratio: f64 = t.rows[0][8].parse().unwrap();
+        assert!(ratio.is_finite() && ratio > 0.0);
+    }
 
     #[test]
     fn fig11_single_statement_ooms_at_large_sizes() {

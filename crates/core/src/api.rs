@@ -117,9 +117,33 @@ impl Kernel {
         &self.compiled.stats
     }
 
+    /// The deterministic kernel identity the auto-tuner keys its cache by:
+    /// the optimized array-IR listing plus every array's declared shape.
+    /// Problem size, statement structure, and distributions all land in
+    /// this string, so any change to them re-keys the tuning cache
+    /// ([`hpf_tune::fingerprint`] additionally mixes in the machine shape).
+    pub fn tune_seed(&self) -> String {
+        let mut seed = self.listing();
+        for id in self.checked.symbols.array_ids() {
+            let a = self.checked.symbols.array(id);
+            seed.push_str(&format!("|{}{:?}", a.name, a.shape.0));
+        }
+        seed
+    }
+
+    /// Auto-tune this kernel: run `tuner` ([`hpf_tune::Tuner::best`]) over
+    /// the compiled node program, with the split-phase overlap engine
+    /// additionally gated on the kernel's halo-safety lints being clean —
+    /// exactly the gate a manual [`Engine::ThreadedOverlap`] selection gets.
+    pub fn tune(&self, tuner: &hpf_tune::Tuner) -> Result<hpf_tune::TuneOutcome, CoreError> {
+        let allow = tuner.overlap_allowed() && !hpf_analysis::has_errors(&self.lint());
+        let tuner = tuner.clone().allow_overlap(allow);
+        Ok(tuner.best(&self.compiled.node, &self.tune_seed())?)
+    }
+
     /// Start configuring a run of this kernel.
     pub fn runner(&self, config: MachineConfig) -> Runner<'_> {
-        Runner { kernel: self, config, inits: Vec::new(), exec_cfg: ExecConfig::new() }
+        Runner { kernel: self, config, inits: Vec::new(), exec_cfg: ExecConfig::new(), tuner: None }
     }
 
     /// Start configuring a persistent execution plan for this kernel: the
@@ -133,6 +157,7 @@ impl Kernel {
             inits: Vec::new(),
             exec_cfg: ExecConfig::new(),
             swaps: Vec::new(),
+            tuner: None,
         }
     }
 
@@ -241,6 +266,7 @@ pub struct Runner<'k> {
     config: MachineConfig,
     inits: Vec<(String, InitFn)>,
     exec_cfg: ExecConfig,
+    tuner: Option<hpf_tune::Tuner>,
 }
 
 impl Runner<'_> {
@@ -277,6 +303,14 @@ impl Runner<'_> {
         self
     }
 
+    /// Replace the tuner used to resolve [`ExecConfig::auto`] (e.g. to
+    /// point its cache elsewhere). Without this, auto-tuned runs use
+    /// `Tuner::new` over the runner's machine configuration.
+    pub fn tuner(mut self, tuner: hpf_tune::Tuner) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
     /// Execute one sweep. A thin wrapper over the plan API: builds a
     /// [`Plan`] (allocating input arrays first, then the remaining arrays —
     /// respecting the memory budget, which is how Figure 11's exhaustion
@@ -288,6 +322,7 @@ impl Runner<'_> {
             inits: self.inits,
             exec_cfg: self.exec_cfg,
             swaps: Vec::new(),
+            tuner: self.tuner,
         }
         .build()?;
         plan.step();
@@ -334,6 +369,7 @@ pub struct Planner<'k> {
     inits: Vec<(String, InitFn)>,
     exec_cfg: ExecConfig,
     swaps: Vec<(String, String)>,
+    tuner: Option<hpf_tune::Tuner>,
 }
 
 impl<'k> Planner<'k> {
@@ -372,6 +408,14 @@ impl<'k> Planner<'k> {
         self
     }
 
+    /// Replace the tuner used to resolve [`ExecConfig::auto`] (e.g. to
+    /// point its cache elsewhere). Without this, auto-tuned plans use
+    /// `Tuner::new` over the planner's machine configuration.
+    pub fn tuner(mut self, tuner: hpf_tune::Tuner) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
     /// Swap the storage of two identically-distributed arrays after every
     /// step — the zero-copy double-buffer flip for Jacobi-style kernels
     /// whose source computes `b` from `a` without an explicit copy-back.
@@ -385,7 +429,26 @@ impl<'k> Planner<'k> {
     /// compile every communication op into a persistent schedule. All
     /// per-sweep setup cost is paid here, once.
     pub fn build(self) -> Result<Plan<'k>, CoreError> {
-        let mut machine = Machine::new(self.config);
+        let mut config = self.config;
+        let mut exec_cfg = self.exec_cfg;
+        // `ExecConfig::auto`: resolve engine, backend, PE grid, and spawn
+        // threshold through the auto-tuner before the machine exists — the
+        // grid and threshold are machine parameters, so tuning must happen
+        // first. The tuner's cache counters are recorded on the machine
+        // after the stats reset below, so they survive into `Plan::stats`.
+        let mut tuned: Option<(u64, u64, u64)> = None;
+        if exec_cfg.auto {
+            let tuner = self.tuner.clone().unwrap_or_else(|| hpf_tune::Tuner::new(config.clone()));
+            let outcome = self.kernel.tune(&tuner)?;
+            config.grid = hpf_runtime::PeGrid::new(outcome.best.grid.clone());
+            config.par_threshold = outcome.best.par_threshold;
+            exec_cfg.engine = outcome.best.engine;
+            exec_cfg.backend = outcome.best.backend;
+            exec_cfg.auto = false;
+            tuned =
+                Some((outcome.cache_hit as u64, (!outcome.cache_hit) as u64, outcome.search_ns));
+        }
+        let mut machine = Machine::new(config);
         for (name, f) in &self.inits {
             let id = self.kernel.array_id(name)?;
             if !machine.is_allocated(id) {
@@ -395,7 +458,6 @@ impl<'k> Planner<'k> {
         }
         machine.reset_stats();
         let node = &self.kernel.compiled.node;
-        let mut exec_cfg = self.exec_cfg;
         // The pipeline's `check_invariants` option (on by default in debug
         // builds) promotes the plan to a checked build: communication plans
         // are prevalidated and the static verifiers (BV*/PL*) fail hard
@@ -412,6 +474,9 @@ impl<'k> Planner<'k> {
             exec_cfg.engine = Engine::Threaded;
         }
         let exec = ExecPlan::build(&mut machine, node, &exec_cfg)?;
+        if let Some((hits, misses, search_ns)) = tuned {
+            machine.note_tune(hits, misses, search_ns);
+        }
         let mut swaps = Vec::with_capacity(self.swaps.len());
         for (a, b) in &self.swaps {
             let (ia, ib) = (self.kernel.array_id(a)?, self.kernel.array_id(b)?);

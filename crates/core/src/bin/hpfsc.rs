@@ -9,8 +9,8 @@
 //! hpfsc [FILE] [--stage original|offset|partition|unioning|full]
 //!              [--emit ir|node|stats|diag-json] [--lint] [--deny-warnings]
 //!              [--verify] [--run] [--grid RxC] [--halo W]
-//!              [--engine seq|threaded|threaded-overlap|interp|bytecode|...]
-//!              [--trace[=FILE]]
+//!              [--engine seq|threaded|threaded-overlap|interp|bytecode|auto|...]
+//!              [--trace[=FILE]] [--tune[=FILE]]
 //!              [--print-input NAME[:N]] [--naive] [--drop-shift K]
 //! ```
 //!
@@ -51,7 +51,17 @@ options:
                         (seq, threaded, threaded-overlap), a backend
                         (interp, bytecode), or both joined with '-'
                         (e.g. threaded-bytecode, threaded-overlap-bytecode);
+                        'auto' picks grid, engine, backend, and spawn
+                        threshold with the auto-tuner (see --tune);
                         default: seq-interp
+  --tune[=FILE]         auto-tune this kernel on the --grid machine: search
+                        every PE-grid factorization x engine x backend x
+                        spawn threshold, prune with the cost model, time
+                        the best-modeled survivors, print the candidate
+                        table, and persist the winner in FILE (default
+                        .hpf-tune.json); a warm cache skips the search
+                        entirely. With --run, also executes the tuned
+                        configuration (same as --engine auto)
   --trace[=FILE]        record per-PE event spans during --run and print
                         the per-step summary tables (compile passes,
                         per-PE span times, counters); with =FILE also
@@ -110,6 +120,8 @@ fn main() {
     let mut exec_cfg = ExecConfig::new();
     let mut trace_on = false;
     let mut trace_file: Option<String> = None;
+    let mut tune_on = false;
+    let mut tune_file: Option<String> = None;
     let mut naive_mode = false;
     let mut print_input: Option<String> = None;
     let mut drop_shift: Option<usize> = None;
@@ -161,6 +173,7 @@ fn main() {
                     Ok(parsed) => {
                         exec_cfg.engine = parsed.engine;
                         exec_cfg.backend = parsed.backend;
+                        exec_cfg.auto = parsed.auto;
                     }
                     Err(e) => usage_error(&format!("--engine: {e}")),
                 }
@@ -180,6 +193,15 @@ fn main() {
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0)
+            }
+            other if other == "--tune" || other.starts_with("--tune=") => {
+                tune_on = true;
+                if let Some(f) = other.strip_prefix("--tune=") {
+                    if f.is_empty() {
+                        usage_error("--tune= needs a file name");
+                    }
+                    tune_file = Some(f.to_string());
+                }
             }
             other if other == "--trace" || other.starts_with("--trace=") => {
                 trace_on = true;
@@ -312,9 +334,83 @@ fn main() {
         }
     }
 
+    if tune_on {
+        let base = MachineConfig::with_grid(grid.clone()).halo(halo);
+        let mut tuner = hpf_core::Tuner::new(base);
+        if let Some(f) = &tune_file {
+            tuner = tuner.cache_path(f);
+        }
+        match kernel.tune(&tuner) {
+            Ok(out) => {
+                let cache_name = tune_file.as_deref().unwrap_or(hpf_core::tune::DEFAULT_CACHE_FILE);
+                if out.cache_hit {
+                    println!(
+                        "! tune: cache hit in {cache_name} (key {}) — zero candidates timed",
+                        out.fingerprint
+                    );
+                } else {
+                    println!(
+                        "! tune: searched {} candidates, timed {}, {:.1} ms (key {}, cached in {cache_name})",
+                        out.candidates.len(),
+                        out.timed,
+                        out.search_ns as f64 / 1e6,
+                        out.fingerprint
+                    );
+                    println!(
+                        "  {:<10} {:<26} {:>6} {:>12} {:>12}",
+                        "grid", "config", "pts", "modeled ms", "measured ms"
+                    );
+                    for c in &out.candidates {
+                        let modeled = if c.modeled_ms.is_finite() {
+                            format!("{:.4}", c.modeled_ms)
+                        } else {
+                            "build failed".to_string()
+                        };
+                        let measured = match c.measured_ms {
+                            Some(ms) => format!("{ms:.4}"),
+                            None => "-".to_string(),
+                        };
+                        let marker = if *c == out.best { '*' } else { ' ' };
+                        println!(
+                            "{marker} {:<10} {:<26} {:>6} {:>12} {:>12}",
+                            hpf_core::tune::grid_label(&c.grid),
+                            c.exec_config().label(),
+                            c.par_threshold,
+                            modeled,
+                            measured
+                        );
+                    }
+                }
+                println!(
+                    "! best: {} {} pts={} ({:.4} ms measured)",
+                    hpf_core::tune::grid_label(&out.best.grid),
+                    out.best.exec_config().label(),
+                    out.best.par_threshold,
+                    out.best.measured_ms.unwrap_or(f64::INFINITY)
+                );
+            }
+            Err(e) => {
+                eprintln!("hpfsc: --tune failed: {e}");
+                exit(1)
+            }
+        }
+        if run {
+            // --tune --run executes the tuned configuration.
+            exec_cfg.auto = true;
+        }
+    }
+
     if run {
         let cfg = MachineConfig::with_grid(grid.clone()).halo(halo);
-        let mut runner = kernel.runner(cfg).config(exec_cfg.trace(trace_on));
+        let mut runner = kernel.runner(cfg.clone()).config(exec_cfg.trace(trace_on));
+        if exec_cfg.auto {
+            // Route the resolution through the same cache file --tune uses.
+            let mut tuner = hpf_core::Tuner::new(cfg);
+            if let Some(f) = &tune_file {
+                tuner = tuner.cache_path(f);
+            }
+            runner = runner.tuner(tuner);
+        }
         // Default deterministic initialization for every *user* array the
         // node program touches. Compiler temporaries are always written
         // before they are read; arrays the optimizer eliminated (Problem 9's
@@ -344,11 +440,21 @@ fn main() {
         match runner.run_verified(&output_refs, 0.0) {
             Ok(r) => {
                 let stats = r.stats();
+                // Under --engine auto the machine's grid is the tuner's
+                // choice, not the --grid argument; report what actually ran.
+                let ran = &r.machine.cfg.grid.dims;
                 println!(
-                    "\n! run on {} PEs ({:?} grid), verified against the oracle",
-                    grid.iter().product::<usize>(),
-                    grid
+                    "\n! run on {} PEs ({ran:?} grid), verified against the oracle",
+                    ran.iter().product::<usize>(),
                 );
+                if exec_cfg.auto {
+                    println!(
+                        "config          : auto-tuned ({} cache hits, {} misses, {:.1} ms search)",
+                        stats.tune_cache_hits,
+                        stats.tune_cache_misses,
+                        stats.tune_search_ns as f64 / 1e6
+                    );
+                }
                 println!("messages        : {}", stats.total_messages());
                 println!("comm bytes      : {}", stats.total_comm_bytes());
                 println!("intra bytes     : {}", stats.total_intra_bytes());

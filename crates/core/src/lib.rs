@@ -46,6 +46,7 @@ pub use hpf_ir as ir;
 pub use hpf_passes as passes;
 pub use hpf_runtime as runtime;
 pub use hpf_trace as trace;
+pub use hpf_tune as tune;
 
 pub use hpf_analysis::{Diagnostic, Severity};
 pub use hpf_exec::{max_abs_diff, Backend, Engine, ExecConfig, Reference};
@@ -53,3 +54,4 @@ pub use hpf_ir::pretty;
 pub use hpf_passes::{CompileOptions, PipelineStats, Stage, TempPolicy};
 pub use hpf_runtime::{AggStats, CostModel, Machine, MachineConfig, PeGrid, RtError};
 pub use hpf_trace::{TraceConfig, TraceSummary};
+pub use hpf_tune::{TuneOutcome, Tuner};

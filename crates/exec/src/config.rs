@@ -64,6 +64,14 @@ pub struct ExecConfig {
     /// against the halo), like the one-shot threaded executor does, so a
     /// malformed program fails in `build` rather than on a worker thread.
     pub check: bool,
+    /// Ask the planning layer to auto-tune this run: enumerate the legal
+    /// (PE grid, engine, backend, `par_threshold`) space with `hpf-tune`,
+    /// consult the persistent tuning cache, and overwrite `engine`/
+    /// `backend` (and the machine's grid and threshold) with the winner
+    /// before building. Resolved *above* [`crate::ExecPlan::build`] — the
+    /// plan builder itself ignores this flag and uses the embedded
+    /// engine/backend as-is.
+    pub auto: bool,
 }
 
 impl ExecConfig {
@@ -71,6 +79,13 @@ impl ExecConfig {
     /// tracing off, checks off.
     pub fn new() -> ExecConfig {
         ExecConfig::default()
+    }
+
+    /// A configuration that asks the planning layer to pick the fastest
+    /// legal configuration itself (see [`ExecConfig::auto`] the field).
+    /// Spelled `auto` on the CLI: `hpfsc … --run --engine auto`.
+    pub fn auto() -> ExecConfig {
+        ExecConfig { auto: true, ..ExecConfig::default() }
     }
 
     /// Select the executor.
@@ -105,8 +120,12 @@ impl ExecConfig {
 
     /// The `engine[-backend]` spelling [`ExecConfig::from_cli_str`]
     /// round-trips: the engine label, plus `-bytecode` when the bytecode
-    /// backend is selected (`-interp` being the default is omitted).
+    /// backend is selected (`-interp` being the default is omitted). An
+    /// unresolved auto configuration is labeled `auto`.
     pub fn label(&self) -> String {
+        if self.auto {
+            return "auto".to_string();
+        }
         match self.backend {
             Backend::Interp => self.engine.label().to_string(),
             Backend::Bytecode => format!("{}-bytecode", self.engine.label()),
@@ -116,11 +135,15 @@ impl ExecConfig {
     /// Parse a `--engine` argument: an engine (`seq`, `threaded`,
     /// `threaded-overlap`), a backend (`interp`, `bytecode`), or both
     /// joined with `-` (e.g. `threaded-bytecode`,
-    /// `threaded-overlap-interp`). Engine names are matched longest first
-    /// so `threaded-overlap` is not misread as `threaded` plus an unknown
-    /// backend. `hpfsc` and the bench driver share this parser, so one
-    /// spelling works everywhere.
+    /// `threaded-overlap-interp`), or `auto` (auto-tune: the planning
+    /// layer picks grid, engine, backend, and threshold). Engine names are
+    /// matched longest first so `threaded-overlap` is not misread as
+    /// `threaded` plus an unknown backend. `hpfsc` and the bench driver
+    /// share this parser, so one spelling works everywhere.
     pub fn from_cli_str(spec: &str) -> Result<ExecConfig, String> {
+        if spec == "auto" {
+            return Ok(ExecConfig::auto());
+        }
         let mut cfg = ExecConfig::new();
         let mut rest = spec;
         for (name, engine) in [
@@ -150,6 +173,7 @@ impl ExecConfig {
                         "threaded-overlap",
                         "interp",
                         "bytecode",
+                        "auto",
                         "engine-backend pairs like seq-bytecode, threaded-interp, \
                          threaded-overlap-bytecode",
                     ],
@@ -206,6 +230,18 @@ mod tests {
         let tob = ExecConfig::from_cli_str("threaded-overlap-bytecode").unwrap();
         assert_eq!(tob.engine, Engine::ThreadedOverlap);
         assert_eq!(tob.backend, Backend::Bytecode);
+    }
+
+    #[test]
+    fn auto_round_trips_and_clears_on_resolution() {
+        let cfg = ExecConfig::auto();
+        assert!(cfg.auto);
+        assert_eq!(cfg.label(), "auto");
+        assert_eq!(ExecConfig::from_cli_str("auto").unwrap(), cfg);
+        // The planning layer resolves auto by overwriting engine/backend
+        // and clearing the flag; the label then reads normally again.
+        let resolved = ExecConfig { auto: false, ..cfg }.engine(Engine::Threaded);
+        assert_eq!(resolved.label(), "threaded");
     }
 
     #[test]

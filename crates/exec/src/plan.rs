@@ -128,6 +128,11 @@ impl ExecPlan {
     /// time. Callers gate that engine on halo-safety (HS001/HS002) being
     /// lint-clean — an unproven program must be built for a blocking
     /// engine instead.
+    ///
+    /// An unresolved [`ExecConfig::auto`] flag is ignored here: auto-tuning
+    /// is resolved by the planning layer above (`hpf-core`'s `Planner`,
+    /// through `hpf-tune`), which rewrites the configuration before calling
+    /// this. The plan is built for the embedded engine and backend as-is.
     pub fn build(
         machine: &mut Machine,
         node: &NodeProgram,
@@ -180,29 +185,6 @@ impl ExecPlan {
         plan.kernel_execs_per_step = count_kernel_execs(&plan.items);
         plan.pe_points_per_step = pe_points(machine, &plan.items);
         Ok(plan)
-    }
-
-    /// Superseded spelling of [`ExecPlan::build`] with an explicit backend
-    /// and the blocking engines implied.
-    #[deprecated(note = "use ExecPlan::build(machine, node, &ExecConfig) instead")]
-    pub fn build_with(
-        machine: &mut Machine,
-        node: &NodeProgram,
-        backend: Backend,
-    ) -> Result<ExecPlan, RtError> {
-        ExecPlan::build(machine, node, &ExecConfig::new().backend(backend))
-    }
-
-    /// Superseded spelling of [`ExecPlan::build`] for the split-phase
-    /// overlapped engine.
-    #[deprecated(note = "use ExecPlan::build(machine, node, &ExecConfig) instead")]
-    pub fn build_overlapped(
-        machine: &mut Machine,
-        node: &NodeProgram,
-        backend: Backend,
-    ) -> Result<ExecPlan, RtError> {
-        let cfg = ExecConfig::new().engine(Engine::ThreadedOverlap).backend(backend);
-        ExecPlan::build(machine, node, &cfg)
     }
 
     /// The engine [`ExecPlan::step`] dispatches to (fixed at build time).

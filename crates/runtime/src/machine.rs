@@ -178,6 +178,12 @@ pub struct Machine {
     interior_cells: u64,
     /// Points computed in boundary strips of overlapped windows.
     boundary_cells: u64,
+    /// Auto-tuner cache hits credited to this machine's run.
+    tune_hits: u64,
+    /// Auto-tuner cache misses (full searches) credited to this run.
+    tune_misses: u64,
+    /// Wall nanoseconds the auto-tuner spent resolving this run's config.
+    tune_search_ns: u64,
     /// Span recorder for driver-side work (schedule builds, kernel
     /// compiles, step envelopes) — the "driver" track.
     driver_tracer: Tracer,
@@ -209,6 +215,9 @@ impl Machine {
             overlapped_steps: 0,
             interior_cells: 0,
             boundary_cells: 0,
+            tune_hits: 0,
+            tune_misses: 0,
+            tune_search_ns: 0,
             driver_tracer: Tracer::disabled(),
         }
     }
@@ -605,6 +614,18 @@ impl Machine {
         self.boundary_cells += boundary;
     }
 
+    /// Record an auto-tuner resolution against this machine: how the
+    /// configuration lookup went (cache `hits`/`misses`) and the wall
+    /// nanoseconds the search took. Called by the planning layer after it
+    /// resolves `ExecConfig::auto()` through `hpf-tune`, so the cost of
+    /// choosing the configuration shows up in [`AggStats`] next to the
+    /// cost of running it.
+    pub fn note_tune(&mut self, hits: u64, misses: u64, search_ns: u64) {
+        self.tune_hits += hits;
+        self.tune_misses += misses;
+        self.tune_search_ns += search_ns;
+    }
+
     /// Swap the storage of two identically-distributed arrays on every PE —
     /// the zero-copy double-buffer flip of Jacobi-style time steps. Panics if
     /// either array is unallocated or their geometries differ.
@@ -710,6 +731,9 @@ impl Machine {
             interior_cells: self.interior_cells,
             boundary_cells: self.boundary_cells,
             hidden_comm_ns: self.pes.iter().map(|p| p.overlap_hidden_ns).collect(),
+            tune_cache_hits: self.tune_hits,
+            tune_cache_misses: self.tune_misses,
+            tune_search_ns: self.tune_search_ns,
         }
     }
 
@@ -727,6 +751,9 @@ impl Machine {
         self.overlapped_steps = 0;
         self.interior_cells = 0;
         self.boundary_cells = 0;
+        self.tune_hits = 0;
+        self.tune_misses = 0;
+        self.tune_search_ns = 0;
     }
 
     /// Modeled execution time of the counters so far, in milliseconds.

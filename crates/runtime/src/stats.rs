@@ -116,6 +116,17 @@ pub struct AggStats {
     /// `PeStats` themselves stay engine-independent. Empty when no machine
     /// has run (e.g. hand-built aggregates).
     pub hidden_comm_ns: Vec<f64>,
+    /// Auto-tuner lookups answered from the persistent on-disk tuning
+    /// cache (no candidate enumerated or timed). Machine-wide; zero unless
+    /// the plan was resolved through `ExecConfig::auto()` / `Tuner::best`.
+    pub tune_cache_hits: u64,
+    /// Auto-tuner lookups that missed the cache and ran the full
+    /// cost-model-pruned candidate search.
+    pub tune_cache_misses: u64,
+    /// Wall nanoseconds the auto-tuner spent resolving the configuration
+    /// (cache probe, candidate enumeration, model pruning, empirical
+    /// timing). On a cache hit this is just the probe time.
+    pub tune_search_ns: u64,
 }
 
 impl AggStats {
@@ -195,7 +206,19 @@ impl std::fmt::Display for AggStats {
             self.overlapped_steps,
             self.interior_cells,
             self.boundary_cells
-        )
+        )?;
+        // Tune counters join the footer line only when the auto-tuner ran,
+        // keeping untuned output (and its line count) unchanged.
+        if self.tune_cache_hits + self.tune_cache_misses > 0 {
+            write!(
+                f,
+                " | tune: {} hits, {} misses, {:.1} ms search",
+                self.tune_cache_hits,
+                self.tune_cache_misses,
+                self.tune_search_ns as f64 / 1e6
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -248,5 +271,20 @@ mod tests {
         assert!(table.contains("1.500"), "hidden credit in ms: {table}");
         assert!(table.contains("schedules: 3 built"));
         assert_eq!(table.lines().count(), 1 + 2 + 1, "header + 2 PEs + footer");
+        assert!(!table.contains("tune:"), "untuned runs keep the old footer");
+    }
+
+    #[test]
+    fn display_appends_tune_counters_when_tuner_ran() {
+        let agg = AggStats {
+            per_pe: vec![PeStats::default()],
+            peak_bytes: vec![0],
+            tune_cache_misses: 1,
+            tune_search_ns: 2_500_000,
+            ..Default::default()
+        };
+        let table = agg.to_string();
+        assert!(table.contains("tune: 0 hits, 1 misses, 2.5 ms search"), "{table}");
+        assert_eq!(table.lines().count(), 1 + 1 + 1, "tune joins the footer line");
     }
 }

@@ -10,22 +10,9 @@
 
 use crate::summary::Trace;
 
-/// Escape a string for embedding in a JSON string literal.
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+// The JSON string escaper lives with the rest of the JSON machinery; this
+// re-export keeps the historical `chrome::escape` path working.
+pub use crate::json::escape;
 
 fn us(ns: u64) -> String {
     format!("{:.3}", ns as f64 / 1e3)

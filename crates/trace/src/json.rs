@@ -1,4 +1,5 @@
-//! A minimal JSON parser and printer.
+//! A minimal JSON parser and printer — the workspace's one shared JSON
+//! module.
 //!
 //! The build environment has no crates.io access, so there is no serde;
 //! this ~150-line recursive-descent parser is what the tests and the CI
@@ -7,6 +8,13 @@
 //! It accepts the full JSON grammar (RFC 8259) minus exotic number forms
 //! beyond what `f64::from_str` handles, which is more than the exporter
 //! emits.
+//!
+//! The module is deliberately self-contained (the Chrome exporter borrows
+//! [`escape`] from here, not the other way around) so downstream crates can
+//! use it without pulling in the rest of the tracing machinery: `hpf-tune`
+//! reads its on-disk tuning cache through [`parse`] and writes it through
+//! [`Value::render`], and `hpf-trace` is a leaf crate, so no dependency
+//! cycle arises.
 
 /// A parsed JSON value. Object keys keep insertion order.
 #[derive(Clone, Debug, PartialEq)]
@@ -46,20 +54,35 @@ impl Value {
                     format!("{n:?}")
                 }
             }
-            Value::String(s) => format!("\"{}\"", crate::chrome::escape(s)),
+            Value::String(s) => format!("\"{}\"", escape(s)),
             Value::Array(a) => {
                 let inner: Vec<String> = a.iter().map(Value::render).collect();
                 format!("[{}]", inner.join(","))
             }
             Value::Object(kv) => {
-                let inner: Vec<String> = kv
-                    .iter()
-                    .map(|(k, v)| format!("\"{}\":{}", crate::chrome::escape(k), v.render()))
-                    .collect();
+                let inner: Vec<String> =
+                    kv.iter().map(|(k, v)| format!("\"{}\":{}", escape(k), v.render())).collect();
                 format!("{{{}}}", inner.join(","))
             }
         }
     }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parse a complete JSON document. Errors carry a byte offset.

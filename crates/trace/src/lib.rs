@@ -23,7 +23,9 @@
 //!   ([`now_ns`]) so cross-thread timestamps line up.
 //! * [`Trace::to_chrome_json`] — Chrome `trace_event` JSON for
 //!   `chrome://tracing` / Perfetto, hand-rolled (the container has no
-//!   serde) and validated by the bundled mini JSON parser ([`json`]).
+//!   serde) and validated by the bundled mini JSON parser ([`json`]) —
+//!   which doubles as the workspace's shared JSON module (`hpf-tune` reads
+//!   and writes its on-disk tuning cache through it).
 //! * [`TraceSummary`] — per-track per-kind aggregates consumable from
 //!   tests, including the trace-derived hidden-communication view
 //!   ([`TraceSummary::hidden_comm_ns`]) and a plain-text per-step summary

@@ -1,0 +1,424 @@
+#![warn(missing_docs)]
+//! Auto-tuning: cost-guided configuration search with a persistent
+//! on-disk tuning cache.
+//!
+//! The compilation pipeline fixes *what* a stencil computes; this crate
+//! picks *how to run it*. For a (kernel, machine, problem-size) triple the
+//! [`Tuner`] enumerates the legal configuration space — every PE-grid
+//! factorization of the core count, the full engine × backend matrix
+//! (`seq`/`threaded`/`threaded-overlap` × `interp`/`bytecode`), and the
+//! threaded-engine spawn threshold — prunes it with the machine's
+//! analytic cost model (one cheap model probe per distinct modeled
+//! configuration), then empirically times the top-K surviving candidates
+//! with short warm-state plan runs (one warmup step, then min-of-R timed
+//! steps, reusing [`hpf_exec::ExecPlan`] so schedules and bytecode kernels
+//! compile once per candidate).
+//!
+//! The winner is persisted in an on-disk cache (default
+//! [`cache::DEFAULT_CACHE_FILE`]) keyed by a deterministic kernel
+//! [`fingerprint`], so subsequent runs of the same kernel on the same
+//! machine shape skip the search entirely — a warm [`Tuner::best`] call
+//! performs zero candidate timings. A corrupted cache file degrades to a
+//! warning plus a fresh search, never an error.
+
+pub mod cache;
+pub mod space;
+
+pub use cache::{fingerprint, CacheEntry, TuneCache, DEFAULT_CACHE_FILE};
+pub use space::{enumerate, factorizations, grid_label, Candidate};
+
+use hpf_exec::{Backend, Engine, ExecConfig, ExecPlan};
+use hpf_passes::loopir::NodeProgram;
+use hpf_runtime::{Machine, MachineConfig, RtError};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The result of one [`Tuner::best`] call.
+#[derive(Clone, Debug)]
+pub struct TuneOutcome {
+    /// The winning candidate (measured on a cold search; carrying the
+    /// cached measurement on a cache hit).
+    pub best: Candidate,
+    /// Every enumerated candidate, sorted by modeled time (ties broken by
+    /// label), with measurements filled in for the timed top-K. Empty on a
+    /// cache hit — nothing was enumerated.
+    pub candidates: Vec<Candidate>,
+    /// How many candidates were empirically timed (0 on a cache hit).
+    pub timed: usize,
+    /// Whether the result came straight from the tuning cache.
+    pub cache_hit: bool,
+    /// Wall time the whole call took (search or cache probe), nanoseconds.
+    pub search_ns: u64,
+    /// The kernel fingerprint the cache is keyed by.
+    pub fingerprint: String,
+}
+
+/// Cost-guided configuration search over PE grids, engines, backends, and
+/// spawn thresholds. Construct with [`Tuner::new`] around the base machine
+/// configuration (which supplies the core count, mesh rank, halo width,
+/// memory budget, and cost model — the parts the tuner does *not* search),
+/// then call [`Tuner::best`].
+#[derive(Clone, Debug)]
+pub struct Tuner {
+    base: MachineConfig,
+    top_k: usize,
+    reps: usize,
+    cache: Option<PathBuf>,
+    allow_overlap: bool,
+    thresholds: Vec<u64>,
+}
+
+impl Tuner {
+    /// A tuner over `base`'s machine: empirically time the 8 best-modeled
+    /// candidates with min-of-3 step timings, consider spawn thresholds
+    /// {0, 4096}, allow the split-phase overlap engine, and persist
+    /// decisions in [`DEFAULT_CACHE_FILE`].
+    pub fn new(base: MachineConfig) -> Tuner {
+        Tuner {
+            base,
+            top_k: 8,
+            reps: 3,
+            cache: Some(PathBuf::from(DEFAULT_CACHE_FILE)),
+            allow_overlap: true,
+            thresholds: vec![0, 4096],
+        }
+    }
+
+    /// Empirically time the `k` best-modeled candidates (default 8).
+    pub fn top_k(mut self, k: usize) -> Tuner {
+        self.top_k = k.max(1);
+        self
+    }
+
+    /// Time every step `r` times and keep the minimum (default 3).
+    pub fn reps(mut self, r: usize) -> Tuner {
+        self.reps = r.max(1);
+        self
+    }
+
+    /// Persist decisions in `path` instead of [`DEFAULT_CACHE_FILE`].
+    pub fn cache_path(mut self, path: impl Into<PathBuf>) -> Tuner {
+        self.cache = Some(path.into());
+        self
+    }
+
+    /// Disable the on-disk cache: always search, never read or write.
+    pub fn no_cache(mut self) -> Tuner {
+        self.cache = None;
+        self
+    }
+
+    /// Gate the split-phase overlap engine (callers pass `false` when the
+    /// kernel's halo-safety lints are not clean, exactly as they would for
+    /// a manual [`Engine::ThreadedOverlap`] choice).
+    pub fn allow_overlap(mut self, allow: bool) -> Tuner {
+        self.allow_overlap = allow;
+        self
+    }
+
+    /// Whether the split-phase overlap engine is currently in the search
+    /// space (callers compose this with their own gates, e.g. the
+    /// halo-safety lints).
+    pub fn overlap_allowed(&self) -> bool {
+        self.allow_overlap
+    }
+
+    /// The spawn thresholds to search (default `{0, 4096}`).
+    pub fn thresholds(mut self, pts: Vec<u64>) -> Tuner {
+        self.thresholds = pts;
+        self
+    }
+
+    /// Time *every* candidate the model does not reject outright — the
+    /// exhaustive search the default pruned search is benchmarked against.
+    pub fn exhaustive(self) -> Tuner {
+        self.top_k(usize::MAX)
+    }
+
+    /// Find the best configuration for `node`. `seed` is the
+    /// caller-supplied kernel identity (normalized IR listing plus array
+    /// shapes); the tuner extends it with the machine shape and hashes it
+    /// into the cache key, so any change to kernel, problem size, PE
+    /// count, or halo re-keys the search.
+    ///
+    /// Flow: probe the cache (hit → return immediately, zero timings);
+    /// otherwise enumerate the space, prune with one cost-model probe per
+    /// distinct modeled configuration, empirically time the top-K
+    /// survivors, persist the winner, and return the full candidate table.
+    /// Candidates whose plan cannot be built (e.g. an illegal distribution
+    /// for that mesh) are kept in the table with infinite modeled time but
+    /// never timed; if *no* candidate builds, the first build error is
+    /// returned.
+    pub fn best(&self, node: &NodeProgram, seed: &str) -> Result<TuneOutcome, RtError> {
+        let t0 = Instant::now();
+        let pes = self.base.grid.num_pes();
+        let rank = self.base.grid.dims.len();
+        let key = fingerprint(&format!("{seed}|pes={pes}|halo={}", self.base.halo));
+
+        // Warm path: a cached decision for this fingerprint ends the call
+        // before any candidate exists. A cache that fails to load is a
+        // warning, not an error — fall through to the fresh search.
+        if let Some(path) = &self.cache {
+            match TuneCache::load(path) {
+                Err(msg) => eprintln!(
+                    "warning: tuning cache {}: {msg}; running a fresh search",
+                    path.display()
+                ),
+                Ok(cache) => {
+                    if let Some(best) = cache.lookup(&key).and_then(|e| self.cached_candidate(e)) {
+                        return Ok(TuneOutcome {
+                            best,
+                            candidates: Vec::new(),
+                            timed: 0,
+                            cache_hit: true,
+                            search_ns: t0.elapsed().as_nanos() as u64,
+                            fingerprint: key,
+                        });
+                    }
+                }
+            }
+        }
+
+        let thresholds = if self.thresholds.is_empty() {
+            vec![self.base.par_threshold]
+        } else {
+            self.thresholds.clone()
+        };
+        let mut candidates = enumerate(pes, rank, self.allow_overlap, &thresholds);
+
+        // Model-probe pruning. The per-PE counters the cost model reads are
+        // identical across backends, and across spawn thresholds for the
+        // blocking engines; only the overlap engine's hidden-communication
+        // credit depends on the threshold (a degraded window hides
+        // nothing). One plan build + one step per distinct (grid, engine[,
+        // threshold]) therefore models the whole space.
+        let mut modeled: Vec<(String, f64)> = Vec::new();
+        let mut first_err: Option<RtError> = None;
+        for c in &mut candidates {
+            let pk = probe_key(c);
+            let ms = match modeled.iter().find(|(k, _)| *k == pk) {
+                Some((_, ms)) => *ms,
+                None => {
+                    let ms = match self.model_probe(node, c) {
+                        Ok(ms) => ms,
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                            f64::INFINITY
+                        }
+                    };
+                    modeled.push((pk, ms));
+                    ms
+                }
+            };
+            c.modeled_ms = ms;
+        }
+        candidates.sort_by(|a, b| {
+            a.modeled_ms
+                .partial_cmp(&b.modeled_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.label().cmp(&b.label()))
+        });
+
+        // Empirically time the top-K model survivors: fresh machine, one
+        // plan build (schedules + bytecode kernels compile once), one
+        // warmup step, then the best of `reps` timed steps.
+        let mut timed = 0usize;
+        for c in candidates.iter_mut().take(self.top_k) {
+            if !c.modeled_ms.is_finite() {
+                break; // sorted: everything from here on failed to build
+            }
+            let mut machine = Machine::new(c.machine_config(&self.base));
+            let mut plan = match ExecPlan::build(&mut machine, node, &c.exec_config()) {
+                Ok(p) => p,
+                Err(_) => continue, // model probe passed; backend-specific failure
+            };
+            plan.step(&mut machine);
+            let mut best = f64::INFINITY;
+            for _ in 0..self.reps {
+                let t = Instant::now();
+                plan.step(&mut machine);
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            c.measured_ms = Some(best);
+            timed += 1;
+        }
+
+        let best = candidates
+            .iter()
+            .filter(|c| c.measured_ms.is_some())
+            .min_by(|a, b| a.measured_ms.partial_cmp(&b.measured_ms).unwrap())
+            .cloned();
+        let best = match best {
+            Some(b) => b,
+            None => {
+                return Err(first_err.unwrap_or(RtError::BadDistribution(
+                    "auto-tuner found no runnable configuration".to_string(),
+                )))
+            }
+        };
+
+        if let Some(path) = &self.cache {
+            let mut cache = TuneCache::load(path).unwrap_or_default();
+            cache.insert(CacheEntry {
+                key: key.clone(),
+                grid: best.grid.clone(),
+                config: best.exec_config().label(),
+                par_threshold: best.par_threshold,
+                modeled_ms: best.modeled_ms,
+                measured_ms: best.measured_ms.unwrap_or(f64::INFINITY),
+            });
+            if let Err(e) = cache.store(path) {
+                eprintln!("warning: could not write tuning cache {}: {e}", path.display());
+            }
+        }
+
+        Ok(TuneOutcome {
+            best,
+            candidates,
+            timed,
+            cache_hit: false,
+            search_ns: t0.elapsed().as_nanos() as u64,
+            fingerprint: key,
+        })
+    }
+
+    /// Reconstruct a winner from a cache entry; `None` when the entry does
+    /// not fit this tuner's machine (stale core count or rank after a
+    /// config change hashes to the same key only if the seed matched, so
+    /// this is belt-and-braces) or its config label no longer parses.
+    fn cached_candidate(&self, e: &CacheEntry) -> Option<Candidate> {
+        let cfg = ExecConfig::from_cli_str(&e.config).ok()?;
+        let fits = e.grid.len() == self.base.grid.dims.len()
+            && e.grid.iter().product::<usize>() == self.base.grid.num_pes();
+        if !fits {
+            return None;
+        }
+        Some(Candidate {
+            grid: e.grid.clone(),
+            engine: cfg.engine,
+            backend: cfg.backend,
+            par_threshold: e.par_threshold,
+            modeled_ms: e.modeled_ms,
+            measured_ms: Some(e.measured_ms),
+        })
+    }
+
+    /// One cost-model probe: build the candidate's plan (interpreter
+    /// backend — the counters the model reads are backend-independent),
+    /// reset the counters so plan-build costs are excluded, run one step,
+    /// and read the modeled per-step time.
+    fn model_probe(&self, node: &NodeProgram, c: &Candidate) -> Result<f64, RtError> {
+        let mut machine = Machine::new(c.machine_config(&self.base));
+        let cfg = ExecConfig::new().engine(c.engine).backend(Backend::Interp);
+        let mut plan = ExecPlan::build(&mut machine, node, &cfg)?;
+        machine.reset_stats();
+        plan.step(&mut machine);
+        Ok(machine.modeled_time_ms())
+    }
+}
+
+/// The distinct modeled configuration a candidate belongs to: grid +
+/// engine, plus the spawn threshold for the overlap engine only (degraded
+/// windows change the hidden-communication credit).
+fn probe_key(c: &Candidate) -> String {
+    let pts = if c.engine == Engine::ThreadedOverlap { c.par_threshold } else { 0 };
+    format!("{}|{:?}|{pts}", grid_label(&c.grid), c.engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpf_passes::CompileOptions;
+
+    fn node_for(n: usize) -> NodeProgram {
+        let src = format!(
+            r#"
+PROGRAM jacobi
+PARAM N = {n}
+REAL U(N,N), T(N,N)
+REAL C = 0.25
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+T = C * (CSHIFT(U,1,1) + CSHIFT(U,-1,1) + CSHIFT(U,1,2) + CSHIFT(U,-1,2))
+U = T
+END
+"#
+        );
+        let checked = hpf_frontend::compile_source(&src).unwrap();
+        hpf_passes::compile(&checked, CompileOptions::full()).node
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hpf-tune-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn cold_search_then_warm_cache_hit() {
+        let node = node_for(16);
+        let path = tmp("lib-warm");
+        let _ = std::fs::remove_file(&path);
+        let tuner = Tuner::new(MachineConfig::grid([2, 2])).cache_path(&path).top_k(4).reps(2);
+
+        let cold = tuner.best(&node, "jacobi-16").unwrap();
+        assert!(!cold.cache_hit);
+        assert!(cold.timed > 0 && cold.timed <= 4);
+        assert!(cold.best.measured_ms.is_some());
+        assert!(!cold.candidates.is_empty());
+        // The table is sorted by modeled time.
+        for w in cold.candidates.windows(2) {
+            assert!(w[0].modeled_ms <= w[1].modeled_ms);
+        }
+
+        let warm = tuner.best(&node, "jacobi-16").unwrap();
+        assert!(warm.cache_hit, "second run must come from the cache");
+        assert_eq!(warm.timed, 0, "a cache hit performs zero candidate timings");
+        assert!(warm.candidates.is_empty());
+        assert_eq!(warm.fingerprint, cold.fingerprint);
+        assert_eq!(warm.best.grid, cold.best.grid);
+        assert_eq!(warm.best.exec_config().label(), cold.best.exec_config().label());
+
+        // A different seed (problem size, kernel change) misses.
+        let other = tuner.best(&node, "jacobi-32").unwrap();
+        assert!(!other.cache_hit);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn no_cache_always_searches_and_touches_no_disk() {
+        let node = node_for(12);
+        let tuner = Tuner::new(MachineConfig::grid([2, 2])).no_cache().top_k(2).reps(1);
+        let a = tuner.best(&node, "s").unwrap();
+        let b = tuner.best(&node, "s").unwrap();
+        assert!(!a.cache_hit && !b.cache_hit);
+        assert_eq!(a.best.grid, b.best.grid, "search is deterministic in its winner set");
+    }
+
+    #[test]
+    fn corrupt_cache_falls_back_to_fresh_search() {
+        let node = node_for(12);
+        let path = tmp("lib-corrupt");
+        std::fs::write(&path, "{\"version\":1,\"entries\":[{tr").unwrap();
+        let tuner = Tuner::new(MachineConfig::grid([2, 2])).cache_path(&path).top_k(2).reps(1);
+        let out = tuner.best(&node, "s").unwrap();
+        assert!(!out.cache_hit);
+        // The search result overwrote the corrupt file with a valid cache.
+        assert!(TuneCache::load(&path).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn overlap_gate_removes_the_split_phase_engine() {
+        let node = node_for(12);
+        let tuner = Tuner::new(MachineConfig::grid([2, 2]))
+            .no_cache()
+            .allow_overlap(false)
+            .exhaustive()
+            .reps(1);
+        let out = tuner.best(&node, "s").unwrap();
+        assert!(out.candidates.iter().all(|c| c.engine != Engine::ThreadedOverlap));
+        assert_eq!(out.timed, out.candidates.len(), "exhaustive times every candidate");
+    }
+}

@@ -1,0 +1,185 @@
+//! The legal configuration space: PE-grid factorizations crossed with the
+//! engine × backend matrix and the threaded-engine spawn threshold.
+
+use hpf_exec::{Backend, Engine, ExecConfig};
+use hpf_runtime::{MachineConfig, PeGrid};
+
+/// One point of the configuration space the tuner searches, annotated with
+/// its modeled time (cost-model pruning stage) and, for the top-K
+/// survivors, its empirically measured per-step wall time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// PE mesh (a factorization of the machine's core count whose rank
+    /// matches the base grid's).
+    pub grid: Vec<usize>,
+    /// The executor.
+    pub engine: Engine,
+    /// The nest-evaluation backend.
+    pub backend: Backend,
+    /// Threaded-engine spawn threshold (points per PE per step).
+    pub par_threshold: u64,
+    /// Modeled time of one step under the machine's cost model,
+    /// milliseconds. `INFINITY` when the candidate's plan failed to build
+    /// (e.g. a collapsed dimension on a multi-PE axis).
+    pub modeled_ms: f64,
+    /// Best-of-R measured wall time of one step, milliseconds. `None` for
+    /// candidates pruned by the model (never timed) or whose build failed.
+    pub measured_ms: Option<f64>,
+}
+
+impl Candidate {
+    /// The execution configuration this candidate describes (the part
+    /// [`hpf_exec::ExecPlan::build`] consumes).
+    pub fn exec_config(&self) -> ExecConfig {
+        ExecConfig::new().engine(self.engine).backend(self.backend)
+    }
+
+    /// The base machine configuration with this candidate's grid and spawn
+    /// threshold applied (halo, budget, and cost model inherited).
+    pub fn machine_config(&self, base: &MachineConfig) -> MachineConfig {
+        let mut cfg = base.clone();
+        cfg.grid = PeGrid::new(self.grid.clone());
+        cfg.par_threshold = self.par_threshold;
+        cfg
+    }
+
+    /// `RxC engine[-backend] pts=N` — the row label of the candidate table.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} pts={}",
+            grid_label(&self.grid),
+            self.exec_config().label(),
+            self.par_threshold
+        )
+    }
+}
+
+/// Render a grid as `2x2` / `1x4x1`.
+pub fn grid_label(grid: &[usize]) -> String {
+    grid.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+}
+
+/// Every ordered factorization of `pes` into `rank` positive factors, in
+/// deterministic lexicographic order — the legal PE meshes for arrays of
+/// that rank. `factorizations(4, 2)` is `[[1,4], [2,2], [4,1]]`.
+pub fn factorizations(pes: usize, rank: usize) -> Vec<Vec<usize>> {
+    assert!(pes >= 1 && rank >= 1, "need at least one PE and one axis");
+    let mut out = Vec::new();
+    let mut cur = vec![1usize; rank];
+    fn rec(left: usize, d: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if d + 1 == cur.len() {
+            cur[d] = left;
+            out.push(cur.clone());
+            return;
+        }
+        for f in 1..=left {
+            if left.is_multiple_of(f) {
+                cur[d] = f;
+                rec(left / f, d + 1, cur, out);
+            }
+        }
+    }
+    rec(pes, 0, &mut cur, &mut out);
+    out
+}
+
+/// Enumerate the full candidate space for `pes` processors arranged in
+/// rank-`rank` meshes: every grid factorization × every engine × every
+/// backend × every spawn threshold in `thresholds`. The sequential engine
+/// ignores the spawn threshold, so it is emitted once per backend (with
+/// threshold 0) rather than once per threshold; the split-phase
+/// threaded-overlap engine is included only when `allow_overlap` (callers
+/// gate it on the halo-safety lints, exactly like manual engine choice).
+/// Modeled and measured fields start unset.
+pub fn enumerate(
+    pes: usize,
+    rank: usize,
+    allow_overlap: bool,
+    thresholds: &[u64],
+) -> Vec<Candidate> {
+    let mut engines = vec![Engine::Sequential, Engine::Threaded];
+    if allow_overlap {
+        engines.push(Engine::ThreadedOverlap);
+    }
+    let mut out = Vec::new();
+    for grid in factorizations(pes, rank) {
+        for &engine in &engines {
+            let pts: &[u64] = if engine == Engine::Sequential { &[0] } else { thresholds };
+            for &backend in &[Backend::Interp, Backend::Bytecode] {
+                for &par_threshold in pts {
+                    out.push(Candidate {
+                        grid: grid.clone(),
+                        engine,
+                        backend,
+                        par_threshold,
+                        modeled_ms: f64::INFINITY,
+                        measured_ms: None,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_cover_all_ordered_splits() {
+        assert_eq!(factorizations(4, 2), vec![vec![1, 4], vec![2, 2], vec![4, 1]]);
+        assert_eq!(factorizations(1, 2), vec![vec![1, 1]]);
+        assert_eq!(factorizations(6, 2).len(), 4); // 1x6 2x3 3x2 6x1
+        assert_eq!(factorizations(8, 3).len(), 10);
+        for f in factorizations(12, 3) {
+            assert_eq!(f.iter().product::<usize>(), 12);
+        }
+    }
+
+    #[test]
+    fn enumerate_counts_the_matrix() {
+        // 3 grids x (seq: 2 backends + threaded: 2x2 + overlap: 2x2) = 30.
+        let cands = enumerate(4, 2, true, &[0, 4096]);
+        assert_eq!(cands.len(), 3 * (2 + 4 + 4));
+        // Without overlap the split-phase engine disappears entirely.
+        let blocking = enumerate(4, 2, false, &[0, 4096]);
+        assert_eq!(blocking.len(), 3 * (2 + 4));
+        assert!(blocking.iter().all(|c| c.engine != Engine::ThreadedOverlap));
+        // Sequential candidates carry exactly one threshold value.
+        let seq: Vec<_> = cands.iter().filter(|c| c.engine == Engine::Sequential).collect();
+        assert!(seq.iter().all(|c| c.par_threshold == 0));
+    }
+
+    #[test]
+    fn labels_read_like_the_cli() {
+        let c = Candidate {
+            grid: vec![2, 2],
+            engine: Engine::Threaded,
+            backend: Backend::Bytecode,
+            par_threshold: 4096,
+            modeled_ms: f64::INFINITY,
+            measured_ms: None,
+        };
+        assert_eq!(c.label(), "2x2 threaded-bytecode pts=4096");
+        assert_eq!(ExecConfig::from_cli_str("threaded-bytecode").unwrap(), c.exec_config());
+    }
+
+    #[test]
+    fn machine_config_applies_grid_and_threshold() {
+        let base = MachineConfig::grid([2, 2]).halo(2).memory_mb(64);
+        let c = Candidate {
+            grid: vec![1, 4],
+            engine: Engine::Threaded,
+            backend: Backend::Interp,
+            par_threshold: 4096,
+            modeled_ms: 0.0,
+            measured_ms: None,
+        };
+        let cfg = c.machine_config(&base);
+        assert_eq!(cfg.grid.dims, vec![1, 4]);
+        assert_eq!(cfg.par_threshold, 4096);
+        assert_eq!(cfg.halo, 2, "halo inherited from the base");
+        assert_eq!(cfg.mem_budget, Some(64 << 20), "budget inherited");
+    }
+}

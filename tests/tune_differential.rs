@@ -1,0 +1,242 @@
+//! Differential testing of the auto-tuner: whatever configuration the tuner
+//! picks must be **behavior-preserving** — bitwise-identical arrays, and
+//! bitwise-identical per-PE counters once the grid is fixed — and every
+//! candidate it emits must build into a plan that passes static
+//! verification. The on-disk cache must be deterministic (stable
+//! fingerprints), effective (a warm hit performs zero candidate timings),
+//! and safe (a corrupted file degrades to a fresh search, never an error).
+
+use hpf_bench::workload::{generate, WorkloadSpec};
+use hpf_stencil::runtime::PeStats;
+use hpf_stencil::tune::Candidate;
+use hpf_stencil::{
+    presets, CompileOptions, Engine, ExecConfig, Kernel, MachineConfig, TuneOutcome, Tuner,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A fast searching tuner (no disk, few timings) over a 2x2 base machine.
+fn test_tuner() -> Tuner {
+    Tuner::new(base_config()).no_cache().top_k(4).reps(1)
+}
+
+fn base_config() -> MachineConfig {
+    MachineConfig::with_grid(vec![2, 2]).par_threshold(4096)
+}
+
+/// Unique temp-file path for cache tests (tests run concurrently).
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hpf-tune-diff-{tag}-{}.json", std::process::id()))
+}
+
+/// Run `kernel` under an explicit (machine, exec) configuration, gathering
+/// the given output arrays (skipping ones the program never allocates) and
+/// the per-PE counters.
+fn run_config(
+    kernel: &Kernel,
+    mcfg: MachineConfig,
+    ecfg: ExecConfig,
+    outputs: &[&str],
+) -> (Vec<(String, Vec<f64>)>, Vec<PeStats>) {
+    let mut runner = kernel
+        .runner(mcfg)
+        .config(ecfg)
+        .init("U", |p| ((p[0] * 13 + p[1] * 7) as f64 * 0.03).sin());
+    if kernel.array_id("V").is_ok() {
+        runner = runner.init("V", |p| ((p[0] - 2 * p[1]) as f64 * 0.05).cos());
+    }
+    let run = runner.run().unwrap_or_else(|e| panic!("run failed: {e}"));
+    let mut arrays = Vec::new();
+    for name in outputs {
+        let Ok(id) = kernel.array_id(name) else { continue };
+        if run.machine.is_allocated(id) {
+            arrays.push((name.to_string(), run.machine.gather(id)));
+        }
+    }
+    (arrays, run.stats().per_pe)
+}
+
+/// Tune `kernel` and check the winner against the defaults: arrays must be
+/// bitwise-identical to the default configuration on the default grid, and
+/// both arrays and per-PE counters must be bitwise-identical to the default
+/// engine/backend *on the tuned grid* (counters depend on the grid, results
+/// do not).
+fn assert_tuned_matches_default(kernel: &Kernel) -> TuneOutcome {
+    let outcome = kernel.tune(&test_tuner()).unwrap();
+    let best = &outcome.best;
+    let outputs = ["T", "S"];
+
+    let (default_arrays, _) = run_config(kernel, base_config(), ExecConfig::new(), &outputs);
+    let (ref_arrays, ref_stats) =
+        run_config(kernel, best.machine_config(&base_config()), ExecConfig::new(), &outputs);
+    let (tuned_arrays, tuned_stats) =
+        run_config(kernel, best.machine_config(&base_config()), best.exec_config(), &outputs);
+
+    assert_eq!(default_arrays, tuned_arrays, "tuned config changed results: {}", best.label());
+    assert_eq!(ref_arrays, tuned_arrays, "grid-matched results differ: {}", best.label());
+    assert_eq!(ref_stats, tuned_stats, "per-PE counters differ on {}", best.label());
+    outcome
+}
+
+/// Every candidate that built (finite modeled time) must produce a plan
+/// that passes static verification — the tuner may only time and pick
+/// machine-checked-safe configurations.
+fn assert_candidates_verify(kernel: &Kernel, candidates: &[Candidate]) {
+    for c in candidates.iter().filter(|c| c.modeled_ms.is_finite()) {
+        let plan = kernel
+            .plan(c.machine_config(&base_config()))
+            .config(c.exec_config())
+            .build()
+            .unwrap_or_else(|e| panic!("candidate {} no longer builds: {e}", c.label()));
+        let diags = plan.verify_static();
+        assert!(diags.is_empty(), "candidate {} fails verification: {diags:?}", c.label());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The headline invariant: for random stencil kernels (shift chains,
+    /// EOSHIFT boundaries, WHERE masks, time loops), auto-tuning never
+    /// changes what is computed — only how fast.
+    #[test]
+    fn tuned_config_is_behavior_preserving(
+        seed in 0u64..1_000_000,
+        stmts in 1usize..=3,
+        time_loop in prop_oneof![Just(None), Just(Some(2usize))],
+    ) {
+        let spec = WorkloadSpec { n: 10, stmts, time_loop, ..Default::default() };
+        let src = generate(&spec, seed);
+        let kernel = Kernel::compile(&src, CompileOptions::full())
+            .unwrap_or_else(|e| panic!("compile failed for:\n{src}\n{e}"));
+        assert_tuned_matches_default(&kernel);
+    }
+}
+
+#[test]
+fn problem9_tuned_matches_default_and_all_candidates_verify() {
+    let kernel = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+    let outcome = assert_tuned_matches_default(&kernel);
+    // 4 PEs in rank-2 meshes: 3 factorizations x (2 seq + 4 threaded + 4
+    // overlap) combos — Problem 9 is lint-clean, so overlap is in play.
+    assert_eq!(outcome.candidates.len(), 30);
+    assert_candidates_verify(&kernel, &outcome.candidates);
+}
+
+#[test]
+fn generated_workload_candidates_verify() {
+    let spec = WorkloadSpec { n: 12, stmts: 2, time_loop: Some(2), ..Default::default() };
+    let kernel = Kernel::compile(&generate(&spec, 7), CompileOptions::full()).unwrap();
+    let outcome = kernel.tune(&test_tuner()).unwrap();
+    assert_candidates_verify(&kernel, &outcome.candidates);
+}
+
+#[test]
+fn fingerprints_are_stable_across_runs() {
+    // Two compiles of the same source agree on the tuning seed and on the
+    // resulting fingerprint; a different problem size re-keys both.
+    let a = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+    let b = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+    assert_eq!(a.tune_seed(), b.tune_seed());
+    let oa = a.tune(&test_tuner()).unwrap();
+    let ob = b.tune(&test_tuner()).unwrap();
+    assert_eq!(oa.fingerprint, ob.fingerprint);
+
+    let c = Kernel::compile(&presets::problem9(32), CompileOptions::full()).unwrap();
+    assert_ne!(a.tune_seed(), c.tune_seed(), "problem size must re-key the cache");
+    assert_ne!(oa.fingerprint, c.tune(&test_tuner()).unwrap().fingerprint);
+}
+
+#[test]
+fn warm_cache_hit_skips_the_search() {
+    let kernel = Kernel::compile(&presets::problem9(12), CompileOptions::full()).unwrap();
+    let path = tmp("warm");
+    let _ = std::fs::remove_file(&path);
+    let tuner = test_tuner().cache_path(&path);
+
+    let cold = kernel.tune(&tuner).unwrap();
+    assert!(!cold.cache_hit);
+    assert!(cold.timed > 0);
+
+    let warm = kernel.tune(&tuner).unwrap();
+    assert!(warm.cache_hit, "second search must hit the cache");
+    assert_eq!(warm.timed, 0, "a cache hit performs zero candidate timings");
+    assert!(warm.candidates.is_empty(), "a cache hit enumerates nothing");
+    assert_eq!(warm.best.grid, cold.best.grid);
+    assert_eq!(warm.best.exec_config(), cold.best.exec_config());
+    assert_eq!(warm.best.par_threshold, cold.best.par_threshold);
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corrupted_cache_falls_back_to_fresh_search() {
+    let kernel = Kernel::compile(&presets::problem9(12), CompileOptions::full()).unwrap();
+    for garbage in ["not json at all", "{\"version\":99,\"entries\":[]}", "{\"version\":1,\"ent"] {
+        let path = tmp("corrupt");
+        std::fs::write(&path, garbage).unwrap();
+        let out = kernel.tune(&test_tuner().cache_path(&path)).unwrap();
+        assert!(!out.cache_hit, "corrupt cache ({garbage:?}) must not hit");
+        assert!(out.timed > 0, "corrupt cache must trigger a real search");
+        // The fresh result replaced the garbage with a loadable cache.
+        let warm = kernel.tune(&test_tuner().cache_path(&path)).unwrap();
+        assert!(warm.cache_hit, "rewritten cache must hit");
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn auto_config_resolves_through_the_planner_and_counts_in_stats() {
+    let kernel = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+    let path = tmp("auto");
+    let _ = std::fs::remove_file(&path);
+    let init = |p: &[i64]| ((p[0] * 3 + p[1]) as f64 * 0.02).cos();
+
+    // Default run for reference.
+    let mut reference = kernel.plan(base_config()).init("U", init).build().unwrap();
+    reference.iterate(3);
+
+    // Cold auto run: the planner resolves ExecConfig::auto through the
+    // tuner; the miss and search time land in the aggregate stats.
+    let mut cold = kernel
+        .plan(base_config())
+        .init("U", init)
+        .config(ExecConfig::auto())
+        .tuner(test_tuner().cache_path(&path))
+        .build()
+        .unwrap();
+    cold.iterate(3);
+    let st = cold.stats();
+    assert_eq!((st.tune_cache_hits, st.tune_cache_misses), (0, 1));
+    assert!(st.tune_search_ns > 0);
+    assert!(format!("{st}").contains("tune: 0 hits, 1 misses"));
+    assert_eq!(reference.gather("T").unwrap(), cold.gather("T").unwrap());
+
+    // Warm auto run: pure cache hit, same results.
+    let mut warm = kernel
+        .plan(base_config())
+        .init("U", init)
+        .config(ExecConfig::auto())
+        .tuner(test_tuner().cache_path(&path))
+        .build()
+        .unwrap();
+    warm.iterate(3);
+    let st = warm.stats();
+    assert_eq!((st.tune_cache_hits, st.tune_cache_misses), (1, 0));
+    assert_eq!(reference.gather("T").unwrap(), warm.gather("T").unwrap());
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn lint_dirty_kernel_is_never_tuned_onto_the_overlap_engine() {
+    let mut kernel = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+    assert!(kernel.drop_overlap_shift(0), "Problem 9 has shifts to drop");
+    assert!(hpf_stencil::analysis::has_errors(&kernel.lint()));
+    let outcome = kernel.tune(&test_tuner().exhaustive()).unwrap();
+    assert!(
+        outcome.candidates.iter().all(|c| c.engine != Engine::ThreadedOverlap),
+        "halo-unsafe kernels must not see the split-phase engine"
+    );
+    assert_ne!(outcome.best.engine, Engine::ThreadedOverlap);
+}
