@@ -22,10 +22,15 @@
 //!   ghost-liveness dataflow — split a PE's owned block into the interior
 //!   computable while halo messages are in flight and the boundary strips
 //!   that must wait, used by the split-phase overlapped engine.
+//! * **Superstep coverage** ([`superstep`]): depth-coordinate geometry for
+//!   communication-avoiding superstep schedules — does a candidate set of
+//!   deep halo fills cover every ghost cell the `k` trapezoid sub-steps
+//!   read before the next exchange?
 
 pub mod coverage;
 pub mod lints;
 pub mod overlap;
+pub mod superstep;
 
 pub use hpf_ir::diag::{render_json, render_text, sort};
 pub use hpf_ir::{Diagnostic, Severity, Span};

@@ -1,0 +1,143 @@
+//! Ghost-coverage geometry for superstep (deep-halo) schedules.
+//!
+//! A depth-`k` superstep issues one deep halo exchange and then runs `k`
+//! stencil sub-steps without communicating, each sub-step reading ghost
+//! cells the single exchange must have filled. Whether a candidate set of
+//! deep fills actually covers every ghost cell the trapezoid sub-steps read
+//! is a pure geometry question, independent of the loop IR — and this
+//! module answers it in *depth coordinates*: per dimension, a point's
+//! coordinate is its ghost depth, negative on the low side, positive on the
+//! high side, `0` anywhere inside the owned block. A PE's ghost region is
+//! then the integer ring box around the origin, and a deep fill (one
+//! compiled overlap-shift schedule) is an axis-aligned box — e.g. a
+//! depth-`D` high-side fill along dimension `d`, widened by corner
+//! forwarding into `[-cl, ch]` along another dimension `e`, is the box with
+//! interval `[1, D]` at `d` and `[-cl, ch]` at `e`.
+//!
+//! The check ([`uncovered_ghost`]) simply enumerates every integer point of
+//! the required ghost ring and tests membership in the fill-box union.
+//! Requirements are halo-sized (a handful of cells per side, per
+//! dimension), so the enumeration is tiny — at halo 4 in 3-D it is at most
+//! `9^3` points — and exactness matters more than asymptotics: the planner
+//! uses this as a *legality* oracle (an uncovered point makes the kernel
+//! ineligible for superstepping, falling back to `k = 1`), and the plan
+//! verifier's PL004 rule re-derives the same geometry independently as a
+//! defense in depth.
+
+/// Per-dimension required ghost validity, `(lo, hi)` cells per side
+/// (non-negative). `(0, 0)` in every dimension means no ghost reads.
+pub type GhostNeed = Vec<(i64, i64)>;
+
+/// An axis-aligned fill box in depth coordinates: per-dimension inclusive
+/// `(lo, hi)` interval, where negative depths are low-side ghosts, positive
+/// are high-side ghosts, and `0` stands for the whole owned extent.
+pub type FillBox = Vec<(i64, i64)>;
+
+/// First ghost point the fills leave uncovered, or `None` when every ghost
+/// cell the need describes is written by at least one fill box.
+///
+/// The required region is the ring box `[-need[d].0, need[d].1]` per
+/// dimension minus the all-owned origin; a point is covered when some fill
+/// box contains it in every dimension. Points are visited in odometer order
+/// (last dimension fastest), so the returned witness is deterministic.
+pub fn uncovered_ghost(need: &GhostNeed, fills: &[FillBox]) -> Option<Vec<i64>> {
+    let rank = need.len();
+    if rank == 0 {
+        return None;
+    }
+    let mut point: Vec<i64> = need.iter().map(|&(lo, _)| -lo).collect();
+    loop {
+        let is_ghost = point.iter().any(|&c| c != 0);
+        if is_ghost {
+            let covered = fills.iter().any(|f| {
+                f.len() == rank && f.iter().zip(&point).all(|(&(lo, hi), &c)| lo <= c && c <= hi)
+            });
+            if !covered {
+                return Some(point);
+            }
+        }
+        // Odometer increment, last dimension fastest.
+        let mut d = rank;
+        loop {
+            if d == 0 {
+                return None;
+            }
+            d -= 1;
+            if point[d] < need[d].1 {
+                point[d] += 1;
+                point[d + 1..].iter_mut().zip(&need[d + 1..]).for_each(|(c, &(lo, _))| *c = -lo);
+                break;
+            }
+        }
+    }
+}
+
+/// Total ghost cells the need describes per unit of owned surface — the
+/// ring-box point count (every integer point of the box minus the origin).
+/// Purely diagnostic: lets callers report how large a region a coverage
+/// failure concerns.
+pub fn ghost_point_count(need: &GhostNeed) -> u64 {
+    let total: u64 = need.iter().map(|&(lo, hi)| (lo + hi + 1) as u64).product();
+    total.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_need_is_always_covered() {
+        assert_eq!(uncovered_ghost(&vec![(0, 0), (0, 0)], &[]), None);
+        assert_eq!(uncovered_ghost(&vec![], &[]), None);
+        assert_eq!(ghost_point_count(&vec![(0, 0), (0, 0)]), 0);
+    }
+
+    #[test]
+    fn face_fills_cover_star_need() {
+        // A 5-point stencil at depth 1 needs only the four faces, no
+        // corners — but the need box includes corners, so face fills alone
+        // leave a corner uncovered...
+        let need = vec![(1, 1), (1, 1)];
+        let faces = vec![
+            vec![(-1, -1), (0, 0)],
+            vec![(1, 1), (0, 0)],
+            vec![(0, 0), (-1, -1)],
+            vec![(0, 0), (1, 1)],
+        ];
+        let witness = uncovered_ghost(&need, &faces).expect("corner uncovered");
+        assert!(witness.iter().all(|&c| c != 0), "witness is a corner: {witness:?}");
+        // ...and corner-extended fills (the RSD augmentation) cover it.
+        let extended = vec![
+            vec![(-1, -1), (0, 0)],
+            vec![(1, 1), (0, 0)],
+            vec![(-1, 1), (-1, -1)],
+            vec![(-1, 1), (1, 1)],
+        ];
+        assert_eq!(uncovered_ghost(&need, &extended), None);
+    }
+
+    #[test]
+    fn deep_fills_cover_deep_need() {
+        // Depth-3 need in 1-D, covered by one fill per side.
+        let need = vec![(3, 3)];
+        assert_eq!(uncovered_ghost(&need, &[vec![(-3, -1)], vec![(1, 3)]]), None);
+        // A shallower fill leaves the deepest cell uncovered.
+        let w = uncovered_ghost(&need, &[vec![(-2, -1)], vec![(1, 3)]]).unwrap();
+        assert_eq!(w, vec![-3]);
+    }
+
+    #[test]
+    fn one_sided_need_ignores_other_side() {
+        // EOSHIFT-style single-direction reads: only the high side needed.
+        let need = vec![(0, 2), (0, 0)];
+        assert_eq!(uncovered_ghost(&need, &[vec![(1, 2), (0, 0)]]), None);
+        assert_eq!(uncovered_ghost(&need, &[vec![(1, 1), (0, 0)]]), Some(vec![2, 0]));
+    }
+
+    #[test]
+    fn ghost_count_is_ring_points() {
+        assert_eq!(ghost_point_count(&vec![(1, 1)]), 2);
+        assert_eq!(ghost_point_count(&vec![(1, 1), (1, 1)]), 8);
+        assert_eq!(ghost_point_count(&vec![(2, 2), (2, 2)]), 24);
+    }
+}

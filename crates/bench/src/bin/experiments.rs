@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen|overlap|trace|tune|fig7to10|fuzz]
+//! experiments [--exp all|fig11|fig17|fig18|comm-count|temp-storage|robustness|ablation|scaling|persistent|codegen|overlap|trace|tune|superstep|fig7to10|fuzz]
 //!             [--n SIZE] [--sizes a,b,c] [--steps K]
 //!             [--engine seq|threaded|threaded-overlap] [--json]
 //! ```
@@ -16,7 +16,9 @@
 //! the recorded spans, and writes `BENCH_trace.json`. `--exp tune` compares
 //! the auto-tuner's pick against the default configuration and an
 //! exhaustive search (defaulting to N in {128, 512, 2048}) and writes
-//! `BENCH_tune.json`.
+//! `BENCH_tune.json`. `--exp superstep` runs Problem 9 at
+//! communication-avoiding superstep depths {1, 2, 4, 8} under every engine
+//! (defaulting to N in {128, 512}) and writes `BENCH_superstep.json`.
 //!
 //! `--engine` accepts the same specs as `hpfsc` (parsed by
 //! [`ExecConfig::from_cli_str`]): an engine (`seq`, `threaded`,
@@ -43,6 +45,7 @@ const EXPERIMENTS: &[&str] = &[
     "overlap",
     "trace",
     "tune",
+    "superstep",
     "fig7to10",
     "fuzz",
 ];
@@ -190,6 +193,23 @@ fn main() {
             println!("{}", t.render());
         }
         eprintln!("wrote BENCH_tune.json");
+        return;
+    }
+    if args.exp == "superstep" {
+        // Communication-avoiding superstep depths {1,2,4,8} on Problem 9;
+        // every depth runs the same logical-step budget and is verified
+        // bitwise against the classic schedule. Defaults to the paper-scale
+        // sizes where the wall-clock win is also asserted.
+        let sizes: Vec<usize> = if args.sizes_given { args.sizes.clone() } else { vec![128, 512] };
+        let t = superstep(&sizes, args.steps);
+        std::fs::write("BENCH_superstep.json", t.to_json() + "\n")
+            .expect("write BENCH_superstep.json");
+        if args.json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{}", t.render());
+        }
+        eprintln!("wrote BENCH_superstep.json");
         return;
     }
     if args.exp == "fig7to10" {

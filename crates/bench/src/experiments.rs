@@ -694,8 +694,13 @@ pub fn scaling(n: usize, engine: Engine) -> Table {
     t
 }
 
-/// Run one tuner candidate as a persistent plan for `steps` steps, returning
-/// (wall ms, gathered output) — the measurement loop of [`tune`].
+/// Run one tuner candidate as a persistent plan for `steps` machine steps,
+/// returning (wall ms, gathered output) — the measurement loop of [`tune`].
+/// Superstep winners fuse `k` logical steps into every machine step, so the
+/// wall clock is normalized by [`hpf_core::Plan::logical_steps_per_step`] to
+/// keep configurations of different depths comparable per logical sweep
+/// (Problem 9 is idempotent in its state array, so the gathered output is
+/// depth-independent and the bitwise cross-check still applies).
 fn tune_run(
     kernel: &Kernel,
     steps: usize,
@@ -705,7 +710,8 @@ fn tune_run(
     let mut plan = kernel.plan(cfg).init("U", input).config(exec).build().unwrap();
     let t0 = std::time::Instant::now();
     plan.iterate(steps);
-    (t0.elapsed().as_secs_f64() * 1e3, plan.gather("T").unwrap())
+    let wall = t0.elapsed().as_secs_f64() * 1e3 / plan.logical_steps_per_step() as f64;
+    (wall, plan.gather("T").unwrap())
 }
 
 /// **Auto-tuning** — the cost-guided search vs the default configuration on
@@ -801,6 +807,169 @@ pub fn tune(sizes: &[usize], steps: usize) -> Table {
     t
 }
 
+/// Run Problem 9 at communication-avoiding superstep depth `k` for a fixed
+/// budget of `steps` logical steps — depth `k` fuses `k` logical steps into
+/// every machine step, so it takes `steps / k` machine steps and exchanges
+/// halos once per machine step instead of once per logical step. Returns
+/// (wall ms of the iterate loop, gathered output, counters, supersteps
+/// executed per machine step). The wall clock covers only `iterate` — plan
+/// compilation (including the one-time deep-fill schedule set) is excluded,
+/// exactly like [`overlap_sweep`].
+fn superstep_sweep(
+    kernel: &Kernel,
+    steps: usize,
+    k: usize,
+    engine: Engine,
+) -> (f64, f64, Vec<f64>, hpf_core::AggStats, u64) {
+    let exec = hpf_core::ExecConfig::new().engine(engine).backend(Backend::Bytecode).superstep(k);
+    let mut plan =
+        kernel.plan(MachineConfig::grid(vec![2, 2])).init("U", input).config(exec).build().unwrap();
+    let logical = plan.logical_steps_per_step();
+    assert!(
+        steps.is_multiple_of(logical),
+        "step budget {steps} must divide evenly into depth-{k} machine steps"
+    );
+    let t0 = std::time::Instant::now();
+    plan.iterate(steps / logical);
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    (wall, plan.modeled_ms(), plan.gather("T").unwrap(), plan.stats(), plan.supersteps_per_step())
+}
+
+/// **Communication-avoiding supersteps** — Problem 9 at superstep depths
+/// {1, 2, 4, 8} across problem sizes, every depth doing the same `steps`
+/// logical steps (rounded up to a multiple of 8 so every depth divides it).
+/// Each depth is timed under all three engines and the fastest is reported;
+/// `vs best k=1` is the speedup over the best classic (depth-1) engine.
+/// Problem 9's stencil chain reads only the exchanged state array, so its
+/// trapezoids never shrink (zero redundant boundary recomputation) and the
+/// deep schedules elide `(k-1)/k` of the exchanges outright — the experiment
+/// asserts the ≥2x message and schedule-execution reduction at every depth
+/// k>1, bitwise-identical results across all depths and engines, a strictly
+/// better modeled (SP-2 cost model) time at every depth k>1, and a
+/// wall-clock win over the best classic engine at N≥256 (at N=128 the
+/// exchanged volume is small enough that host timer noise swamps the win,
+/// so only non-regression is asserted there).
+pub fn superstep(sizes: &[usize], steps: usize) -> Table {
+    const SS_REPS: usize = 5;
+    const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+    let steps = steps.max(1).next_multiple_of(8);
+    let mut t = Table::new(
+        format!(
+            "Communication-avoiding supersteps — Problem 9 ({steps} logical steps, 2x2 PEs, bytecode backend)"
+        ),
+        &[
+            "N",
+            "k",
+            "engine",
+            "wall [ms]",
+            "vs best k=1",
+            "modeled [ms]",
+            "msgs",
+            "sched execs",
+            "elided",
+            "redundant cells",
+        ],
+    );
+    for &n in sizes {
+        let kernel = Kernel::compile(&presets::problem9(n), CompileOptions::full()).unwrap();
+        let mut reference: Option<Vec<f64>> = None;
+        let mut best_k1 = f64::INFINITY;
+        let mut best_deep = f64::INFINITY;
+        let mut base_stats: Option<hpf_core::AggStats> = None;
+        let mut base_modeled = f64::INFINITY;
+        for k in DEPTHS {
+            let mut best: Option<(f64, f64, Engine, hpf_core::AggStats)> = None;
+            for engine in [Engine::Sequential, Engine::Threaded, Engine::ThreadedOverlap] {
+                for _ in 0..SS_REPS {
+                    let (w, m, u, st, ss) = superstep_sweep(&kernel, steps, k, engine);
+                    if k > 1 {
+                        assert!(ss >= 1, "depth {k} silently fell back to classic at N={n}");
+                    }
+                    match &reference {
+                        Some(r) => assert_eq!(r, &u, "depth {k} {engine:?} diverged at N={n}"),
+                        None => reference = Some(u),
+                    }
+                    if best.as_ref().is_none_or(|b| w < b.0) {
+                        best = Some((w, m, engine, st));
+                    }
+                }
+            }
+            let (wall, modeled, engine, st) = best.expect("at least one engine timed");
+            if k == 1 {
+                best_k1 = wall;
+                base_stats = Some(st.clone());
+                base_modeled = modeled;
+            } else {
+                best_deep = best_deep.min(wall);
+                let base = base_stats.as_ref().expect("depth 1 runs first");
+                assert!(
+                    base.total_messages() >= 2 * st.total_messages(),
+                    "depth {k} must at least halve messages at N={n}: {} vs {}",
+                    base.total_messages(),
+                    st.total_messages()
+                );
+                assert!(
+                    base.schedule_reuses >= 2 * st.schedule_reuses,
+                    "depth {k} must at least halve schedule executions at N={n}: {} vs {}",
+                    base.schedule_reuses,
+                    st.schedule_reuses
+                );
+                assert!(st.exchanges_elided > 0, "depth {k} elided no exchanges at N={n}");
+                // Deterministic counterpart of the wall-clock win: on the
+                // SP-2 cost model the elided exchange latency is a strict
+                // improvement for a kernel with zero redundant recompute.
+                assert!(
+                    modeled < base_modeled,
+                    "depth {k} must improve modeled time at N={n}: {modeled} vs {base_modeled}"
+                );
+            }
+            t.row(vec![
+                n.to_string(),
+                k.to_string(),
+                engine.label().to_string(),
+                ms(wall),
+                format!("{:.2}x", best_k1 / wall),
+                ms(modeled),
+                st.total_messages().to_string(),
+                st.schedule_reuses.to_string(),
+                st.exchanges_elided.to_string(),
+                st.redundant_cells.to_string(),
+            ]);
+        }
+        // Wall-clock: the deep schedules strictly reduce host work (fewer
+        // pack/send/unpack memcpys, same compute for a zero-redundancy
+        // kernel), but the simulator's messages are cheap memcpys, so the
+        // win only clears timer noise once the exchanged volume is large.
+        // At N>=256 the best deep depth must beat the best classic engine
+        // outright; at the smaller release size (N=128) it must at least
+        // stay within noise of it — there the deterministic modeled
+        // assertion above carries the communication-avoidance claim.
+        if n >= 256 {
+            assert!(
+                best_deep < best_k1,
+                "superstep must beat the best classic engine at N={n}: {best_deep} vs {best_k1}"
+            );
+        } else if n >= 128 {
+            assert!(
+                best_deep <= best_k1 * 1.05,
+                "superstep must not lose wall-clock at N={n}: {best_deep} vs {best_k1}"
+            );
+        }
+    }
+    t.note(
+        "every depth runs the same logical-step budget (depth k takes steps/k machine \
+         steps); wall is the best of 5 reps x 3 engines per depth, iterate loop only; \
+         messages and schedule executions shrink ~kx because the deep-fill exchange \
+         runs once per machine step, and modeled time (SP-2 cost model, per-message \
+         latency dominant) shrinks with them — the paper's regime, where the wall \
+         column is bounded by the host's memcpy-cheap simulated messages; Problem 9's \
+         chain reads only the exchanged state array, so trapezoids never shrink and \
+         redundant cells stay 0; final states verified bitwise across all depths, \
+         engines, and reps",
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -809,12 +978,33 @@ mod tests {
     fn tune_experiment_beats_or_matches_the_default() {
         let t = tune(&[24], 2);
         assert_eq!(t.rows.len(), 1);
-        // 3 grid factorizations of 4 PEs x (seq: 2 + threaded: 4 + overlap: 4).
-        assert_eq!(t.rows[0][1], "30");
+        // 3 grid factorizations of 4 PEs x (seq: 2 + threaded: 4 + overlap: 4)
+        // x 4 superstep depths (Problem 9 is eligible for deep halos).
+        assert_eq!(t.rows[0][1], "120");
         let timed: usize = t.rows[0][2].parse().unwrap();
         assert!(timed > 0 && timed <= 8);
         let ratio: f64 = t.rows[0][8].parse().unwrap();
         assert!(ratio.is_finite() && ratio > 0.0);
+    }
+
+    #[test]
+    fn superstep_experiment_elides_communication_and_stays_bitwise() {
+        // Small size in debug mode: superstep() itself asserts the >=2x
+        // message/schedule reduction, the bitwise identity across depths and
+        // engines, and (only at release-bench sizes N>=128) the wall-clock
+        // win; here check the table shape and the k-fold message scaling.
+        let t = superstep(&[24], 8);
+        assert_eq!(t.rows.len(), 4, "one row per depth");
+        let msgs = |r: usize| t.rows[r][6].parse::<u64>().unwrap();
+        let elided = |r: usize| t.rows[r][8].parse::<u64>().unwrap();
+        assert_eq!(t.rows[0][1], "1");
+        assert_eq!(elided(0), 0, "classic depth elides nothing: {:?}", t.rows[0]);
+        for r in 1..4 {
+            // Each doubling of k halves the exchange count again.
+            assert!(msgs(r - 1) >= 2 * msgs(r), "{:?} vs {:?}", t.rows[r - 1], t.rows[r]);
+            assert!(elided(r) > elided(r - 1), "{:?}", t.rows[r]);
+            assert_eq!(t.rows[r][9], "0", "Problem 9 recomputes nothing: {:?}", t.rows[r]);
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod vm;
 
 pub use bytecode::{reads_before_def, KernelCode, Op, Reg, Slot};
 pub use verify::{verify_nest, Fault, BV001, BV002, BV003, BV004};
-pub use vm::{compile_nest, exec_compiled, exec_compiled_range, CompiledNest};
+pub use vm::{compile_nest, exec_compiled, exec_compiled_over, exec_compiled_range, CompiledNest};
 
 #[cfg(test)]
 mod tests {

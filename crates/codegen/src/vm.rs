@@ -320,6 +320,29 @@ pub fn exec_compiled_range(pe: &mut PeState, cn: &CompiledNest, region: &[(i64, 
     exec_over(pe, cn, &lo, &hi, true);
 }
 
+/// Execute a compiled nest over an explicit local box `lo..=hi` that may
+/// *extend beyond* the compiled owned bounds into the ghost layers — the
+/// trapezoid sub-step sweeps of the superstep schedule, which redundantly
+/// recompute neighbor-owned cells from deep-halo data. The caller
+/// guarantees that, per dimension, the box stays within subgrid storage
+/// (`1 - halo ..= ext + halo`) and that every read offset from a box point
+/// also lands in storage (expansion + read radius ≤ halo — the superstep
+/// legality conditions); rows violating that fall back to the checked
+/// executor and panic exactly like the interpreter would. Iteration order
+/// is the compiled row-major order (no thin-box transposition): ghost
+/// points overlap neighbor-owned points, so order stays observable-safe
+/// only by matching the interpreter walk exactly.
+pub fn exec_compiled_over(pe: &mut PeState, cn: &CompiledNest, lo: &[i64], hi: &[i64]) {
+    if cn.empty {
+        return;
+    }
+    debug_assert_eq!(lo.len(), cn.lo.len());
+    if lo.iter().zip(hi).any(|(l, h)| h < l) {
+        return;
+    }
+    exec_over(pe, cn, lo, hi, false);
+}
+
 /// Below this many points per row, a `reorder_ok` box runs column-major:
 /// the per-row dispatch (bounds proof + op loop set-up) would otherwise
 /// dominate rows of a handful of points.

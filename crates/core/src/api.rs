@@ -248,11 +248,20 @@ impl OracleRunner<'_> {
 
     /// Interpret the checked source program on dense global arrays.
     pub fn run(self) -> Reference {
+        self.run_steps(1)
+    }
+
+    /// Interpret the program `steps` times in sequence on the same state —
+    /// the oracle for driver-stepped superstep plans, where one machine
+    /// step covers several logical sweeps ([`Run::logical_steps`]).
+    pub fn run_steps(self, steps: usize) -> Reference {
         let mut r = Reference::new(&self.kernel.checked);
         for (name, f) in &self.inits {
             r.fill_named(name, |p| f(p));
         }
-        r.run(&self.kernel.checked);
+        for _ in 0..steps.max(1) {
+            r.run(&self.kernel.checked);
+        }
         r
     }
 }
@@ -311,6 +320,15 @@ impl Runner<'_> {
         self
     }
 
+    /// Set the communication-avoiding superstep depth `k` — see
+    /// [`Planner::superstep`]. For driver-stepped flat kernels the single
+    /// sweep then covers `k` logical steps ([`Run::logical_steps`]), and
+    /// [`Runner::run_verified`] steps the oracle the same number of times.
+    pub fn superstep(mut self, k: usize) -> Self {
+        self.exec_cfg = self.exec_cfg.superstep(k);
+        self
+    }
+
     /// Execute one sweep. A thin wrapper over the plan API: builds a
     /// [`Plan`] (allocating input arrays first, then the remaining arrays —
     /// respecting the memory budget, which is how Figure 11's exhaustion
@@ -341,7 +359,9 @@ impl Runner<'_> {
         for (name, f) in inits {
             oracle.inits.push((name, f));
         }
-        let reference = oracle.run();
+        // A driver-stepped superstep plan covers k logical sweeps per
+        // machine step; the oracle must cover the same number.
+        let reference = oracle.run_steps(run.logical_steps);
         for name in outputs {
             let id = kernel.array_id(name)?;
             if !run.machine.is_allocated(id) {
@@ -424,6 +444,20 @@ impl<'k> Planner<'k> {
         self
     }
 
+    /// Set the communication-avoiding superstep depth `k` (default 1, the
+    /// classic exchange-every-step schedule): the machine's overlap area is
+    /// deepened to the schedule's deep-fill depth automatically, one deep
+    /// exchange then covers `k` sub-steps, and trapezoid boundary cells are
+    /// redundantly recomputed instead of received. Results stay bitwise
+    /// identical to the classic schedule. An ineligible kernel — or one
+    /// whose deep halo would not fit the per-PE subgrids, or a plan with
+    /// per-step [`Planner::swap`]s — falls back to `k = 1`;
+    /// [`Plan::superstep_diags`] explains any fallback.
+    pub fn superstep(mut self, k: usize) -> Self {
+        self.exec_cfg = self.exec_cfg.superstep(k);
+        self
+    }
+
     /// Build the plan: construct the machine, allocate and fill the input
     /// arrays, allocate every remaining array the kernel references, and
     /// compile every communication op into a persistent schedule. All
@@ -438,26 +472,48 @@ impl<'k> Planner<'k> {
         // after the stats reset below, so they survive into `Plan::stats`.
         let mut tuned: Option<(u64, u64, u64)> = None;
         if exec_cfg.auto {
-            let tuner = self.tuner.clone().unwrap_or_else(|| hpf_tune::Tuner::new(config.clone()));
+            let mut tuner =
+                self.tuner.clone().unwrap_or_else(|| hpf_tune::Tuner::new(config.clone()));
+            if !self.swaps.is_empty() {
+                // Per-step buffer swaps are superstep-incompatible at the
+                // plan level (see the SS009 gate below); keep the tuner
+                // from wasting timings on depths this plan cannot use.
+                tuner = tuner.supersteps(vec![1]);
+            }
             let outcome = self.kernel.tune(&tuner)?;
             config.grid = hpf_runtime::PeGrid::new(outcome.best.grid.clone());
             config.par_threshold = outcome.best.par_threshold;
             exec_cfg.engine = outcome.best.engine;
             exec_cfg.backend = outcome.best.backend;
+            exec_cfg = exec_cfg.superstep(outcome.best.superstep);
             exec_cfg.auto = false;
             tuned =
                 Some((outcome.cache_hit as u64, (!outcome.cache_hit) as u64, outcome.search_ns));
         }
-        let mut machine = Machine::new(config);
-        for (name, f) in &self.inits {
-            let id = self.kernel.array_id(name)?;
-            if !machine.is_allocated(id) {
-                machine.alloc(id, self.kernel.checked.symbols.array(id))?;
-            }
-            machine.fill(id, |p| f(p));
-        }
-        machine.reset_stats();
         let node = &self.kernel.compiled.node;
+        // Superstep gating: the plan applies double-buffer swaps once per
+        // plan step, but a depth-k superstep runs k logical steps inside
+        // one plan step — per-logical-step swaps cannot interleave with
+        // the sub-steps, so swaps force the classic schedule.
+        let mut gate_diags = Vec::new();
+        if exec_cfg.superstep > 1 && !self.swaps.is_empty() {
+            gate_diags.push(hpf_ir::Diagnostic::warning(
+                hpf_exec::superstep::SS009,
+                "superstep depth > 1 cannot interleave per-step double-buffer swaps with its \
+                 sub-steps; falling back to the classic schedule",
+            ));
+            exec_cfg = exec_cfg.superstep(1);
+        }
+        // Deep-halo sizing: a depth-k superstep needs the overlap area
+        // allocated to the deep-fill depth. An ineligible kernel returns
+        // `None` and keeps the base halo — `ExecPlan::build` then records
+        // the planner's `SS00x` diagnostics and builds classic.
+        let base_halo = config.halo;
+        if exec_cfg.superstep > 1 {
+            if let Some(h) = hpf_exec::superstep_halo(node, exec_cfg.superstep) {
+                config.halo = config.halo.max(h);
+            }
+        }
         // The pipeline's `check_invariants` option (on by default in debug
         // builds) promotes the plan to a checked build: communication plans
         // are prevalidated and the static verifiers (BV*/PL*) fail hard
@@ -473,7 +529,41 @@ impl<'k> Planner<'k> {
         {
             exec_cfg.engine = Engine::Threaded;
         }
-        let exec = ExecPlan::build(&mut machine, node, &exec_cfg)?;
+        let attempt = |config: MachineConfig,
+                       exec_cfg: &ExecConfig|
+         -> Result<(Machine, ExecPlan), CoreError> {
+            let mut machine = Machine::new(config);
+            for (name, f) in &self.inits {
+                let id = self.kernel.array_id(name)?;
+                if !machine.is_allocated(id) {
+                    machine.alloc(id, self.kernel.checked.symbols.array(id))?;
+                }
+                machine.fill(id, |p| f(p));
+            }
+            machine.reset_stats();
+            let exec = ExecPlan::build(&mut machine, node, exec_cfg)?;
+            Ok((machine, exec))
+        };
+        let (mut machine, exec) = match attempt(config.clone(), &exec_cfg) {
+            Err(CoreError::Runtime(RtError::HaloTooDeep { .. })) if exec_cfg.superstep > 1 => {
+                // The deep halo does not fit this machine's per-PE
+                // subgrids: too many PEs for the problem size at this
+                // depth. Fall back to the classic schedule at the base
+                // halo rather than fail the build.
+                gate_diags.push(hpf_ir::Diagnostic::warning(
+                    hpf_exec::superstep::SS008,
+                    format!(
+                        "depth-{} deep halo does not fit the per-PE subgrids; falling back to \
+                         the classic schedule",
+                        exec_cfg.superstep
+                    ),
+                ));
+                exec_cfg = exec_cfg.superstep(1);
+                config.halo = base_halo;
+                attempt(config, &exec_cfg)?
+            }
+            other => other?,
+        };
         if let Some((hits, misses, search_ns)) = tuned {
             machine.note_tune(hits, misses, search_ns);
         }
@@ -486,7 +576,15 @@ impl<'k> Planner<'k> {
             }
             swaps.push((ia, ib));
         }
-        Ok(Plan { kernel: self.kernel, machine, exec, swaps, steps: 0, wall: Duration::ZERO })
+        Ok(Plan {
+            kernel: self.kernel,
+            machine,
+            exec,
+            swaps,
+            gate_diags,
+            steps: 0,
+            wall: Duration::ZERO,
+        })
     }
 }
 
@@ -501,6 +599,9 @@ pub struct Plan<'k> {
     pub machine: Machine,
     exec: ExecPlan,
     swaps: Vec<(ArrayId, ArrayId)>,
+    /// Core-level superstep fallback diagnostics (swap and halo gates),
+    /// reported alongside the exec planner's via [`Plan::superstep_diags`].
+    gate_diags: Vec<hpf_ir::Diagnostic>,
     steps: u64,
     wall: Duration,
 }
@@ -578,9 +679,40 @@ impl Plan<'_> {
         self.exec.overlap_windows_per_step()
     }
 
+    /// Logical stencil steps one [`Plan::step`] covers: the superstep depth
+    /// `k` for a flat (driver-stepped) kernel tiled in time by
+    /// [`Planner::superstep`], else 1. Drivers stepping to a target count
+    /// divide by this.
+    pub fn logical_steps_per_step(&self) -> usize {
+        self.exec.logical_steps_per_step()
+    }
+
+    /// Superstep executions one [`Plan::step`] performs (zero on the
+    /// classic schedule).
+    pub fn supersteps_per_step(&self) -> u64 {
+        self.exec.supersteps_per_step()
+    }
+
+    /// Exchange executions one step elides relative to the classic
+    /// schedule of the same kernel (zero on the classic schedule).
+    pub fn exchanges_elided_per_step(&self) -> u64 {
+        self.exec.exchanges_elided_per_step()
+    }
+
+    /// Why the requested [`Planner::superstep`] depth fell back to the
+    /// classic schedule: the exec planner's `SS00x` eligibility
+    /// diagnostics plus the core-level swap (SS009) and halo-fit (SS008)
+    /// gates. Empty when no fallback happened (or none was requested).
+    pub fn superstep_diags(&self) -> Vec<hpf_ir::Diagnostic> {
+        let mut out = self.gate_diags.clone();
+        out.extend(self.exec.superstep_diags().iter().cloned());
+        out
+    }
+
     /// Run the static verifiers over the built plan — the bytecode
     /// verifier's `BV*` obligations on every compiled kernel and the race
-    /// checker's `PL*` obligations on every overlap window — and return
+    /// checker's `PL*` obligations on every overlap window and superstep
+    /// (trapezoid coverage, PL004) — and return
     /// the diagnostics (empty = machine-checked safe). `ExecPlan::build`
     /// already enforces this in debug/checked builds; this re-runs it for
     /// observation, e.g. behind `hpfsc --verify`.
@@ -636,7 +768,9 @@ impl Plan<'_> {
     /// when tracing was enabled — the recorded trace).
     pub fn into_run(mut self) -> Run {
         let trace = if self.machine.tracing_enabled() { Some(self.take_trace()) } else { None };
-        Run { machine: self.machine, wall: self.wall, trace }
+        let logical_steps = self.logical_steps_per_step();
+        let superstep_diags = self.superstep_diags();
+        Run { machine: self.machine, wall: self.wall, trace, logical_steps, superstep_diags }
     }
 }
 
@@ -649,6 +783,12 @@ pub struct Run {
     /// The recorded event trace, when the run was configured with tracing
     /// ([`Runner::trace`] / [`ExecConfig::trace`]); `None` otherwise.
     pub trace: Option<Trace>,
+    /// Logical time steps each machine step covered: the superstep depth
+    /// `k` for a driver-stepped flat superstep plan, 1 otherwise.
+    pub logical_steps: usize,
+    /// Superstep eligibility and fallback diagnostics (SS001-SS009) from
+    /// the plan build; empty unless a superstep depth was requested.
+    pub superstep_diags: Vec<hpf_ir::Diagnostic>,
 }
 
 impl Run {
@@ -943,6 +1083,91 @@ mod tests {
         assert!(hpf_analysis::has_errors(&diags));
         assert!(diags.iter().any(|d| d.code == hpf_analysis::HS001));
         assert!(diags[0].span.is_some(), "HS001 carries the source span");
+    }
+
+    #[test]
+    fn superstep_plan_matches_classic_and_elides_messages() {
+        // Problem 9 is flat, so the superstep plan is driver-stepped: one
+        // plan step covers k logical steps on one deep exchange.
+        let kernel = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| ((p[0] * 7 + p[1] * 3) as f64).sin();
+        let mut classic = kernel.plan(MachineConfig::sp2_2x2()).init("U", init).build().unwrap();
+        classic.iterate(8);
+        let mut ss =
+            kernel.plan(MachineConfig::sp2_2x2()).init("U", init).superstep(4).build().unwrap();
+        assert!(ss.superstep_diags().is_empty(), "{:?}", ss.superstep_diags());
+        assert_eq!(ss.logical_steps_per_step(), 4);
+        assert_eq!(ss.supersteps_per_step(), 1);
+        assert!(ss.exchanges_elided_per_step() > 0);
+        ss.iterate(2); // 2 plan steps × 4 logical steps = 8
+        assert_eq!(ss.gather("T").unwrap(), classic.gather("T").unwrap(), "bitwise identical");
+        let (a, b) = (ss.stats(), classic.stats());
+        assert!(
+            a.total_messages() * 2 <= b.total_messages(),
+            "superstep must at least halve message count: {} vs {}",
+            a.total_messages(),
+            b.total_messages()
+        );
+        assert_eq!(a.exchanges_elided, 2 * ss.exchanges_elided_per_step());
+
+        // The time-looped Jacobi tiles in place: same plan-step count.
+        let kernel = Kernel::compile(&presets::jacobi(16, 8), CompileOptions::full()).unwrap();
+        let mut classic = kernel.plan(MachineConfig::sp2_2x2()).init("U", init).build().unwrap();
+        let mut ss =
+            kernel.plan(MachineConfig::sp2_2x2()).init("U", init).superstep(4).build().unwrap();
+        assert!(ss.superstep_diags().is_empty(), "{:?}", ss.superstep_diags());
+        assert_eq!(ss.logical_steps_per_step(), 1, "the DO loop tiles in place");
+        assert!(ss.supersteps_per_step() > 0);
+        classic.step();
+        ss.step();
+        assert_eq!(ss.gather("U").unwrap(), classic.gather("U").unwrap());
+        assert!(ss.verify_static().is_empty(), "{:?}", ss.verify_static());
+    }
+
+    #[test]
+    fn superstep_with_swaps_falls_back_with_ss009() {
+        // Per-step double-buffer swaps cannot interleave with sub-steps.
+        let kernel = Kernel::compile(&presets::five_point(16), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| ((p[0] + 2 * p[1]) as f64).cos();
+        let mut gated = kernel
+            .plan(MachineConfig::sp2_2x2())
+            .init("SRC", init)
+            .swap("SRC", "DST")
+            .superstep(4)
+            .build()
+            .unwrap();
+        assert!(gated.superstep_diags().iter().any(|d| d.code == "SS009"));
+        assert_eq!(gated.supersteps_per_step(), 0);
+        let mut classic = kernel
+            .plan(MachineConfig::sp2_2x2())
+            .init("SRC", init)
+            .swap("SRC", "DST")
+            .build()
+            .unwrap();
+        gated.iterate(3);
+        classic.iterate(3);
+        assert_eq!(gated.gather("SRC").unwrap(), classic.gather("SRC").unwrap());
+    }
+
+    #[test]
+    fn superstep_too_deep_for_subgrids_falls_back_with_ss008() {
+        // Jacobi over 8×8 on 2×2 PEs leaves 4×4 subgrids; a depth-8
+        // superstep needs an 8-deep halo, which cannot fit — the build
+        // falls back to the classic schedule instead of failing.
+        let kernel = Kernel::compile(&presets::jacobi(8, 16), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| ((p[0] * 3 + p[1]) as f64).sin();
+        let mut plan =
+            kernel.plan(MachineConfig::sp2_2x2()).init("U", init).superstep(8).build().unwrap();
+        assert!(
+            plan.superstep_diags().iter().any(|d| d.code == "SS008"),
+            "{:?}",
+            plan.superstep_diags()
+        );
+        assert_eq!(plan.supersteps_per_step(), 0);
+        let mut classic = kernel.plan(MachineConfig::sp2_2x2()).init("U", init).build().unwrap();
+        plan.step();
+        classic.step();
+        assert_eq!(plan.gather("U").unwrap(), classic.gather("U").unwrap());
     }
 
     #[test]

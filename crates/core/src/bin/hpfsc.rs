@@ -8,7 +8,7 @@
 //! ```text
 //! hpfsc [FILE] [--stage original|offset|partition|unioning|full]
 //!              [--emit ir|node|stats|diag-json] [--lint] [--deny-warnings]
-//!              [--verify] [--run] [--grid RxC] [--halo W]
+//!              [--verify] [--run] [--grid RxC] [--halo W] [--superstep K]
 //!              [--engine seq|threaded|threaded-overlap|interp|bytecode|auto|...]
 //!              [--trace[=FILE]] [--tune[=FILE]]
 //!              [--print-input NAME[:N]] [--naive] [--drop-shift K]
@@ -47,6 +47,12 @@ options:
                         the reference interpreter
   --grid RxC            PE grid for --run (default: 2x2)
   --halo W              overlap-area width (default: 1)
+  --superstep K         communication-avoiding superstep depth for --run
+                        and --verify: exchange deep halos once per K time
+                        steps and redundantly recompute trapezoid boundary
+                        cells in between; bitwise identical to K=1. An
+                        ineligible kernel falls back to K=1 with an SS###
+                        diagnostic (default: 1)
   --engine SPEC         executor and nest backend for --run: an engine
                         (seq, threaded, threaded-overlap), a backend
                         (interp, bytecode), or both joined with '-'
@@ -83,6 +89,37 @@ exit codes: 0 success, 1 compile/run/IO failure, 2 usage error,
             3 lint warnings under --deny-warnings, 4 lint errors,
             5 static verification failure under --verify";
 
+/// Stdout vanished mid-print. A closed pipe (`hpfsc ... | head`) means the
+/// downstream consumer got everything it wanted — that is success, not an
+/// error; anything else (disk full on a redirect) is a real I/O failure.
+fn stdout_gone(e: std::io::Error) -> ! {
+    if e.kind() == std::io::ErrorKind::BrokenPipe {
+        exit(0)
+    }
+    eprintln!("hpfsc: cannot write to stdout: {e}");
+    exit(1)
+}
+
+/// `println!` to stdout without the panic-on-broken-pipe behavior.
+macro_rules! out {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        if let Err(e) = writeln!(std::io::stdout(), $($t)*) {
+            stdout_gone(e)
+        }
+    }};
+}
+
+/// `print!` to stdout without the panic-on-broken-pipe behavior.
+macro_rules! out_raw {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        if let Err(e) = write!(std::io::stdout(), $($t)*) {
+            stdout_gone(e)
+        }
+    }};
+}
+
 fn usage_error(msg: &str) -> ! {
     eprintln!("hpfsc: {msg}");
     eprintln!("{USAGE}");
@@ -117,6 +154,7 @@ fn main() {
     let mut run = false;
     let mut grid: Vec<usize> = vec![2, 2];
     let mut halo = 1usize;
+    let mut superstep = 1usize;
     let mut exec_cfg = ExecConfig::new();
     let mut trace_on = false;
     let mut trace_file: Option<String> = None;
@@ -165,6 +203,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage_error("--halo needs a non-negative integer"))
             }
+            "--superstep" => {
+                superstep = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| usage_error("--superstep needs a positive integer"))
+            }
             "--engine" => {
                 let v = args.next().unwrap_or_else(|| usage_error("--engine needs an argument"));
                 // One parser for every driver: hpfsc and the bench binary
@@ -191,7 +236,7 @@ fn main() {
                     Some(args.next().unwrap_or_else(|| usage_error("--print-input needs a name")));
             }
             "--help" | "-h" => {
-                println!("{USAGE}");
+                out!("{USAGE}");
                 exit(0)
             }
             other if other == "--tune" || other.starts_with("--tune=") => {
@@ -202,6 +247,13 @@ fn main() {
                     }
                     tune_file = Some(f.to_string());
                 }
+            }
+            other if other.starts_with("--superstep=") => {
+                superstep = other
+                    .strip_prefix("--superstep=")
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| usage_error("--superstep needs a positive integer"));
             }
             other if other == "--trace" || other.starts_with("--trace=") => {
                 trace_on = true;
@@ -222,7 +274,7 @@ fn main() {
 
     if let Some(spec) = &print_input {
         match preset_source(spec) {
-            Some(src) => print!("{src}"),
+            Some(src) => out_raw!("{src}"),
             None => usage_error(&format!("unknown preset '{spec}'")),
         }
         if file.is_none() {
@@ -260,28 +312,29 @@ fn main() {
     for what in &emit {
         match what.as_str() {
             "ir" => {
-                println!("! optimized array-level IR ({})", stage.label());
-                print!("{}", kernel.listing());
+                out!("! optimized array-level IR ({})", stage.label());
+                out_raw!("{}", kernel.listing());
             }
             "node" => {
-                println!("! node program (per-PE SPMD code)");
-                print!("{}", nodepretty::node_program(&kernel.compiled.node));
+                out!("! node program (per-PE SPMD code)");
+                out_raw!("{}", nodepretty::node_program(&kernel.compiled.node));
             }
             "stats" => {
                 let s = kernel.stats();
-                println!("shift intrinsics     : {}", s.normalize.shifts);
-                println!("temporaries created  : {}", s.normalize.temps);
-                println!("shifts -> overlap    : {}", s.offset.converted);
-                println!("repair copies        : {}", s.offset.copies_inserted);
-                println!("comm ops (final)     : {}", s.comm_ops);
-                println!("loop nests (final)   : {}", s.nests);
-                println!("arrays allocated     : {}", s.arrays_allocated);
-                println!(
+                out!("shift intrinsics     : {}", s.normalize.shifts);
+                out!("temporaries created  : {}", s.normalize.temps);
+                out!("shifts -> overlap    : {}", s.offset.converted);
+                out!("repair copies        : {}", s.offset.copies_inserted);
+                out!("comm ops (final)     : {}", s.comm_ops);
+                out!("loop nests (final)   : {}", s.nests);
+                out!("arrays allocated     : {}", s.arrays_allocated);
+                out!(
                     "loads per point      : {} -> {}",
-                    s.memopt.loads_before, s.memopt.loads_after
+                    s.memopt.loads_before,
+                    s.memopt.loads_after
                 );
             }
-            "diag-json" => println!("{}", analysis::render_json(&diags)),
+            "diag-json" => out!("{}", analysis::render_json(&diags)),
             other => {
                 eprintln!("hpfsc: unknown --emit kind '{other}'");
                 exit(2)
@@ -302,19 +355,27 @@ fn main() {
         let vcfg = ExecConfig::new()
             .engine(hpf_core::Engine::ThreadedOverlap)
             .backend(Backend::Bytecode)
+            .superstep(superstep)
             .check_invariants(false);
         let mcfg = MachineConfig::with_grid(grid.clone()).halo(halo);
         match kernel.plan(mcfg).config(vcfg).build() {
             Ok(plan) => {
                 let vdiags = plan.verify_static();
                 if vdiags.is_empty() {
-                    println!(
+                    out!(
                         "! verified: {} per-PE kernels, {} overlap windows per step \
                          ({:?} grid)",
                         grid.iter().product::<usize>(),
                         plan.overlap_windows_per_step(),
                         grid
                     );
+                    if plan.supersteps_per_step() > 0 {
+                        out!(
+                            "! verified: superstep trapezoid coverage (PL004), \
+                             {} supersteps per step at depth {superstep}",
+                            plan.supersteps_per_step()
+                        );
+                    }
                 } else {
                     eprint!("{}", analysis::render_text(&vdiags));
                     exit(5)
@@ -344,21 +405,25 @@ fn main() {
             Ok(out) => {
                 let cache_name = tune_file.as_deref().unwrap_or(hpf_core::tune::DEFAULT_CACHE_FILE);
                 if out.cache_hit {
-                    println!(
+                    out!(
                         "! tune: cache hit in {cache_name} (key {}) — zero candidates timed",
                         out.fingerprint
                     );
                 } else {
-                    println!(
+                    out!(
                         "! tune: searched {} candidates, timed {}, {:.1} ms (key {}, cached in {cache_name})",
                         out.candidates.len(),
                         out.timed,
                         out.search_ns as f64 / 1e6,
                         out.fingerprint
                     );
-                    println!(
+                    out!(
                         "  {:<10} {:<26} {:>6} {:>12} {:>12}",
-                        "grid", "config", "pts", "modeled ms", "measured ms"
+                        "grid",
+                        "config",
+                        "pts",
+                        "modeled ms",
+                        "measured ms"
                     );
                     for c in &out.candidates {
                         let modeled = if c.modeled_ms.is_finite() {
@@ -371,7 +436,7 @@ fn main() {
                             None => "-".to_string(),
                         };
                         let marker = if *c == out.best { '*' } else { ' ' };
-                        println!(
+                        out!(
                             "{marker} {:<10} {:<26} {:>6} {:>12} {:>12}",
                             hpf_core::tune::grid_label(&c.grid),
                             c.exec_config().label(),
@@ -381,7 +446,7 @@ fn main() {
                         );
                     }
                 }
-                println!(
+                out!(
                     "! best: {} {} pts={} ({:.4} ms measured)",
                     hpf_core::tune::grid_label(&out.best.grid),
                     out.best.exec_config().label(),
@@ -402,7 +467,8 @@ fn main() {
 
     if run {
         let cfg = MachineConfig::with_grid(grid.clone()).halo(halo);
-        let mut runner = kernel.runner(cfg.clone()).config(exec_cfg.trace(trace_on));
+        let mut runner =
+            kernel.runner(cfg.clone()).config(exec_cfg.superstep(superstep).trace(trace_on));
         if exec_cfg.auto {
             // Route the resolution through the same cache file --tune uses.
             let mut tuner = hpf_core::Tuner::new(cfg);
@@ -443,36 +509,50 @@ fn main() {
                 // Under --engine auto the machine's grid is the tuner's
                 // choice, not the --grid argument; report what actually ran.
                 let ran = &r.machine.cfg.grid.dims;
-                println!(
+                out!(
                     "\n! run on {} PEs ({ran:?} grid), verified against the oracle",
                     ran.iter().product::<usize>(),
                 );
                 if exec_cfg.auto {
-                    println!(
+                    out!(
                         "config          : auto-tuned ({} cache hits, {} misses, {:.1} ms search)",
                         stats.tune_cache_hits,
                         stats.tune_cache_misses,
                         stats.tune_search_ns as f64 / 1e6
                     );
                 }
-                println!("messages        : {}", stats.total_messages());
-                println!("comm bytes      : {}", stats.total_comm_bytes());
-                println!("intra bytes     : {}", stats.total_intra_bytes());
-                println!("peak mem per PE : {} bytes", stats.max_peak_bytes());
-                if exec_cfg.backend == Backend::Bytecode {
-                    println!("kernels compiled: {}", stats.kernels_compiled);
-                    println!("kernel execs    : {}", stats.kernel_execs);
+                if superstep > 1 {
+                    // Fallback diagnostics (SS001-SS009) explain why an
+                    // ineligible kernel ran at the classic depth instead.
+                    if !r.superstep_diags.is_empty() {
+                        eprint!("{}", analysis::render_text(&r.superstep_diags));
+                    }
+                    out!(
+                        "superstep       : depth {superstep}, {} logical steps per sweep, \
+                         {} exchanges elided, {} trapezoid cells recomputed",
+                        r.logical_steps,
+                        stats.exchanges_elided,
+                        stats.redundant_cells
+                    );
                 }
-                println!("modeled time    : {:.3} ms", r.modeled_ms());
-                println!("wall clock      : {:.3} ms", r.wall.as_secs_f64() * 1e3);
+                out!("messages        : {}", stats.total_messages());
+                out!("comm bytes      : {}", stats.total_comm_bytes());
+                out!("intra bytes     : {}", stats.total_intra_bytes());
+                out!("peak mem per PE : {} bytes", stats.max_peak_bytes());
+                if exec_cfg.backend == Backend::Bytecode {
+                    out!("kernels compiled: {}", stats.kernels_compiled);
+                    out!("kernel execs    : {}", stats.kernel_execs);
+                }
+                out!("modeled time    : {:.3} ms", r.modeled_ms());
+                out!("wall clock      : {:.3} ms", r.wall.as_secs_f64() * 1e3);
                 if trace_on {
                     let trace = r.trace.as_ref().expect("tracing was configured");
-                    println!("\n! compile passes");
+                    out!("\n! compile passes");
                     for (name, pt) in PASS_NAMES.iter().zip(kernel.stats().pass_timings.iter()) {
                         if pt.wall_ns == 0 && pt.checks == 0 {
                             continue; // pass disabled at this stage
                         }
-                        println!(
+                        out!(
                             "{:<22} {:>9.1} us   {} checks, {} diagnostics",
                             name,
                             pt.wall_ns as f64 / 1e3,
@@ -480,13 +560,13 @@ fn main() {
                             pt.diagnostics
                         );
                     }
-                    println!("\n! per-PE span summary (1 step)");
-                    print!("{}", trace.summary().render_table(1));
-                    println!("\n! per-PE counters");
-                    println!("{stats}");
+                    out!("\n! per-PE span summary (1 step)");
+                    out_raw!("{}", trace.summary().render_table(1));
+                    out!("\n! per-PE counters");
+                    out!("{stats}");
                     if let Some(path) = &trace_file {
                         match std::fs::write(path, trace.to_chrome_json()) {
-                            Ok(()) => println!(
+                            Ok(()) => out!(
                                 "\ntrace written to {path} (open in chrome://tracing \
                                  or ui.perfetto.dev)"
                             ),

@@ -11,8 +11,10 @@
 //! difference is the `kernels_compiled` / `kernel_execs` pair in
 //! `AggStats`.
 
-use crate::nest::{exec_nest, exec_nest_range};
-use hpf_codegen::{compile_nest, exec_compiled, exec_compiled_range, CompiledNest};
+use crate::nest::{exec_nest, exec_nest_expanded, exec_nest_range, expand_bounds};
+use hpf_codegen::{
+    compile_nest, exec_compiled, exec_compiled_over, exec_compiled_range, CompiledNest,
+};
 use hpf_passes::loopir::{CommOp, LoopNest, NodeItem};
 use hpf_runtime::{Machine, PeState};
 
@@ -120,5 +122,33 @@ pub(crate) fn run_nest_range(
     match kernel {
         Some(k) => exec_compiled_range(pe, k, region),
         None => exec_nest_range(pe, nest, scalars, region),
+    }
+}
+
+/// Run one nest on one PE over its local bounds *expanded* into the ghost
+/// region by `expand[d] = (below, above)` layers per side — a superstep
+/// trapezoid sub-step sweep, which redundantly recomputes neighbor-owned
+/// cells from deep-halo data. Both backends compute the identical
+/// storage-clamped box (see `exec_nest_expanded`). Returns the number of
+/// redundant (beyond-owned) points computed.
+#[inline]
+pub(crate) fn run_nest_expanded(
+    pe: &mut PeState,
+    nest: &LoopNest,
+    kernel: Option<&CompiledNest>,
+    scalars: &[f64],
+    expand: &[(i64, i64)],
+) -> u64 {
+    match kernel {
+        Some(k) => {
+            let Some((lo, hi)) = k.local_bounds() else { return 0 };
+            let (lo, hi) = (lo.to_vec(), hi.to_vec());
+            let (lo_x, hi_x) = expand_bounds(pe, nest, &lo, &hi, expand);
+            let owned: u64 = lo.iter().zip(&hi).map(|(&l, &h)| (h - l + 1) as u64).product();
+            let total: u64 = lo_x.iter().zip(&hi_x).map(|(&l, &h)| (h - l + 1) as u64).product();
+            exec_compiled_over(pe, k, &lo_x, &hi_x);
+            total - owned
+        }
+        None => exec_nest_expanded(pe, nest, scalars, expand),
     }
 }

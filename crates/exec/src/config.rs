@@ -47,7 +47,7 @@ impl Engine {
 /// assert_eq!(cfg.label(), "threaded-overlap-bytecode");
 /// assert_eq!(ExecConfig::from_cli_str("threaded-overlap-bytecode").unwrap(), cfg);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExecConfig {
     /// The executor stepping the plan.
     pub engine: Engine,
@@ -72,11 +72,33 @@ pub struct ExecConfig {
     /// plan builder itself ignores this flag and uses the embedded
     /// engine/backend as-is.
     pub auto: bool,
+    /// Superstep depth `k`: amortize one deep halo exchange over `k`
+    /// logical time steps by redundantly recomputing boundary cells on a
+    /// trapezoidally shrinking region (the communication-avoiding schedule
+    /// of `DESIGN.md §5h`). `1` (the default) is the classic
+    /// exchange-every-step schedule. Depths above 1 engage only when the
+    /// kernel passes the superstep legality analysis; an ineligible kernel
+    /// degrades to `k = 1` and the plan records why
+    /// ([`crate::ExecPlan::superstep_diags`]).
+    pub superstep: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            engine: Engine::default(),
+            backend: Backend::default(),
+            trace: None,
+            check: false,
+            auto: false,
+            superstep: 1,
+        }
+    }
 }
 
 impl ExecConfig {
     /// The default configuration: sequential engine, interpreter backend,
-    /// tracing off, checks off.
+    /// tracing off, checks off, superstep depth 1.
     pub fn new() -> ExecConfig {
         ExecConfig::default()
     }
@@ -115,6 +137,14 @@ impl ExecConfig {
     /// Toggle build-time communication-plan pre-validation.
     pub fn check_invariants(mut self, on: bool) -> Self {
         self.check = on;
+        self
+    }
+
+    /// Select the superstep depth (`0` is normalized to `1`). Depths above
+    /// 1 require a machine halo deep enough for the depth-`k` fill — size
+    /// it with [`crate::superstep_halo`].
+    pub fn superstep(mut self, k: usize) -> Self {
+        self.superstep = k.max(1);
         self
     }
 
@@ -202,6 +232,14 @@ mod tests {
         assert_eq!(cfg.backend, Backend::Interp);
         assert!(cfg.trace.is_none());
         assert!(!cfg.check);
+        assert_eq!(cfg.superstep, 1);
+    }
+
+    #[test]
+    fn superstep_builder_normalizes_zero_to_one() {
+        assert_eq!(ExecConfig::new().superstep(4).superstep, 4);
+        assert_eq!(ExecConfig::new().superstep(0).superstep, 1);
+        assert_eq!(ExecConfig::new().superstep(0), ExecConfig::new());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod plan;
 pub mod plan_verify;
 pub mod reference;
 pub mod seq;
+pub mod superstep;
 mod validate;
 pub mod verify;
 
@@ -46,4 +47,5 @@ pub use par::{execute_par, execute_par_with};
 pub use plan::ExecPlan;
 pub use reference::{DenseArray, Reference};
 pub use seq::{allocate, execute_seq, execute_seq_with};
+pub use superstep::{superstep_diags, superstep_halo};
 pub use verify::{assert_close, max_abs_diff};

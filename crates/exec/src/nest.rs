@@ -116,6 +116,63 @@ pub fn exec_nest_range(pe: &mut PeState, nest: &LoopNest, scalars: &[f64], regio
     exec_nest_over(pe, nest, scalars, &lo, &hi);
 }
 
+/// Execute one loop nest over this PE's local iteration space *expanded*
+/// into the ghost region: dimension `d` gains `expand[d].0` points below
+/// the owned block and `expand[d].1` above, clamped to allocated storage
+/// (`1-halo ..= ext+halo`). The superstep engine's trapezoid sweeps run
+/// through here — the expanded points redundantly recompute neighbor-owned
+/// cells from deep-halo data, writing the results into this PE's own ghost
+/// storage so later sub-steps can read them without communicating. Callers
+/// must guarantee (superstep legality + PL004) that every read from the
+/// expanded region stays inside allocated storage. Returns the number of
+/// points beyond the unexpanded bounds that were computed (the redundant
+/// work the cost model charges).
+pub fn exec_nest_expanded(
+    pe: &mut PeState,
+    nest: &LoopNest,
+    scalars: &[f64],
+    expand: &[(i64, i64)],
+) -> u64 {
+    let Some((lo, hi)) = nest_local_bounds(pe, nest) else {
+        return 0;
+    };
+    let (lo_x, hi_x) = expand_bounds(pe, nest, &lo, &hi, expand);
+    let owned: u64 = lo.iter().zip(&hi).map(|(&l, &h)| (h - l + 1) as u64).product();
+    let total: u64 = lo_x.iter().zip(&hi_x).map(|(&l, &h)| (h - l + 1) as u64).product();
+    exec_nest_over(pe, nest, scalars, &lo_x, &hi_x);
+    total - owned
+}
+
+/// The storage-clamped expanded bounds [`exec_nest_expanded`] runs over
+/// (shared with the bytecode twin so both backends compute the identical
+/// region). Local frame: owned cells `1..=ext`, ghosts out to `±halo`.
+pub fn expand_bounds(
+    pe: &PeState,
+    nest: &LoopNest,
+    lo: &[i64],
+    hi: &[i64],
+    expand: &[(i64, i64)],
+) -> (Vec<i64>, Vec<i64>) {
+    let probe = nest
+        .body
+        .iter()
+        .find_map(|i| match i {
+            Instr::Load { array, .. } | Instr::Store { array, .. } => Some(*array),
+            _ => None,
+        })
+        .expect("nest bodies access at least one array");
+    let sub = pe.subgrids[probe.0 as usize].as_ref().expect("allocated");
+    let halo = sub.halo as i64;
+    let lo_x: Vec<i64> = lo.iter().zip(expand).map(|(&l, &(e, _))| (l - e).max(1 - halo)).collect();
+    let hi_x: Vec<i64> = hi
+        .iter()
+        .zip(expand)
+        .enumerate()
+        .map(|(d, (&h, &(_, e)))| (h + e).min(sub.ext[d] as i64 + halo))
+        .collect();
+    (lo_x, hi_x)
+}
+
 /// The interpreter body behind [`exec_nest`] / [`exec_nest_range`]: run the
 /// register machine over the box `lo..=hi` (local, inclusive). Jammed/unit
 /// grouping is decided against these bounds.
@@ -388,6 +445,32 @@ mod tests {
             exec_nest(&mut m.pes[pe], &nest2, &[]);
         }
         assert_eq!(m.stats().total().strided_loads, 0);
+    }
+
+    #[test]
+    fn expanded_nest_computes_ghost_points_and_counts_them() {
+        let mut m = machine();
+        // Full-space copy expanded by the halo depth on every side: each
+        // PE's 4x4 block grows to 6x6 (halo 1), so 20 points per PE are
+        // redundant ghost-region recomputation.
+        let nest = copy_nest(Section::new([(1, 8), (1, 8)]), vec![0, 0]);
+        for pe in 0..4 {
+            let redundant = exec_nest_expanded(&mut m.pes[pe], &nest, &[], &[(1, 1), (1, 1)]);
+            assert_eq!(redundant, 36 - 16);
+        }
+        // Owned results match the unexpanded sweep.
+        for i in 1..=8i64 {
+            for j in 1..=8i64 {
+                assert_eq!(m.get(T, &[i, j]), (i * 100 + j) as f64, "at ({i},{j})");
+            }
+        }
+        assert_eq!(m.stats().total().iters, 4 * 36, "expanded points all counted");
+        // Zero expansion is exactly exec_nest.
+        let mut m2 = machine();
+        for pe in 0..4 {
+            assert_eq!(exec_nest_expanded(&mut m2.pes[pe], &nest, &[], &[(0, 0), (0, 0)]), 0);
+        }
+        assert_eq!(m2.stats().total().iters, 64);
     }
 
     #[test]

@@ -24,15 +24,16 @@
 
 use crate::backend::{self, Backend};
 use crate::config::{Engine, ExecConfig};
-use crate::nest::{nest_local_bounds, scalar_values};
+use crate::nest::{expand_bounds, nest_local_bounds, scalar_values};
 use crate::par::{Msg, Worker};
+use crate::superstep::{self, SsShape, SuperstepSchedule};
 use hpf_analysis::overlap::{cells, split_region, RegionSplit};
 use hpf_codegen::{compile_nest, reads_before_def, CompiledNest};
-use hpf_ir::ArrayId;
+use hpf_ir::{ArrayId, Diagnostic, ShiftKind};
 use hpf_passes::loopir::{CommOp, Instr, LoopNest, NodeItem, NodeProgram};
 use hpf_passes::memopt::iteration_local;
 use hpf_runtime::schedule::{cshift_plan, overlap_shift_plan, regions_intersect, CommAction};
-use hpf_runtime::{CompiledComm, Machine, MoveKind, RtError};
+use hpf_runtime::{CompiledComm, Machine, MoveKind, PeState, RtError};
 use hpf_trace::SpanKind;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
@@ -81,6 +82,31 @@ pub(crate) enum PlanItem {
     },
     /// Repeat the body (a `DO n TIMES` loop folded into one step).
     TimeLoop { iters: usize, body: Vec<PlanItem> },
+    /// A depth-`k` superstep (communication-avoiding temporal tile, see
+    /// [`crate::superstep`]): execute the deep-fill schedules once, then
+    /// run the body nests `k` times with trapezoidally shrinking ghost
+    /// expansions and **no** communication — sub-step `j` redundantly
+    /// recomputes neighbor-owned boundary cells from the deep halo.
+    Superstep {
+        /// Sub-steps per exchange.
+        k: usize,
+        /// Deep-fill schedule slots, in plan order.
+        comms: Vec<usize>,
+        /// Body nests in order, with per-PE kernels as in
+        /// [`PlanItem::Nest`], shared by every sub-step.
+        nests: Vec<(LoopNest, Vec<Option<CompiledNest>>)>,
+        /// `expansions[j][n]`: per-dimension `(below, above)` ghost
+        /// expansion of nest `n` in sub-step `j` — the trapezoid.
+        expansions: Vec<Vec<Vec<(i64, i64)>>>,
+        /// Per-PE owned extents of the (single) iteration space, captured
+        /// at build time so the PL004 verifier can map compiled schedule
+        /// regions into ghost-depth coordinates without the machine (empty
+        /// for a PE that owns no block).
+        pe_exts: Vec<Vec<i64>>,
+        /// Exchange executions this item elides relative to `k` classic
+        /// steps of the same body.
+        elided: u64,
+    },
 }
 
 /// A kernel compiled against one machine: allocated arrays, persistent
@@ -107,6 +133,22 @@ pub struct ExecPlan {
     /// Max over PEs of subgrid points one step computes on that PE — the
     /// work measure `MachineConfig::par_threshold` compares against.
     pe_points_per_step: u64,
+    /// Superstep executions one step performs (time-loop weighted; zero
+    /// unless built with [`ExecConfig::superstep`] depth > 1 on an
+    /// eligible kernel).
+    supersteps_per_step: u64,
+    /// Exchange executions one step elides relative to the classic
+    /// schedule (time-loop weighted).
+    exchanges_elided_per_step: u64,
+    /// Ghost-zone points one step redundantly recomputes across all PEs
+    /// and sub-steps (time-loop weighted).
+    redundant_cells_per_step: u64,
+    /// Logical stencil steps one [`ExecPlan::step`] covers: the superstep
+    /// depth `k` for a flat (driver-stepped) program tiled in time, else 1.
+    logical_steps: usize,
+    /// Why the requested superstep depth fell back to the classic `k = 1`
+    /// schedule (empty when it did not).
+    superstep_diags: Vec<Diagnostic>,
 }
 
 impl ExecPlan {
@@ -148,8 +190,52 @@ impl ExecPlan {
         let scalars = scalar_values(&node.symbols);
         let mut scheds = Vec::new();
         let mut compiled = 0u64;
-        let items =
-            compile_items(machine, &node.items, &mut scheds, &scalars, cfg.backend, &mut compiled)?;
+        let mut superstep_diags = Vec::new();
+        let mut logical_steps = 1usize;
+        // A depth-k superstep build replaces the classic item compilation
+        // wholesale; an ineligible kernel (or a machine whose halo is too
+        // shallow for the deep fills) falls back to the classic schedule,
+        // keeping the planner's diagnostics.
+        let mut items = None;
+        if cfg.superstep > 1 {
+            match superstep::plan_superstep(node, cfg.superstep) {
+                Ok(ss) if ss.halo <= machine.cfg.halo => {
+                    if ss.shape == SsShape::Flat {
+                        logical_steps = ss.k;
+                    }
+                    items = Some(build_superstep_items(
+                        machine,
+                        node,
+                        &ss,
+                        &mut scheds,
+                        &scalars,
+                        cfg.backend,
+                        &mut compiled,
+                    )?);
+                }
+                Ok(ss) => superstep_diags.push(Diagnostic::warning(
+                    superstep::SS008,
+                    format!(
+                        "machine halo {} is shallower than the depth-{} deep fill ({} layers); \
+                         falling back to the classic schedule (size the machine with \
+                         superstep_halo)",
+                        machine.cfg.halo, ss.k, ss.halo
+                    ),
+                )),
+                Err(diags) => superstep_diags = diags,
+            }
+        }
+        let items = match items {
+            Some(items) => items,
+            None => compile_items(
+                machine,
+                &node.items,
+                &mut scheds,
+                &scalars,
+                cfg.backend,
+                &mut compiled,
+            )?,
+        };
         machine.note_kernels_compiled(compiled);
         let mut plan = ExecPlan {
             items,
@@ -162,6 +248,11 @@ impl ExecPlan {
             interior_cells_per_step: 0,
             boundary_cells_per_step: 0,
             pe_points_per_step: 0,
+            supersteps_per_step: 0,
+            exchanges_elided_per_step: 0,
+            redundant_cells_per_step: 0,
+            logical_steps,
+            superstep_diags,
         };
         if cfg.engine == Engine::ThreadedOverlap {
             let items = std::mem::take(&mut plan.items);
@@ -184,6 +275,10 @@ impl ExecPlan {
         plan.comm_execs_per_step = count_comm_execs(&plan.items);
         plan.kernel_execs_per_step = count_kernel_execs(&plan.items);
         plan.pe_points_per_step = pe_points(machine, &plan.items);
+        let (supersteps, elided, redundant) = count_superstep(machine, &plan.items);
+        plan.supersteps_per_step = supersteps;
+        plan.exchanges_elided_per_step = elided;
+        plan.redundant_cells_per_step = redundant;
         Ok(plan)
     }
 
@@ -238,6 +333,41 @@ impl ExecPlan {
         self.boundary_cells_per_step
     }
 
+    /// Superstep executions one step performs (zero unless built with
+    /// [`ExecConfig::superstep`] depth > 1 on an eligible kernel).
+    pub fn supersteps_per_step(&self) -> u64 {
+        self.supersteps_per_step
+    }
+
+    /// Exchange executions one step elides relative to the classic
+    /// schedule of the same program.
+    pub fn exchanges_elided_per_step(&self) -> u64 {
+        self.exchanges_elided_per_step
+    }
+
+    /// Ghost-zone points one step redundantly recomputes (the trapezoid
+    /// price of the elided exchanges), summed over PEs and sub-steps.
+    pub fn redundant_cells_per_step(&self) -> u64 {
+        self.redundant_cells_per_step
+    }
+
+    /// Logical stencil steps one [`ExecPlan::step`] covers. This is the
+    /// superstep depth `k` when a *flat* (driver-stepped) program was tiled
+    /// in time — drivers comparing against a classic schedule must then
+    /// call `step` `S / k` times to cover `S` logical steps — and 1 in
+    /// every other configuration (including a tiled `DO` loop, whose
+    /// iteration count is absorbed inside the step).
+    pub fn logical_steps_per_step(&self) -> usize {
+        self.logical_steps
+    }
+
+    /// Why the requested [`ExecConfig::superstep`] depth fell back to the
+    /// classic schedule — the planner's `SS00x` diagnostics, empty when
+    /// the superstep build succeeded (or none was requested).
+    pub fn superstep_diags(&self) -> &[Diagnostic] {
+        &self.superstep_diags
+    }
+
     /// True when the per-PE work of one step is at or below the machine's
     /// `par_threshold` — the threaded engines then run the step on the
     /// calling thread (identical results and counters), since spawning a
@@ -251,6 +381,7 @@ impl ExecPlan {
         let ExecPlan { items, scheds, scalars, .. } = self;
         step_items_seq(machine, items, scheds, scalars);
         machine.note_kernel_execs(self.kernel_execs_per_step);
+        machine.note_superstep(self.exchanges_elided_per_step, self.redundant_cells_per_step);
     }
 
     /// Run one sweep on the SPMD engine: one thread per PE, channel message
@@ -325,6 +456,7 @@ impl ExecPlan {
         // identical counters.
         machine.note_schedule_reuses(self.comm_execs_per_step);
         machine.note_kernel_execs(self.kernel_execs_per_step);
+        machine.note_superstep(self.exchanges_elided_per_step, self.redundant_cells_per_step);
     }
 }
 
@@ -384,6 +516,151 @@ fn compile_items(
 fn push_sched(scheds: &mut Vec<CompiledComm>, sched: CompiledComm) -> PlanItem {
     scheds.push(sched);
     PlanItem::Comm(scheds.len() - 1)
+}
+
+/// Compile a legal [`SuperstepSchedule`] against the machine: the deep
+/// fills become persistent schedules, the body nests compile once (shared
+/// by every sub-step), and the items assemble per the tiled shape — a flat
+/// program becomes one [`PlanItem::Superstep`] covering `k` logical steps;
+/// a `DO iters TIMES` loop becomes `iters / k` supersteps plus, when `k`
+/// does not divide `iters`, a classic remainder loop (its shallow refills
+/// re-establish whatever ghost validity it needs, so correctness does not
+/// depend on what the last superstep left behind).
+fn build_superstep_items(
+    machine: &mut Machine,
+    node: &NodeProgram,
+    ss: &SuperstepSchedule,
+    scheds: &mut Vec<CompiledComm>,
+    scalars: &[f64],
+    backend: Backend,
+    compiled: &mut u64,
+) -> Result<Vec<PlanItem>, RtError> {
+    let body: &[NodeItem] = match ss.shape {
+        SsShape::Flat => &node.items,
+        SsShape::TimeLoop { .. } => match node.items.as_slice() {
+            [NodeItem::TimeLoop { body, .. }] => body,
+            _ => unreachable!("superstep shape detection admitted this program"),
+        },
+    };
+    let mut comms = Vec::with_capacity(ss.deep.len());
+    for f in &ss.deep {
+        let geom = machine.meta(f.array).geom.clone();
+        let plan = overlap_shift_plan(
+            &geom,
+            f.shift,
+            f.dim,
+            Some(&f.rsd),
+            ShiftKind::Circular,
+            machine.cfg.halo,
+        )?;
+        scheds.push(machine.compile_comm(f.array, f.array, plan, MoveKind::Overlap));
+        comms.push(scheds.len() - 1);
+    }
+    let mut nests = Vec::new();
+    for item in body {
+        if let NodeItem::Nest(nest) = item {
+            let kernels: Vec<Option<CompiledNest>> = match backend {
+                Backend::Interp => Vec::new(),
+                Backend::Bytecode => {
+                    let t0 = machine.driver_tracer().now();
+                    let kernels: Vec<Option<CompiledNest>> =
+                        machine.pes.iter().map(|pe| compile_nest(nest, pe, scalars)).collect();
+                    machine.driver_tracer().record(SpanKind::KernelCompile, t0);
+                    kernels
+                }
+            };
+            *compiled += kernels.iter().flatten().count() as u64;
+            nests.push((nest.clone(), kernels));
+        }
+    }
+    let pe_exts: Vec<Vec<i64>> = machine
+        .pes
+        .iter()
+        .map(|pe| {
+            nests
+                .first()
+                .and_then(|(nest, _)| nest_local_bounds(pe, nest))
+                .map(|(_, hi)| hi)
+                .unwrap_or_default()
+        })
+        .collect();
+    let tile = PlanItem::Superstep {
+        k: ss.k,
+        comms,
+        nests,
+        expansions: ss.expansions.clone(),
+        pe_exts,
+        elided: ss.elided(),
+    };
+    match ss.shape {
+        SsShape::Flat => Ok(vec![tile]),
+        SsShape::TimeLoop { iters } => {
+            let mut out = vec![PlanItem::TimeLoop { iters: iters / ss.k, body: vec![tile] }];
+            let rem = iters % ss.k;
+            if rem > 0 {
+                let body_items = compile_items(machine, body, scheds, scalars, backend, compiled)?;
+                out.push(PlanItem::TimeLoop { iters: rem, body: body_items });
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Run one PE's compute half of a superstep: every sub-step's nests over
+/// their trapezoid expansions, under one [`SpanKind::Superstep`] span. The
+/// sub-steps exchange nothing, so PEs proceed fully independently.
+fn run_superstep_pe(
+    state: &mut PeState,
+    pe: usize,
+    nests: &[(LoopNest, Vec<Option<CompiledNest>>)],
+    expansions: &[Vec<Vec<(i64, i64)>>],
+    scalars: &[f64],
+) {
+    let t0 = state.tracer.now();
+    for sub in expansions {
+        for ((nest, kernels), expand) in nests.iter().zip(sub) {
+            let kernel = kernels.get(pe).and_then(|k| k.as_ref());
+            let _ = backend::run_nest_expanded(state, nest, kernel, scalars, expand);
+        }
+    }
+    state.tracer.record(SpanKind::Superstep, t0);
+}
+
+/// `(superstep execs, exchanges elided, redundant ghost points)` one step
+/// performs, time-loop weighted. The redundant count is the deterministic
+/// sum over PEs, sub-steps, and nests of the storage-clamped expanded box
+/// minus the owned box — exactly what `run_nest_expanded` computes, so it
+/// can be credited identically by every engine.
+fn count_superstep(machine: &Machine, items: &[PlanItem]) -> (u64, u64, u64) {
+    let mut acc = (0u64, 0u64, 0u64);
+    for item in items {
+        match item {
+            PlanItem::Superstep { nests, expansions, elided, .. } => {
+                acc.0 += 1;
+                acc.1 += *elided;
+                for sub in expansions {
+                    for ((nest, _), expand) in nests.iter().zip(sub) {
+                        for state in &machine.pes {
+                            let Some((lo, hi)) = nest_local_bounds(state, nest) else { continue };
+                            let owned: u64 =
+                                lo.iter().zip(&hi).map(|(&l, &h)| (h - l + 1) as u64).product();
+                            let (lo_x, hi_x) = expand_bounds(state, nest, &lo, &hi, expand);
+                            let total: u64 =
+                                lo_x.iter().zip(&hi_x).map(|(&l, &h)| (h - l + 1) as u64).product();
+                            acc.2 += total - owned;
+                        }
+                    }
+                }
+            }
+            PlanItem::TimeLoop { iters, body } => {
+                let (s, e, r) = count_superstep(machine, body);
+                let n = *iters as u64;
+                acc = (acc.0 + n * s, acc.1 + n * e, acc.2 + n * r);
+            }
+            _ => {}
+        }
+    }
+    acc
 }
 
 /// Rewrite a compiled item list, fusing each maximal run of consecutive
@@ -552,7 +829,9 @@ fn count_comm_execs(items: &[PlanItem]) -> u64 {
         .map(|i| match i {
             PlanItem::Comm(_) => 1,
             PlanItem::Nest { .. } => 0,
-            PlanItem::Overlap { comms, .. } => comms.len() as u64,
+            PlanItem::Overlap { comms, .. } | PlanItem::Superstep { comms, .. } => {
+                comms.len() as u64
+            }
             PlanItem::TimeLoop { iters, body } => *iters as u64 * count_comm_execs(body),
         })
         .sum()
@@ -565,6 +844,10 @@ fn count_kernel_execs(items: &[PlanItem]) -> u64 {
             PlanItem::Comm(_) => 0,
             PlanItem::Nest { kernels, .. } | PlanItem::Overlap { kernels, .. } => {
                 kernels.iter().flatten().count() as u64
+            }
+            PlanItem::Superstep { nests, expansions, .. } => {
+                expansions.len() as u64
+                    * nests.iter().map(|(_, ks)| ks.iter().flatten().count() as u64).sum::<u64>()
             }
             PlanItem::TimeLoop { iters, body } => *iters as u64 * count_kernel_execs(body),
         })
@@ -607,6 +890,20 @@ fn pe_points(machine: &Machine, items: &[PlanItem]) -> u64 {
                             let box_: Vec<(i64, i64)> =
                                 lo.iter().zip(&hi).map(|(&l, &h)| (l, h)).collect();
                             per[pe] += weight * cells(&box_);
+                        }
+                    }
+                }
+                PlanItem::Superstep { nests, expansions, .. } => {
+                    for sub in expansions {
+                        for ((nest, _), expand) in nests.iter().zip(sub) {
+                            for (pe, state) in machine.pes.iter().enumerate() {
+                                if let Some((lo, hi)) = nest_local_bounds(state, nest) {
+                                    let (lo_x, hi_x) = expand_bounds(state, nest, &lo, &hi, expand);
+                                    let box_: Vec<(i64, i64)> =
+                                        lo_x.iter().zip(&hi_x).map(|(&l, &h)| (l, h)).collect();
+                                    per[pe] += weight * cells(&box_);
+                                }
+                            }
                         }
                     }
                 }
@@ -664,6 +961,16 @@ fn step_items_seq(
                     step_items_seq(machine, body, scheds, scalars);
                 }
             }
+            PlanItem::Superstep { comms, nests, expansions, .. } => {
+                for &i in comms {
+                    machine.apply_compiled(&mut scheds[i]);
+                }
+                // Sub-steps exchange nothing, so each PE runs all of its
+                // sub-steps before the next PE starts — same results.
+                for pe in 0..machine.num_pes() {
+                    run_superstep_pe(&mut machine.pes[pe], pe, nests, expansions, scalars);
+                }
+            }
         }
     }
 }
@@ -690,6 +997,13 @@ fn step_items_worker(w: &mut Worker, items: &[PlanItem], scheds: &[CompiledComm]
                 for _ in 0..*iters {
                     step_items_worker(w, body, scheds);
                 }
+            }
+            PlanItem::Superstep { comms, nests, expansions, .. } => {
+                for &i in comms {
+                    let s = &scheds[i];
+                    w.comm(s.dst, s.src, &s.actions, s.kind == MoveKind::FullShift);
+                }
+                run_superstep_pe(w.state, w.pe, nests, expansions, w.scalars);
             }
         }
     }
@@ -789,6 +1103,15 @@ fn step_items_worker_overlap(w: &mut Worker, items: &[PlanItem], scheds: &[Compi
                 for _ in 0..*iters {
                     step_items_worker_overlap(w, body, scheds);
                 }
+            }
+            // Supersteps already avoid (k-1)/k of all communication; the
+            // single deep fill stays on the blocking protocol.
+            PlanItem::Superstep { comms, nests, expansions, .. } => {
+                for &i in comms {
+                    let s = &scheds[i];
+                    w.comm(s.dst, s.src, &s.actions, s.kind == MoveKind::FullShift);
+                }
+                run_superstep_pe(w.state, w.pe, nests, expansions, w.scalars);
             }
         }
     }
@@ -1152,5 +1475,147 @@ T = C * (CSHIFT(U,1,1) + CSHIFT(U,-1,1) + CSHIFT(U,1,2) + CSHIFT(U,-1,2))
         let after_one = m.gather(t);
         apply_swaps(&mut m, &[(u, t)]);
         assert_eq!(m.gather(u), after_one, "swap moved T's result into U");
+    }
+
+    /// Like [`setup`] at `Stage::MemOpt`, but with a `halo`-deep overlap
+    /// area for superstep builds.
+    fn setup_deep(
+        src: &str,
+        grid: &[usize],
+        halo: usize,
+    ) -> (Machine, hpf_passes::Compiled, hpf_ir::ArrayId) {
+        let checked = compile_source(src).unwrap();
+        let compiled = compile(&checked, CompileOptions::upto(Stage::MemOpt));
+        let u = checked.symbols.lookup_array("U").unwrap();
+        let mut m = Machine::new(MachineConfig::with_grid(grid.to_vec()).halo(halo));
+        m.alloc(u, checked.symbols.array(u)).unwrap();
+        m.fill(u, init);
+        m.reset_stats();
+        (m, compiled, u)
+    }
+
+    #[test]
+    fn flat_superstep_bitwise_equals_classic_across_engines() {
+        const STEPS: usize = 8;
+        let (mut m_ref, c_ref, u) = setup(JACOBI16, Stage::MemOpt, &[2, 2]);
+        let mut p_ref = ExecPlan::build(&mut m_ref, &c_ref.node, &ExecConfig::new()).unwrap();
+        for _ in 0..STEPS {
+            p_ref.step_seq(&mut m_ref);
+        }
+        let want = m_ref.gather(u);
+        for k in [2usize, 4] {
+            for backend in [Backend::Interp, Backend::Bytecode] {
+                for engine in [Engine::Sequential, Engine::Threaded, Engine::ThreadedOverlap] {
+                    let (mut m, c, _) = setup_deep(JACOBI16, &[2, 2], k);
+                    let cfg = ExecConfig::new().engine(engine).backend(backend).superstep(k);
+                    let mut plan = ExecPlan::build(&mut m, &c.node, &cfg).unwrap();
+                    assert!(plan.superstep_diags().is_empty(), "{:?}", plan.superstep_diags());
+                    assert_eq!(plan.logical_steps_per_step(), k, "flat kernel is driver-stepped");
+                    assert_eq!(plan.supersteps_per_step(), 1);
+                    assert!(plan.redundant_cells_per_step() > 0);
+                    for _ in 0..STEPS / k {
+                        plan.step(&mut m);
+                    }
+                    assert_eq!(m.gather(u), want, "k={k} {backend:?} {engine:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn superstep_elides_exchanges_and_counts_redundancy() {
+        const STEPS: usize = 8;
+        let k = 4usize;
+        let (mut m_ref, c_ref, u) = setup(JACOBI16, Stage::MemOpt, &[2, 2]);
+        let mut p_ref = ExecPlan::build(&mut m_ref, &c_ref.node, &ExecConfig::new()).unwrap();
+        for _ in 0..STEPS {
+            p_ref.step_seq(&mut m_ref);
+        }
+        let (mut m, c, _) = setup_deep(JACOBI16, &[2, 2], k);
+        let cfg = ExecConfig::new().superstep(k).trace(true);
+        let mut plan = ExecPlan::build(&mut m, &c.node, &cfg).unwrap();
+        for _ in 0..STEPS / k {
+            plan.step_seq(&mut m);
+        }
+        assert_eq!(m.gather(u), m_ref.gather(u));
+        let st = m.stats();
+        let st_ref = m_ref.stats();
+        // k−1 of every k exchange phases disappear, and the counters say so.
+        assert_eq!(plan.exchanges_elided_per_step(), (k as u64 - 1) * 4);
+        assert_eq!(st.exchanges_elided, (STEPS / k) as u64 * plan.exchanges_elided_per_step());
+        assert_eq!(st.redundant_cells, (STEPS / k) as u64 * plan.redundant_cells_per_step());
+        assert_eq!(st_ref.exchanges_elided, 0);
+        // Visible in schedule traffic: 4 deep fills per superstep replace
+        // 4 exchanges per classic step.
+        assert_eq!(st.schedule_reuses * k as u64, st_ref.schedule_reuses);
+        // Every PE records one Superstep span per superstep.
+        for pe in m.take_trace().summary().pe_tracks() {
+            assert_eq!(pe.count(SpanKind::Superstep), (STEPS / k) as u64, "{}", pe.name);
+        }
+    }
+
+    #[test]
+    fn time_loop_superstep_tiles_with_remainder() {
+        // 11 iterations: k=2 → 5 supersteps + 1 classic; k=4 → 2 + 3.
+        const SRC: &str = r#"
+PARAM N = 16
+REAL U(N,N), T(N,N)
+REAL C = 0.25
+DO 11 TIMES
+T = C * (CSHIFT(U,1,1) + CSHIFT(U,-1,1) + CSHIFT(U,1,2) + CSHIFT(U,-1,2))
+U = T
+ENDDO
+"#;
+        let (mut m_ref, c_ref, u) = setup(SRC, Stage::MemOpt, &[2, 2]);
+        let mut p_ref = ExecPlan::build(&mut m_ref, &c_ref.node, &ExecConfig::new()).unwrap();
+        p_ref.step_seq(&mut m_ref);
+        for k in [2usize, 4] {
+            let (mut m, c, _) = setup_deep(SRC, &[2, 2], k);
+            let cfg = ExecConfig::new().backend(Backend::Bytecode).superstep(k);
+            let mut plan = ExecPlan::build(&mut m, &c.node, &cfg).unwrap();
+            assert_eq!(plan.logical_steps_per_step(), 1, "the loop tiles in place");
+            assert_eq!(plan.supersteps_per_step(), (11 / k) as u64);
+            plan.step_seq(&mut m);
+            assert_eq!(m.gather(u), m_ref.gather(u), "k={k}");
+        }
+    }
+
+    #[test]
+    fn ineligible_kernel_falls_back_to_classic_with_diagnostics() {
+        // Stage::Original leaves full-shift copies — SS002-ineligible — so
+        // the build keeps the classic schedule and explains why.
+        let (mut m, compiled, u) = setup(JACOBI16, Stage::Original, &[2, 2]);
+        let cfg = ExecConfig::new().superstep(4);
+        let mut plan = ExecPlan::build(&mut m, &compiled.node, &cfg).unwrap();
+        assert!(
+            plan.superstep_diags().iter().any(|d| d.code == superstep::SS002),
+            "{:?}",
+            plan.superstep_diags()
+        );
+        assert_eq!(plan.supersteps_per_step(), 0);
+        assert_eq!(plan.logical_steps_per_step(), 1);
+        let (mut m_ref, c2, _) = setup(JACOBI16, Stage::Original, &[2, 2]);
+        let mut p_ref = ExecPlan::build(&mut m_ref, &c2.node, &ExecConfig::new()).unwrap();
+        for _ in 0..3 {
+            plan.step_seq(&mut m);
+            p_ref.step_seq(&mut m_ref);
+        }
+        assert_eq!(m.gather(u), m_ref.gather(u));
+        assert_eq!(m.stats(), m_ref.stats());
+    }
+
+    #[test]
+    fn shallow_halo_falls_back_with_ss008() {
+        // Machine halo 1 cannot hold a depth-4 deep fill; the build falls
+        // back to the classic schedule rather than fail.
+        let (mut m, compiled, _) = setup(JACOBI16, Stage::MemOpt, &[2, 2]);
+        let plan =
+            ExecPlan::build(&mut m, &compiled.node, &ExecConfig::new().superstep(4)).unwrap();
+        assert!(
+            plan.superstep_diags().iter().any(|d| d.code == superstep::SS008),
+            "{:?}",
+            plan.superstep_diags()
+        );
+        assert_eq!(plan.supersteps_per_step(), 0);
     }
 }

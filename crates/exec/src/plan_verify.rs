@@ -26,6 +26,20 @@
 //!   are single-occupancy: the same schedule slot must not be posted again
 //!   while a previous post is still in flight (no barrier in between).
 //!
+//! [Superstep items](crate::plan::PlanItem::Superstep) carry a fourth
+//! obligation:
+//!
+//! - **PL004 — trapezoid coverage.** For every PE, a forward simulation in
+//!   ghost-depth coordinates replays the superstep: the deep-fill
+//!   schedules' *compiled* unpack/fill regions establish each array's
+//!   valid ghost boxes, then every sub-step's reads (expansion plus
+//!   per-array read radii, re-derived from the unit body — not taken from
+//!   the planner) must be covered before its stores reset the written
+//!   array's validity to the freshly computed box. An uncovered ghost
+//!   point means a sub-step would consume stale or poison halo data. This
+//!   independently re-checks the geometry `crate::superstep`'s planner
+//!   proved, but against the compiled schedules rather than the plan.
+//!
 //! Blocking items need no checking — a plain [`PlanItem::Comm`] completes
 //! before the next item starts, and non-split PEs inside a window drain
 //! everything before their nest. The checker is wired into
@@ -36,10 +50,13 @@
 //! to the blocking comm-then-nest path.
 
 use crate::plan::{ExecPlan, PlanItem};
+use hpf_analysis::superstep::{uncovered_ghost, FillBox, GhostNeed};
+use hpf_codegen::CompiledNest;
 use hpf_ir::diag::Diagnostic;
 use hpf_passes::loopir::{Instr, LoopNest};
 use hpf_runtime::schedule::{regions_intersect, CommAction};
 use hpf_runtime::{CompiledComm, RtError};
+use std::collections::HashMap;
 
 /// An Overlap window's interior sweep may read a cell an in-flight receive
 /// writes.
@@ -49,6 +66,10 @@ pub const PL001: &str = "PL001";
 pub const PL002: &str = "PL002";
 /// A schedule's pooled buffers are posted again while still in flight.
 pub const PL003: &str = "PL003";
+/// A superstep sub-step reads a ghost cell neither the deep fill nor an
+/// earlier sub-step's expanded sweep wrote — the trapezoid would consume
+/// stale (or poison) halo data.
+pub const PL004: &str = "PL004";
 
 impl ExecPlan {
     /// Run the plan-level race checker over the whole step program,
@@ -156,6 +177,37 @@ impl ExecPlan {
         }
         walk(&mut self.items)
     }
+
+    /// Corrupt the first superstep by widening every sub-step's trapezoid
+    /// expansion beyond what the deep fills cover — the stale-ghost fault
+    /// for the mutation-kill suite (PL004). Returns `false` when the plan
+    /// has no superstep item.
+    #[doc(hidden)]
+    pub fn corrupt_widen_trapezoid(&mut self) -> bool {
+        // See corrupt_clear_barriers on why this is not a match guard.
+        #[allow(clippy::collapsible_match)]
+        fn walk(items: &mut [PlanItem]) -> bool {
+            for item in items {
+                match item {
+                    PlanItem::Superstep { expansions, .. } => {
+                        for r in expansions.iter_mut().flatten().flatten() {
+                            r.0 += 8;
+                            r.1 += 8;
+                        }
+                        return true;
+                    }
+                    PlanItem::TimeLoop { body, .. } => {
+                        if walk(body) {
+                            return true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        walk(&mut self.items)
+    }
 }
 
 /// Kernel-level (`BV*`) diagnostics of every compiled kernel in the item
@@ -168,6 +220,17 @@ fn collect_kernel_diags(item: &PlanItem, out: &mut Vec<Diagnostic>) {
                     out.extend(
                         k.verify().into_iter().map(|d| d.note(format!("kernel for PE {pe}"))),
                     );
+                }
+            }
+        }
+        PlanItem::Superstep { nests, .. } => {
+            for (_, kernels) in nests {
+                for (pe, kernel) in kernels.iter().enumerate() {
+                    if let Some(k) = kernel {
+                        out.extend(
+                            k.verify().into_iter().map(|d| d.note(format!("kernel for PE {pe}"))),
+                        );
+                    }
                 }
             }
         }
@@ -186,6 +249,9 @@ fn verify_items(items: &[PlanItem], scheds: &[CompiledComm], out: &mut Vec<Diagn
         match item {
             PlanItem::Overlap { comms, barriers, pre_drain, nest, splits, .. } => {
                 verify_window(w, comms, barriers, pre_drain, nest, splits, scheds, out);
+            }
+            PlanItem::Superstep { k, comms, nests, expansions, pe_exts, .. } => {
+                verify_superstep(w, *k, comms, nests, expansions, pe_exts, scheds, out);
             }
             PlanItem::TimeLoop { body, .. } => verify_items(body, scheds, out),
             _ => {}
@@ -209,6 +275,146 @@ fn read_radii(nest: &LoopNest) -> (Vec<i64>, Vec<i64>) {
         }
     }
     (lo, hi)
+}
+
+/// Per-array read radii of the nest's semantic unit body, in first-load
+/// order: how far outside the iteration point each array's loads reach,
+/// `(below, above)` per dimension. Re-derived from the instruction stream,
+/// independently of the superstep planner.
+fn load_radii(nest: &LoopNest) -> Vec<(hpf_ir::ArrayId, Vec<(i64, i64)>)> {
+    let unit = nest.unroll.as_ref().map_or(&nest.body, |u| &u.unit_body);
+    let rank = nest.order.len();
+    let mut out: Vec<(hpf_ir::ArrayId, Vec<(i64, i64)>)> = Vec::new();
+    for i in unit {
+        let Instr::Load { array, offsets, .. } = i else { continue };
+        if !out.iter().any(|(a, _)| a == array) {
+            out.push((*array, vec![(0, 0); rank]));
+        }
+        let radii = &mut out.iter_mut().find(|(a, _)| a == array).unwrap().1;
+        for (d, &o) in offsets.iter().enumerate() {
+            radii[d].0 = radii[d].0.max(-o);
+            radii[d].1 = radii[d].1.max(o);
+        }
+    }
+    out
+}
+
+/// Arrays the nest's unit body stores, in first-store order.
+fn stored(nest: &LoopNest) -> Vec<hpf_ir::ArrayId> {
+    let unit = nest.unroll.as_ref().map_or(&nest.body, |u| &u.unit_body);
+    let mut out = Vec::new();
+    for i in unit {
+        if let Instr::Store { array, .. } = i {
+            if !out.contains(array) {
+                out.push(*array);
+            }
+        }
+    }
+    out
+}
+
+/// Map a 1-based local coordinate into ghost-depth coordinates: `0`
+/// anywhere inside the owned extent, negative in the below-halo, positive
+/// in the above-halo. Collapsing the owned range to one point is what
+/// makes the ghost ring exactly "box minus origin" for
+/// [`uncovered_ghost`].
+fn depth(x: i64, ext: i64) -> i64 {
+    if x < 1 {
+        x - 1
+    } else if x > ext {
+        x - ext
+    } else {
+        0
+    }
+}
+
+/// A compiled schedule region (1-based local coordinates, halo positions
+/// at `<= 0` and `> ext`) as a ghost-depth box. `depth` is monotone and
+/// skips no value over a contiguous range, so mapping the two endpoints is
+/// exact.
+fn depth_box(region: &[(i64, i64)], exts: &[i64]) -> FillBox {
+    region.iter().zip(exts).map(|(&(lo, hi), &e)| (depth(lo, e), depth(hi, e))).collect()
+}
+
+/// Check one Superstep item's trapezoid-coverage obligation (PL004): for
+/// every PE, replay the superstep forward in ghost-depth coordinates. The
+/// deep-fill schedules' compiled unpack/fill regions establish each
+/// array's valid ghost boxes; each sub-step's reads (expansion plus read
+/// radii) must be covered, and its stores reset the written arrays'
+/// validity to exactly the freshly computed box.
+#[allow(clippy::too_many_arguments)]
+fn verify_superstep(
+    w: usize,
+    k: usize,
+    comms: &[usize],
+    nests: &[(LoopNest, Vec<Option<CompiledNest>>)],
+    expansions: &[Vec<Vec<(i64, i64)>>],
+    pe_exts: &[Vec<i64>],
+    scheds: &[CompiledComm],
+    out: &mut Vec<Diagnostic>,
+) {
+    if expansions.len() != k || expansions.iter().any(|sub| sub.len() != nests.len()) {
+        out.push(Diagnostic::error(
+            PL004,
+            format!(
+                "superstep {w}: malformed trapezoid tables ({} sub-steps for depth {k}, \
+                 {} nests)",
+                expansions.len(),
+                nests.len()
+            ),
+        ));
+        return;
+    }
+    for (pe, exts) in pe_exts.iter().enumerate() {
+        if exts.is_empty() {
+            continue; // this PE owns no block of the iteration space
+        }
+        // Ghost boxes the deep fills establish on this PE, per array, read
+        // off the compiled schedules (wrap-around self-transfers included).
+        let mut valid: HashMap<hpf_ir::ArrayId, Vec<FillBox>> = HashMap::new();
+        for &slot in comms {
+            for action in &scheds[slot].actions {
+                let (dst_pe, local) = match action {
+                    CommAction::Transfer(t) => (t.dst_pe, &t.dst_local),
+                    CommAction::Fill { pe, local, .. } => (*pe, local),
+                };
+                if dst_pe == pe {
+                    valid.entry(scheds[slot].dst).or_default().push(depth_box(local, exts));
+                }
+            }
+        }
+        for (j, sub) in expansions.iter().enumerate() {
+            for (n, ((nest, _), expand)) in nests.iter().zip(sub).enumerate() {
+                for (array, radii) in load_radii(nest) {
+                    let need: GhostNeed = expand
+                        .iter()
+                        .zip(&radii)
+                        .map(|(&(elo, ehi), &(rlo, rhi))| (elo + rlo, ehi + rhi))
+                        .collect();
+                    let none = Vec::new();
+                    let fills = valid.get(&array).unwrap_or(&none);
+                    if let Some(witness) = uncovered_ghost(&need, fills) {
+                        out.push(Diagnostic::error(
+                            PL004,
+                            format!(
+                                "superstep {w}: PE {pe} sub-step {j} nest {n} reads ghost \
+                                 cell at depth {witness:?} that neither the deep fill nor an \
+                                 earlier sub-step's expanded sweep wrote (need {need:?}) — \
+                                 the trapezoid would consume stale halo data"
+                            ),
+                        ));
+                        return;
+                    }
+                }
+                // The expanded sweep freshly computes the written arrays'
+                // ghosts out to the expansion box — and nothing beyond it.
+                let computed: FillBox = expand.iter().map(|&(lo, hi)| (-lo, hi)).collect();
+                for array in stored(nest) {
+                    valid.insert(array, vec![computed.clone()]);
+                }
+            }
+        }
+    }
 }
 
 /// Check one Overlap window's happens-before obligations (PL001–PL003).
@@ -315,20 +521,26 @@ fn verify_window(
 }
 
 /// Enforcement behind [`ExecPlan::build`](crate::ExecPlan::build): verify
-/// every compiled kernel (`BV*`) and every Overlap window (`PL*`). With
-/// `checked` set, any diagnostic aborts the build with
-/// [`RtError::VerificationFailed`]; otherwise each rejected kernel falls
-/// back to the interpreter (`kernels[pe] = None`) and each rejected window
-/// is demoted to the blocking comm-then-nest sequence, leaving a plan that
-/// verifies clean.
+/// every compiled kernel (`BV*`), every Overlap window, and every
+/// Superstep item (`PL*`). With `checked` set, any diagnostic aborts the
+/// build with [`RtError::VerificationFailed`]; otherwise each rejected
+/// kernel falls back to the interpreter (`kernels[pe] = None`), each
+/// rejected window is demoted to the blocking comm-then-nest sequence, and
+/// each rejected superstep to a `k`-iteration time loop that re-runs the
+/// deep fills before each sub-step's owned-only sweeps — all leaving a
+/// plan that verifies clean. A rejected superstep whose body chains
+/// through comm-less intermediate arrays has no such demotion (the chain
+/// ghosts exist only through the expanded sweeps), so it fails the build
+/// even unchecked rather than run a plan known wrong.
 pub(crate) fn enforce(
     items: &mut Vec<PlanItem>,
     scheds: &[CompiledComm],
     checked: bool,
 ) -> Result<(), RtError> {
     let mut report = Vec::new();
-    demote_items(items, scheds, checked, &mut report);
-    if checked && !report.is_empty() {
+    let mut hard = false;
+    demote_items(items, scheds, checked, &mut report, &mut hard);
+    if (checked || hard) && !report.is_empty() {
         let report =
             report.iter().map(|d| format!("{}: {}", d.code, d.message)).collect::<Vec<_>>();
         return Err(RtError::VerificationFailed { report: report.join("\n") });
@@ -336,11 +548,32 @@ pub(crate) fn enforce(
     Ok(())
 }
 
+/// True when the superstep's blocking demotion preserves semantics: every
+/// array some nest stores and some nest reads at a nonzero offset must be
+/// refilled by a deep-fill schedule. A comm-less chain array (problem-9
+/// style shifted temporaries) gets its ghosts only from the expanded
+/// sweeps the demotion drops.
+fn superstep_demotable(
+    comms: &[usize],
+    nests: &[(LoopNest, Vec<Option<CompiledNest>>)],
+    scheds: &[CompiledComm],
+) -> bool {
+    let stored_any: Vec<hpf_ir::ArrayId> =
+        nests.iter().flat_map(|(nest, _)| stored(nest)).collect();
+    nests
+        .iter()
+        .flat_map(|(nest, _)| load_radii(nest))
+        .filter(|(_, radii)| radii.iter().any(|&(lo, hi)| lo > 0 || hi > 0))
+        .filter(|(a, _)| stored_any.contains(a))
+        .all(|(a, _)| comms.iter().any(|&slot| scheds[slot].dst == a))
+}
+
 fn demote_items(
     items: &mut Vec<PlanItem>,
     scheds: &[CompiledComm],
     checked: bool,
     report: &mut Vec<Diagnostic>,
+    hard: &mut bool,
 ) {
     let old = std::mem::take(items);
     for mut item in old {
@@ -354,6 +587,22 @@ fn demote_items(
                     report.extend(diags.into_iter().map(|d| d.note(format!("kernel for PE {pe}"))));
                     if !checked {
                         *kernel = None; // fall back to the interpreter
+                    }
+                }
+            }
+        }
+        if let PlanItem::Superstep { nests, .. } = &mut item {
+            for (_, kernels) in nests {
+                for (pe, kernel) in kernels.iter_mut().enumerate() {
+                    let Some(k) = kernel else { continue };
+                    let diags = k.verify();
+                    if !diags.is_empty() {
+                        report.extend(
+                            diags.into_iter().map(|d| d.note(format!("kernel for PE {pe}"))),
+                        );
+                        if !checked {
+                            *kernel = None; // fall back to the interpreter
+                        }
                     }
                 }
             }
@@ -391,8 +640,56 @@ fn demote_items(
                     }
                 }
             }
+            PlanItem::Superstep { k, comms, nests, expansions, pe_exts, elided } => {
+                let mut diags = Vec::new();
+                verify_superstep(
+                    items.len(),
+                    k,
+                    &comms,
+                    &nests,
+                    &expansions,
+                    &pe_exts,
+                    scheds,
+                    &mut diags,
+                );
+                if diags.is_empty() {
+                    items.push(PlanItem::Superstep {
+                        k,
+                        comms,
+                        nests,
+                        expansions,
+                        pe_exts,
+                        elided,
+                    });
+                } else {
+                    report.extend(diags);
+                    if checked {
+                        // The build aborts; no replacement item needed.
+                    } else if superstep_demotable(&comms, &nests, scheds) {
+                        // Blocking demotion: re-run the deep fills before
+                        // every sub-step and sweep owned cells only. The
+                        // deep fills subsume each sub-step's classic ghost
+                        // needs, so this is the classic schedule with
+                        // over-deep refills — correct, merely slower.
+                        items.push(PlanItem::TimeLoop {
+                            iters: k,
+                            body: comms
+                                .into_iter()
+                                .map(PlanItem::Comm)
+                                .chain(
+                                    nests
+                                        .into_iter()
+                                        .map(|(nest, kernels)| PlanItem::Nest { nest, kernels }),
+                                )
+                                .collect(),
+                        });
+                    } else {
+                        *hard = true;
+                    }
+                }
+            }
             PlanItem::TimeLoop { iters, mut body } => {
-                demote_items(&mut body, scheds, checked, report);
+                demote_items(&mut body, scheds, checked, report, hard);
                 items.push(PlanItem::TimeLoop { iters, body });
             }
             other => items.push(other),
@@ -441,6 +738,21 @@ U = T
         (m, plan)
     }
 
+    /// A depth-`k` superstep plan of the flat Jacobi kernel: one
+    /// [`PlanItem::Superstep`] item, deep halo of `k` layers.
+    fn superstep_plan(k: usize) -> (Machine, ExecPlan) {
+        let checked = compile_source(JACOBI16).unwrap();
+        let compiled = compile(&checked, CompileOptions::upto(Stage::MemOpt));
+        let u = checked.symbols.lookup_array("U").unwrap();
+        let mut m = Machine::new(MachineConfig::with_grid(vec![2, 2]).halo(k));
+        m.alloc(u, checked.symbols.array(u)).unwrap();
+        m.fill(u, |p| ((p[0] * 31 + p[1] * 7) as f64).sin());
+        let cfg = ExecConfig::new().backend(Backend::Bytecode).superstep(k);
+        let plan = ExecPlan::build(&mut m, &compiled.node, &cfg).unwrap();
+        assert_eq!(plan.supersteps_per_step(), 1, "fixture must build a superstep");
+        (m, plan)
+    }
+
     fn codes(diags: &[Diagnostic]) -> Vec<&str> {
         diags.iter().map(|d| d.code).collect()
     }
@@ -476,6 +788,47 @@ U = T
         assert!(plan.corrupt_duplicate_post());
         let d = plan.verify();
         assert!(codes(&d).contains(&PL003), "{d:?}");
+    }
+
+    #[test]
+    fn superstep_plans_verify_clean() {
+        for k in [2usize, 4] {
+            let (_, plan) = superstep_plan(k);
+            assert!(plan.verify().is_empty(), "{:?}", plan.verify());
+        }
+    }
+
+    #[test]
+    fn widened_trapezoid_trips_pl004() {
+        let (_, mut plan) = superstep_plan(2);
+        assert!(plan.corrupt_widen_trapezoid());
+        let d = plan.verify();
+        assert!(codes(&d).contains(&PL004), "{d:?}");
+    }
+
+    #[test]
+    fn corrupted_superstep_demotes_to_deep_refill_loop() {
+        // Unchecked enforcement demotes the corrupted superstep to a
+        // k-iteration time loop of deep fills + owned-only sweeps, which
+        // verifies clean and elides nothing.
+        let (_, mut plan) = superstep_plan(2);
+        assert!(plan.corrupt_widen_trapezoid());
+        assert!(!plan.verify().is_empty());
+        let items = &mut plan.items;
+        let scheds = &plan.scheds;
+        enforce(items, scheds, false).unwrap();
+        assert!(plan.verify().is_empty(), "{:?}", plan.verify());
+
+        // Checked enforcement on a corrupted superstep fails hard.
+        let (_, mut plan) = superstep_plan(2);
+        assert!(plan.corrupt_widen_trapezoid());
+        let items = &mut plan.items;
+        let scheds = &plan.scheds;
+        let err = enforce(items, scheds, true).unwrap_err();
+        let RtError::VerificationFailed { report } = err else {
+            panic!("expected VerificationFailed")
+        };
+        assert!(report.contains(PL004), "{report}");
     }
 
     #[test]

@@ -29,6 +29,19 @@ pub enum RtError {
         /// The limiting width (overlap width or minimum block extent).
         limit: usize,
     },
+    /// The configured halo depth does not fit a PE's subgrid: a ghost
+    /// region deeper than the block extent would wrap past the adjacent
+    /// neighbor, silently mis-sizing (and mis-filling) the overlap area.
+    /// Raised at allocation time so deep-halo (superstep) configurations
+    /// fail loudly instead of corrupting exchanges.
+    HaloTooDeep {
+        /// The configured halo depth.
+        halo: usize,
+        /// Dimension whose block extent is too small.
+        dim: usize,
+        /// The smallest non-empty block extent along that dimension.
+        extent: usize,
+    },
     /// Array distribution incompatible with the machine (e.g. a collapsed
     /// dimension on a grid axis with more than one PE).
     BadDistribution(String),
@@ -59,6 +72,14 @@ impl fmt::Display for RtError {
             RtError::ShiftTooWide { shift, dim, limit } => {
                 write!(f, "shift {shift} along dim {} exceeds limit {limit}", dim + 1)
             }
+            RtError::HaloTooDeep { halo, dim, extent } => {
+                write!(
+                    f,
+                    "halo depth {halo} does not fit the per-PE subgrid: \
+                     smallest block extent along dim {} is {extent}",
+                    dim + 1
+                )
+            }
             RtError::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
             RtError::RankMismatch { machine, array } => {
                 write!(f, "machine grid rank {machine} != array rank {array}")
@@ -81,5 +102,8 @@ mod tests {
         let e = RtError::MemoryExhausted { pe: 2, needed: 1000, budget: 512 };
         assert!(e.to_string().contains("PE 2"));
         assert!(RtError::ShiftTooWide { shift: 3, dim: 1, limit: 1 }.to_string().contains("dim 2"));
+        let h = RtError::HaloTooDeep { halo: 4, dim: 0, extent: 2 };
+        assert!(h.to_string().contains("halo depth 4"), "{h}");
+        assert!(h.to_string().contains("dim 1"), "{h}");
     }
 }

@@ -184,6 +184,10 @@ pub struct Machine {
     tune_misses: u64,
     /// Wall nanoseconds the auto-tuner spent resolving this run's config.
     tune_search_ns: u64,
+    /// Halo exchanges elided by superstep schedules (machine-wide).
+    exchanges_elided: u64,
+    /// Points redundantly recomputed by trapezoid sub-step sweeps.
+    redundant_cells: u64,
     /// Span recorder for driver-side work (schedule builds, kernel
     /// compiles, step envelopes) — the "driver" track.
     driver_tracer: Tracer,
@@ -218,6 +222,8 @@ impl Machine {
             tune_hits: 0,
             tune_misses: 0,
             tune_search_ns: 0,
+            exchanges_elided: 0,
+            redundant_cells: 0,
             driver_tracer: Tracer::disabled(),
         }
     }
@@ -300,6 +306,25 @@ impl Machine {
             return Err(RtError::AlreadyAllocated(decl.name.clone()));
         }
         let geom = self.geometry_for(decl)?;
+        // The halo must fit every PE's block: a ghost region deeper than
+        // the smallest owned extent along a dimension cannot be filled by
+        // one neighbor exchange (the data lives two or more PEs away), so
+        // deep-halo (superstep) configurations that overshoot the block
+        // size fail here instead of silently mis-filling ghost cells.
+        for d in 0..geom.dims.len() {
+            let min_ext = (0..self.num_pes())
+                .map(|pe| {
+                    let (lo, hi) = geom.owned(pe)[d];
+                    (hi - lo + 1).max(0) as usize
+                })
+                .filter(|&e| e > 0)
+                .min();
+            if let Some(extent) = min_ext {
+                if self.cfg.halo > extent {
+                    return Err(RtError::HaloTooDeep { halo: self.cfg.halo, dim: d, extent });
+                }
+            }
+        }
         // Pre-check budgets.
         if let Some(budget) = self.cfg.mem_budget {
             for pe in 0..self.num_pes() {
@@ -614,6 +639,17 @@ impl Machine {
         self.boundary_cells += boundary;
     }
 
+    /// Record superstep work performed by the executors: per executed
+    /// superstep of depth `k`, the `(k-1) * comms` halo exchanges the
+    /// classic schedule would have issued but the deep-halo schedule did
+    /// not, and the points the trapezoid sub-step sweeps recomputed
+    /// redundantly (outside the owning PE's region). Credited by the plan
+    /// driver after the step, like [`Machine::note_overlap`].
+    pub fn note_superstep(&mut self, exchanges_elided: u64, redundant_cells: u64) {
+        self.exchanges_elided += exchanges_elided;
+        self.redundant_cells += redundant_cells;
+    }
+
     /// Record an auto-tuner resolution against this machine: how the
     /// configuration lookup went (cache `hits`/`misses`) and the wall
     /// nanoseconds the search took. Called by the planning layer after it
@@ -734,6 +770,8 @@ impl Machine {
             tune_cache_hits: self.tune_hits,
             tune_cache_misses: self.tune_misses,
             tune_search_ns: self.tune_search_ns,
+            exchanges_elided: self.exchanges_elided,
+            redundant_cells: self.redundant_cells,
         }
     }
 
@@ -754,6 +792,8 @@ impl Machine {
         self.tune_hits = 0;
         self.tune_misses = 0;
         self.tune_search_ns = 0;
+        self.exchanges_elided = 0;
+        self.redundant_cells = 0;
     }
 
     /// Modeled execution time of the counters so far, in milliseconds.
@@ -821,6 +861,38 @@ mod tests {
         // All-or-nothing: T not partially allocated.
         assert!(!m.is_allocated(T));
         assert_eq!(m.pes[0].cur_bytes, 288);
+    }
+
+    #[test]
+    fn halo_deeper_than_block_extent_is_rejected() {
+        // 8x8 over 2x2: block extent 4. A depth-4 halo still fits (each
+        // ghost layer is fillable from the one adjacent neighbor); depth 5
+        // would need data from two PEs away and is rejected at alloc time.
+        let mut ok = Machine::new(MachineConfig::sp2_2x2().halo(4));
+        ok.alloc(U, &decl("U", 8)).unwrap();
+        let mut m = Machine::new(MachineConfig::sp2_2x2().halo(5));
+        let err = m.alloc(U, &decl("U", 8)).unwrap_err();
+        assert_eq!(err, RtError::HaloTooDeep { halo: 5, dim: 0, extent: 4 });
+        assert!(!m.is_allocated(U), "rejected alloc leaves no state behind");
+        // Uneven blocks: 5 over 4 PEs gives extents 2,2,1,0 -> min
+        // non-empty extent 1, so a depth-2 halo cannot be filled there.
+        let mut u = Machine::new(MachineConfig::grid([4]).halo(2));
+        let d1 = ArrayDecl::user("V", Shape::new([5]), Distribution::block(1));
+        let err = u.alloc(U, &d1).unwrap_err();
+        assert_eq!(err, RtError::HaloTooDeep { halo: 2, dim: 0, extent: 1 });
+    }
+
+    #[test]
+    fn note_superstep_accumulates_and_resets() {
+        let mut m = machine();
+        m.note_superstep(6, 240);
+        m.note_superstep(6, 240);
+        let agg = m.stats();
+        assert_eq!(agg.exchanges_elided, 12);
+        assert_eq!(agg.redundant_cells, 480);
+        m.reset_stats();
+        assert_eq!(m.stats().exchanges_elided, 0);
+        assert_eq!(m.stats().redundant_cells, 0);
     }
 
     #[test]

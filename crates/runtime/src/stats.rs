@@ -127,6 +127,15 @@ pub struct AggStats {
     /// (cache probe, candidate enumeration, model pruning, empirical
     /// timing). On a cache hit this is just the probe time.
     pub tune_search_ns: u64,
+    /// Halo exchanges the superstep schedule did *not* perform: for each
+    /// executed superstep of depth `k`, the `(k-1) * comms_per_step`
+    /// exchanges the classic schedule would have issued. Machine-wide;
+    /// zero at depth 1 and on non-superstep plans.
+    pub exchanges_elided: u64,
+    /// Points computed redundantly (outside the owning PE's region) by
+    /// trapezoid sub-step sweeps, summed over all PEs and supersteps —
+    /// the compute price paid for the elided exchanges.
+    pub redundant_cells: u64,
 }
 
 impl AggStats {
@@ -207,8 +216,15 @@ impl std::fmt::Display for AggStats {
             self.interior_cells,
             self.boundary_cells
         )?;
-        // Tune counters join the footer line only when the auto-tuner ran,
-        // keeping untuned output (and its line count) unchanged.
+        // Superstep and tune counters join the footer line only when their
+        // feature ran, keeping classic output (and its line count) unchanged.
+        if self.exchanges_elided + self.redundant_cells > 0 {
+            write!(
+                f,
+                " | superstep: {} exchanges elided, {} redundant cells",
+                self.exchanges_elided, self.redundant_cells
+            )?;
+        }
         if self.tune_cache_hits + self.tune_cache_misses > 0 {
             write!(
                 f,
@@ -286,5 +302,19 @@ mod tests {
         let table = agg.to_string();
         assert!(table.contains("tune: 0 hits, 1 misses, 2.5 ms search"), "{table}");
         assert_eq!(table.lines().count(), 1 + 1 + 1, "tune joins the footer line");
+    }
+
+    #[test]
+    fn display_appends_superstep_counters_when_supersteps_ran() {
+        let agg = AggStats {
+            per_pe: vec![PeStats::default()],
+            peak_bytes: vec![0],
+            exchanges_elided: 12,
+            redundant_cells: 480,
+            ..Default::default()
+        };
+        let table = agg.to_string();
+        assert!(table.contains("superstep: 12 exchanges elided, 480 redundant cells"), "{table}");
+        assert_eq!(table.lines().count(), 1 + 1 + 1, "superstep joins the footer line");
     }
 }

@@ -38,10 +38,13 @@ pub enum SpanKind {
     Boundary = 10,
     /// One whole plan step — driver track envelope.
     Step = 11,
+    /// One communication-avoiding superstep: the deep halo exchange plus
+    /// the `k` trapezoid sub-step sweeps it amortizes (per-PE tracks).
+    Superstep = 12,
 }
 
 /// Number of span kinds (array-index bound for per-kind aggregates).
-pub const NUM_KINDS: usize = 12;
+pub const NUM_KINDS: usize = 13;
 
 impl SpanKind {
     /// Every kind, in `repr` order.
@@ -58,6 +61,7 @@ impl SpanKind {
         SpanKind::Interior,
         SpanKind::Boundary,
         SpanKind::Step,
+        SpanKind::Superstep,
     ];
 
     /// Short name used in exports and tables.
@@ -75,6 +79,7 @@ impl SpanKind {
             SpanKind::Interior => "interior",
             SpanKind::Boundary => "boundary",
             SpanKind::Step => "step",
+            SpanKind::Superstep => "superstep",
         }
     }
 
@@ -86,7 +91,7 @@ impl SpanKind {
             SpanKind::KernelExec | SpanKind::Compute | SpanKind::Interior | SpanKind::Boundary => {
                 "compute"
             }
-            SpanKind::Step => "step",
+            SpanKind::Step | SpanKind::Superstep => "step",
         }
     }
 }

@@ -16,8 +16,9 @@ use hpf_trace::json::{parse, Value};
 use std::path::Path;
 
 /// Cache format version; bumped when the entry schema changes so stale
-/// files fall back to a fresh search instead of being misread.
-pub const CACHE_VERSION: u64 = 1;
+/// files fall back to a fresh search instead of being misread (v2 added
+/// the winning superstep depth).
+pub const CACHE_VERSION: u64 = 2;
 
 /// The default cache file name, resolved in the working directory.
 pub const DEFAULT_CACHE_FILE: &str = ".hpf-tune.json";
@@ -35,6 +36,8 @@ pub struct CacheEntry {
     pub config: String,
     /// Winning threaded-engine spawn threshold.
     pub par_threshold: u64,
+    /// Winning communication-avoiding superstep depth (1 = classic).
+    pub superstep: u64,
     /// The winner's modeled step time when it was searched, milliseconds.
     pub modeled_ms: f64,
     /// The winner's measured step time when it was searched, milliseconds.
@@ -102,6 +105,7 @@ impl TuneCache {
                 config: string(e.get("config").ok_or("entry missing config")?)?,
                 par_threshold: num(e.get("par_threshold").ok_or("entry missing par_threshold")?)?
                     as u64,
+                superstep: num(e.get("superstep").ok_or("entry missing superstep")?)? as u64,
                 modeled_ms: num(e.get("modeled_ms").ok_or("entry missing modeled_ms")?)?,
                 measured_ms: num(e.get("measured_ms").ok_or("entry missing measured_ms")?)?,
             });
@@ -134,6 +138,7 @@ impl TuneCache {
                     ),
                     ("config".into(), Value::String(e.config.clone())),
                     ("par_threshold".into(), Value::Number(e.par_threshold as f64)),
+                    ("superstep".into(), Value::Number(e.superstep as f64)),
                     ("modeled_ms".into(), Value::Number(e.modeled_ms)),
                     ("measured_ms".into(), Value::Number(e.measured_ms)),
                 ])
@@ -176,6 +181,7 @@ mod tests {
             grid: vec![2, 2],
             config: "threaded-bytecode".to_string(),
             par_threshold: 4096,
+            superstep: 2,
             modeled_ms: 1.25,
             measured_ms: 0.5,
         }
@@ -216,9 +222,10 @@ mod tests {
             "{",                                             // truncated
             "[]",                                            // wrong shape
             "{\"version\":99,\"entries\":[]}",               // future version
-            "{\"version\":1}",                               // missing entries
-            "{\"version\":1,\"entries\":[{\"key\":1}]}",     // wrong field type
-            "{\"version\":1,\"entries\":[{\"key\":\"x\"}]}", // missing fields
+            "{\"version\":1,\"entries\":[]}",                // pre-superstep version
+            "{\"version\":2}",                               // missing entries
+            "{\"version\":2,\"entries\":[{\"key\":1}]}",     // wrong field type
+            "{\"version\":2,\"entries\":[{\"key\":\"x\"}]}", // missing fields
         ] {
             let r = parse(bad).and_then(|v| TuneCache::from_value(&v));
             assert!(r.is_err(), "{bad} should be rejected");

@@ -66,13 +66,16 @@ pub struct Tuner {
     cache: Option<PathBuf>,
     allow_overlap: bool,
     thresholds: Vec<u64>,
+    supersteps: Vec<usize>,
 }
 
 impl Tuner {
     /// A tuner over `base`'s machine: empirically time the 8 best-modeled
     /// candidates with min-of-3 step timings, consider spawn thresholds
-    /// {0, 4096}, allow the split-phase overlap engine, and persist
-    /// decisions in [`DEFAULT_CACHE_FILE`].
+    /// {0, 4096} and communication-avoiding superstep depths {1, 2, 4, 8}
+    /// (depths the kernel is ineligible for are dropped before the search),
+    /// allow the split-phase overlap engine, and persist decisions in
+    /// [`DEFAULT_CACHE_FILE`].
     pub fn new(base: MachineConfig) -> Tuner {
         Tuner {
             base,
@@ -81,6 +84,7 @@ impl Tuner {
             cache: Some(PathBuf::from(DEFAULT_CACHE_FILE)),
             allow_overlap: true,
             thresholds: vec![0, 4096],
+            supersteps: vec![1, 2, 4, 8],
         }
     }
 
@@ -129,6 +133,18 @@ impl Tuner {
         self
     }
 
+    /// The communication-avoiding superstep depths to search (default
+    /// `{1, 2, 4, 8}`). Depths the kernel's superstep planner rejects —
+    /// wrong loop shape, non-shift communication, iteration-crossing data
+    /// flow — are dropped before enumeration, so an ineligible kernel
+    /// searches the classic depth-1 space only; callers whose plans are
+    /// superstep-incompatible for plan-level reasons (e.g. per-step buffer
+    /// swaps) pass `vec![1]`.
+    pub fn supersteps(mut self, ks: Vec<usize>) -> Tuner {
+        self.supersteps = ks;
+        self
+    }
+
     /// Time *every* candidate the model does not reject outright — the
     /// exhaustive search the default pruned search is benchmarked against.
     pub fn exhaustive(self) -> Tuner {
@@ -153,7 +169,21 @@ impl Tuner {
         let t0 = Instant::now();
         let pes = self.base.grid.num_pes();
         let rank = self.base.grid.dims.len();
-        let key = fingerprint(&format!("{seed}|pes={pes}|halo={}", self.base.halo));
+        // Drop superstep depths this kernel has no legal schedule for;
+        // everything left deepens the halo to its own deep-fill depth
+        // (candidates whose deep halo does not fit their subgrids fail to
+        // build and prune themselves). The searched depth set is part of
+        // the cache key: widening or narrowing it re-keys the search.
+        let mut depths: Vec<usize> = self
+            .supersteps
+            .iter()
+            .copied()
+            .filter(|&k| k <= 1 || hpf_exec::superstep_halo(node, k).is_some())
+            .collect();
+        if depths.is_empty() {
+            depths.push(1);
+        }
+        let key = fingerprint(&format!("{seed}|pes={pes}|halo={}|ss={depths:?}", self.base.halo));
 
         // Warm path: a cached decision for this fingerprint ends the call
         // before any candidate exists. A cache that fails to load is a
@@ -184,7 +214,7 @@ impl Tuner {
         } else {
             self.thresholds.clone()
         };
-        let mut candidates = enumerate(pes, rank, self.allow_overlap, &thresholds);
+        let mut candidates = enumerate(pes, rank, self.allow_overlap, &thresholds, &depths);
 
         // Model-probe pruning. The per-PE counters the cost model reads are
         // identical across backends, and across spawn thresholds for the
@@ -229,7 +259,7 @@ impl Tuner {
             if !c.modeled_ms.is_finite() {
                 break; // sorted: everything from here on failed to build
             }
-            let mut machine = Machine::new(c.machine_config(&self.base));
+            let mut machine = Machine::new(self.candidate_machine(node, c));
             let mut plan = match ExecPlan::build(&mut machine, node, &c.exec_config()) {
                 Ok(p) => p,
                 Err(_) => continue, // model probe passed; backend-specific failure
@@ -241,7 +271,9 @@ impl Tuner {
                 plan.step(&mut machine);
                 best = best.min(t.elapsed().as_secs_f64() * 1e3);
             }
-            c.measured_ms = Some(best);
+            // A driver-stepped superstep plan covers k logical steps per
+            // machine step; normalize so depths compete per logical step.
+            c.measured_ms = Some(best / plan.logical_steps_per_step() as f64);
             timed += 1;
         }
 
@@ -266,6 +298,7 @@ impl Tuner {
                 grid: best.grid.clone(),
                 config: best.exec_config().label(),
                 par_threshold: best.par_threshold,
+                superstep: best.superstep as u64,
                 modeled_ms: best.modeled_ms,
                 measured_ms: best.measured_ms.unwrap_or(f64::INFINITY),
             });
@@ -300,31 +333,49 @@ impl Tuner {
             engine: cfg.engine,
             backend: cfg.backend,
             par_threshold: e.par_threshold,
+            superstep: (e.superstep as usize).max(1),
             modeled_ms: e.modeled_ms,
             measured_ms: Some(e.measured_ms),
         })
     }
 
+    /// The candidate's machine configuration with its halo deepened to the
+    /// superstep deep-fill depth, exactly as the plan builder will require
+    /// it. Depth 1 inherits the base halo unchanged.
+    fn candidate_machine(&self, node: &NodeProgram, c: &Candidate) -> MachineConfig {
+        let mut cfg = c.machine_config(&self.base);
+        if c.superstep > 1 {
+            if let Some(h) = hpf_exec::superstep_halo(node, c.superstep) {
+                cfg.halo = cfg.halo.max(h);
+            }
+        }
+        cfg
+    }
+
     /// One cost-model probe: build the candidate's plan (interpreter
     /// backend — the counters the model reads are backend-independent),
     /// reset the counters so plan-build costs are excluded, run one step,
-    /// and read the modeled per-step time.
+    /// and read the modeled per-step time, normalized per logical step so
+    /// driver-stepped superstep plans compete fairly with depth 1.
     fn model_probe(&self, node: &NodeProgram, c: &Candidate) -> Result<f64, RtError> {
-        let mut machine = Machine::new(c.machine_config(&self.base));
-        let cfg = ExecConfig::new().engine(c.engine).backend(Backend::Interp);
+        let mut machine = Machine::new(self.candidate_machine(node, c));
+        let cfg =
+            ExecConfig::new().engine(c.engine).backend(Backend::Interp).superstep(c.superstep);
         let mut plan = ExecPlan::build(&mut machine, node, &cfg)?;
         machine.reset_stats();
         plan.step(&mut machine);
-        Ok(machine.modeled_time_ms())
+        Ok(machine.modeled_time_ms() / plan.logical_steps_per_step() as f64)
     }
 }
 
 /// The distinct modeled configuration a candidate belongs to: grid +
-/// engine, plus the spawn threshold for the overlap engine only (degraded
-/// windows change the hidden-communication credit).
+/// engine + superstep depth (deep schedules change both the communication
+/// volume and the redundant-recompute term), plus the spawn threshold for
+/// the overlap engine only (degraded windows change the
+/// hidden-communication credit).
 fn probe_key(c: &Candidate) -> String {
     let pts = if c.engine == Engine::ThreadedOverlap { c.par_threshold } else { 0 };
-    format!("{}|{:?}|{pts}", grid_label(&c.grid), c.engine)
+    format!("{}|{:?}|{pts}|ss{}", grid_label(&c.grid), c.engine, c.superstep)
 }
 
 #[cfg(test)]
@@ -419,6 +470,48 @@ END
             .reps(1);
         let out = tuner.best(&node, "s").unwrap();
         assert!(out.candidates.iter().all(|c| c.engine != Engine::ThreadedOverlap));
-        assert_eq!(out.timed, out.candidates.len(), "exhaustive times every candidate");
+        // Deep-superstep candidates whose halo cannot fit the 12-point
+        // subgrids fail to build; exhaustive times everything buildable.
+        let buildable = out.candidates.iter().filter(|c| c.modeled_ms.is_finite()).count();
+        assert_eq!(out.timed, buildable, "exhaustive times every buildable candidate");
+        assert!(buildable > 0);
+    }
+
+    #[test]
+    fn superstep_depths_enter_the_search_and_ineligible_ones_are_dropped() {
+        let node = node_for(16);
+        let tuner = Tuner::new(MachineConfig::grid([2, 2])).no_cache().exhaustive().reps(1);
+        let out = tuner.best(&node, "s").unwrap();
+        // The flat Jacobi kernel is superstep-eligible: depths beyond 1
+        // appear in the table, and the deep candidates that fit were timed.
+        for k in [2usize, 4] {
+            assert!(out.candidates.iter().any(|c| c.superstep == k), "depth {k} missing");
+        }
+        assert!(out.candidates.iter().any(|c| c.superstep > 1 && c.measured_ms.is_some()));
+        // An EOSHIFT kernel has no legal superstep schedule at any depth:
+        // the search space collapses back to the classic depth.
+        let src = r#"
+PROGRAM edge
+PARAM N = 12
+REAL U(N,N), T(N,N)
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+T = EOSHIFT(U,1,1) + EOSHIFT(U,-1,2)
+END
+"#;
+        let checked = hpf_frontend::compile_source(src).unwrap();
+        let edge = hpf_passes::compile(&checked, CompileOptions::full()).node;
+        let out = tuner.best(&edge, "edge").unwrap();
+        assert!(out.candidates.iter().all(|c| c.superstep == 1));
+    }
+
+    #[test]
+    fn cache_key_folds_the_superstep_depth_set() {
+        let node = node_for(16);
+        let a = Tuner::new(MachineConfig::grid([2, 2])).no_cache().top_k(1).reps(1);
+        let b = a.clone().supersteps(vec![1]);
+        let ka = a.best(&node, "s").unwrap().fingerprint;
+        let kb = b.best(&node, "s").unwrap().fingerprint;
+        assert_ne!(ka, kb, "narrowing the searched depths must re-key the cache");
     }
 }

@@ -18,6 +18,9 @@ pub struct Candidate {
     pub backend: Backend,
     /// Threaded-engine spawn threshold (points per PE per step).
     pub par_threshold: u64,
+    /// Communication-avoiding superstep depth (1 = the classic
+    /// exchange-every-step schedule).
+    pub superstep: usize,
     /// Modeled time of one step under the machine's cost model,
     /// milliseconds. `INFINITY` when the candidate's plan failed to build
     /// (e.g. a collapsed dimension on a multi-PE axis).
@@ -31,7 +34,7 @@ impl Candidate {
     /// The execution configuration this candidate describes (the part
     /// [`hpf_exec::ExecPlan::build`] consumes).
     pub fn exec_config(&self) -> ExecConfig {
-        ExecConfig::new().engine(self.engine).backend(self.backend)
+        ExecConfig::new().engine(self.engine).backend(self.backend).superstep(self.superstep)
     }
 
     /// The base machine configuration with this candidate's grid and spawn
@@ -43,10 +46,12 @@ impl Candidate {
         cfg
     }
 
-    /// `RxC engine[-backend] pts=N` — the row label of the candidate table.
+    /// `RxC engine[-backend] pts=N [ss=K]` — the row label of the candidate
+    /// table; the superstep depth appears only when it avoids communication.
     pub fn label(&self) -> String {
+        let ss = if self.superstep > 1 { format!(" ss={}", self.superstep) } else { String::new() };
         format!(
-            "{} {} pts={}",
+            "{} {} pts={}{ss}",
             grid_label(&self.grid),
             self.exec_config().label(),
             self.par_threshold
@@ -85,36 +90,44 @@ pub fn factorizations(pes: usize, rank: usize) -> Vec<Vec<usize>> {
 
 /// Enumerate the full candidate space for `pes` processors arranged in
 /// rank-`rank` meshes: every grid factorization × every engine × every
-/// backend × every spawn threshold in `thresholds`. The sequential engine
-/// ignores the spawn threshold, so it is emitted once per backend (with
-/// threshold 0) rather than once per threshold; the split-phase
+/// backend × every spawn threshold in `thresholds` × every
+/// communication-avoiding superstep depth in `supersteps`. The sequential
+/// engine ignores the spawn threshold, so it is emitted once per backend
+/// (with threshold 0) rather than once per threshold; the split-phase
 /// threaded-overlap engine is included only when `allow_overlap` (callers
-/// gate it on the halo-safety lints, exactly like manual engine choice).
-/// Modeled and measured fields start unset.
+/// gate it on the halo-safety lints, exactly like manual engine choice);
+/// callers pass only superstep depths the kernel is eligible for (an empty
+/// slice means the classic depth 1). Modeled and measured fields start
+/// unset.
 pub fn enumerate(
     pes: usize,
     rank: usize,
     allow_overlap: bool,
     thresholds: &[u64],
+    supersteps: &[usize],
 ) -> Vec<Candidate> {
     let mut engines = vec![Engine::Sequential, Engine::Threaded];
     if allow_overlap {
         engines.push(Engine::ThreadedOverlap);
     }
+    let depths: &[usize] = if supersteps.is_empty() { &[1] } else { supersteps };
     let mut out = Vec::new();
     for grid in factorizations(pes, rank) {
         for &engine in &engines {
             let pts: &[u64] = if engine == Engine::Sequential { &[0] } else { thresholds };
             for &backend in &[Backend::Interp, Backend::Bytecode] {
                 for &par_threshold in pts {
-                    out.push(Candidate {
-                        grid: grid.clone(),
-                        engine,
-                        backend,
-                        par_threshold,
-                        modeled_ms: f64::INFINITY,
-                        measured_ms: None,
-                    });
+                    for &superstep in depths {
+                        out.push(Candidate {
+                            grid: grid.clone(),
+                            engine,
+                            backend,
+                            par_threshold,
+                            superstep: superstep.max(1),
+                            modeled_ms: f64::INFINITY,
+                            measured_ms: None,
+                        });
+                    }
                 }
             }
         }
@@ -140,15 +153,20 @@ mod tests {
     #[test]
     fn enumerate_counts_the_matrix() {
         // 3 grids x (seq: 2 backends + threaded: 2x2 + overlap: 2x2) = 30.
-        let cands = enumerate(4, 2, true, &[0, 4096]);
+        let cands = enumerate(4, 2, true, &[0, 4096], &[1]);
         assert_eq!(cands.len(), 3 * (2 + 4 + 4));
         // Without overlap the split-phase engine disappears entirely.
-        let blocking = enumerate(4, 2, false, &[0, 4096]);
+        let blocking = enumerate(4, 2, false, &[0, 4096], &[1]);
         assert_eq!(blocking.len(), 3 * (2 + 4));
         assert!(blocking.iter().all(|c| c.engine != Engine::ThreadedOverlap));
         // Sequential candidates carry exactly one threshold value.
         let seq: Vec<_> = cands.iter().filter(|c| c.engine == Engine::Sequential).collect();
         assert!(seq.iter().all(|c| c.par_threshold == 0));
+        // Superstep depths multiply the whole matrix; empty means depth 1.
+        let deep = enumerate(4, 2, true, &[0, 4096], &[1, 2, 4]);
+        assert_eq!(deep.len(), 3 * cands.len());
+        assert_eq!(enumerate(4, 2, true, &[0, 4096], &[]).len(), cands.len());
+        assert!(enumerate(4, 2, true, &[0, 4096], &[]).iter().all(|c| c.superstep == 1));
     }
 
     #[test]
@@ -158,6 +176,7 @@ mod tests {
             engine: Engine::Threaded,
             backend: Backend::Bytecode,
             par_threshold: 4096,
+            superstep: 1,
             modeled_ms: f64::INFINITY,
             measured_ms: None,
         };
@@ -173,6 +192,7 @@ mod tests {
             engine: Engine::Threaded,
             backend: Backend::Interp,
             par_threshold: 4096,
+            superstep: 1,
             modeled_ms: 0.0,
             measured_ms: None,
         };

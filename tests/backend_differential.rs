@@ -130,6 +130,104 @@ fn lint_dirty_kernel_takes_fallback_yet_stays_bitwise_equal() {
     }
 }
 
+/// Run `kernel` as a persistent plan at superstep depth `k` for exactly
+/// `logical_steps` logical steps (depth k fuses `k` of them per machine step
+/// on flat kernels), returning the gathered outputs and the built plan's
+/// supersteps-per-step count (0 = fell back to the classic schedule).
+#[allow(clippy::too_many_arguments)]
+fn run_superstep(
+    kernel: &Kernel,
+    grid: &[usize],
+    engine: Engine,
+    backend: Backend,
+    k: usize,
+    logical_steps: usize,
+    input: &str,
+    outputs: &[&str],
+) -> (Vec<(String, Vec<f64>)>, u64) {
+    let cfg = hpf_stencil::ExecConfig::new().engine(engine).backend(backend).superstep(k);
+    let mut plan = kernel
+        .plan(MachineConfig::with_grid(grid.to_vec()))
+        .init(input, |p| ((p[0] * 13 + p[1] * 7) as f64 * 0.03).sin())
+        .config(cfg)
+        .build()
+        .unwrap_or_else(|e| panic!("{engine:?}/{backend:?} ss={k} failed to build: {e}"));
+    let per = plan.logical_steps_per_step();
+    assert_eq!(logical_steps % per, 0, "budget {logical_steps} not divisible at depth {k}");
+    plan.iterate(logical_steps / per);
+    let mut arrays = Vec::new();
+    for name in outputs {
+        arrays.push((name.to_string(), plan.gather(name).unwrap()));
+    }
+    (arrays, plan.supersteps_per_step())
+}
+
+#[test]
+fn superstep_depths_bitwise_equal_across_backends() {
+    // The deep-halo superstep schedule must be invisible to the results: at
+    // the same logical step count, depths 2 and 4 match the classic depth-1
+    // sequential-interpreter oracle bitwise, on every engine x backend
+    // combination and on uneven grids.
+    let kernel = Kernel::compile(&presets::problem9(18), CompileOptions::full()).unwrap();
+    for grid in [&[2usize, 2][..], &[3, 2]] {
+        let (oracle, _) =
+            run_superstep(&kernel, grid, Engine::Sequential, Backend::Interp, 1, 4, "U", &["T"]);
+        for k in [1usize, 2, 4] {
+            for (engine, backend) in COMBOS {
+                let (got, supersteps) =
+                    run_superstep(&kernel, grid, engine, backend, k, 4, "U", &["T"]);
+                assert_eq!(oracle, got, "{engine:?}/{backend:?} ss={k} differs on grid {grid:?}");
+                if k > 1 {
+                    assert!(
+                        supersteps >= 1,
+                        "{engine:?}/{backend:?} ss={k} silently fell back on grid {grid:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn superstep_time_loop_tiles_in_place_and_stays_bitwise_equal() {
+    // Jacobi's TIME loop is the other eligible shape: the superstep tiles
+    // the loop body in place (k iterations per exchange), so one machine
+    // step still covers the whole loop and iterate counts stay unchanged.
+    let kernel = Kernel::compile(&presets::jacobi(16, 4), CompileOptions::full()).unwrap();
+    let (oracle, _) =
+        run_superstep(&kernel, &[2, 2], Engine::Sequential, Backend::Interp, 1, 2, "U", &["U"]);
+    for k in [2usize, 4] {
+        for (engine, backend) in COMBOS {
+            let (got, supersteps) =
+                run_superstep(&kernel, &[2, 2], engine, backend, k, 2, "U", &["U"]);
+            assert_eq!(oracle, got, "{engine:?}/{backend:?} ss={k} differs on the time loop");
+            assert!(supersteps >= 1, "{engine:?}/{backend:?} ss={k} fell back on the time loop");
+        }
+    }
+}
+
+#[test]
+fn superstep_ineligible_kernel_falls_back_with_diagnostic() {
+    // image_blur reads through EOSHIFT (value-dependent boundaries), which
+    // the coverage analysis rejects (SS002): a depth-4 request must fall
+    // back to the classic schedule, say so in the diagnostics, and still
+    // match the classic oracle bitwise on every combination.
+    let kernel = Kernel::compile(&presets::image_blur(12, 4), CompileOptions::full()).unwrap();
+    let diags = hpf_stencil::exec::superstep_diags(&kernel.compiled.node, 4);
+    assert!(
+        diags.iter().any(|d| d.code == "SS002"),
+        "EOSHIFT kernel must be rejected with SS002: {diags:?}"
+    );
+    let (oracle, _) =
+        run_superstep(&kernel, &[2, 2], Engine::Sequential, Backend::Interp, 1, 2, "IMG", &["OUT"]);
+    for (engine, backend) in COMBOS {
+        let (got, supersteps) =
+            run_superstep(&kernel, &[2, 2], engine, backend, 4, 2, "IMG", &["OUT"]);
+        assert_eq!(oracle, got, "{engine:?}/{backend:?} fallback differs");
+        assert_eq!(supersteps, 0, "{engine:?}/{backend:?} must fall back to classic");
+    }
+}
+
 #[test]
 fn bytecode_backend_reports_kernel_counters() {
     let kernel = Kernel::compile(&presets::problem9(12), CompileOptions::full()).unwrap();

@@ -29,23 +29,28 @@ fn tmp(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("hpf-tune-diff-{tag}-{}.json", std::process::id()))
 }
 
-/// Run `kernel` under an explicit (machine, exec) configuration, gathering
-/// the given output arrays (skipping ones the program never allocates) and
-/// the per-PE counters.
+/// Run `kernel` under an explicit (machine, exec) configuration for
+/// `steps` machine steps, gathering the given output arrays (skipping ones
+/// the program never allocates), the per-PE counters, and the number of
+/// *logical* time steps covered (a driver-stepped superstep plan covers
+/// its depth per machine step).
+#[allow(clippy::type_complexity)]
 fn run_config(
     kernel: &Kernel,
     mcfg: MachineConfig,
     ecfg: ExecConfig,
     outputs: &[&str],
-) -> (Vec<(String, Vec<f64>)>, Vec<PeStats>) {
-    let mut runner = kernel
-        .runner(mcfg)
-        .config(ecfg)
-        .init("U", |p| ((p[0] * 13 + p[1] * 7) as f64 * 0.03).sin());
+    steps: usize,
+) -> (Vec<(String, Vec<f64>)>, Vec<PeStats>, usize) {
+    let mut planner =
+        kernel.plan(mcfg).config(ecfg).init("U", |p| ((p[0] * 13 + p[1] * 7) as f64 * 0.03).sin());
     if kernel.array_id("V").is_ok() {
-        runner = runner.init("V", |p| ((p[0] - 2 * p[1]) as f64 * 0.05).cos());
+        planner = planner.init("V", |p| ((p[0] - 2 * p[1]) as f64 * 0.05).cos());
     }
-    let run = runner.run().unwrap_or_else(|e| panic!("run failed: {e}"));
+    let mut plan = planner.build().unwrap_or_else(|e| panic!("build failed: {e}"));
+    plan.iterate(steps);
+    let logical = plan.logical_steps_per_step() * steps;
+    let run = plan.into_run();
     let mut arrays = Vec::new();
     for name in outputs {
         let Ok(id) = kernel.array_id(name) else { continue };
@@ -53,28 +58,55 @@ fn run_config(
             arrays.push((name.to_string(), run.machine.gather(id)));
         }
     }
-    (arrays, run.stats().per_pe)
+    (arrays, run.stats().per_pe, logical)
 }
 
-/// Tune `kernel` and check the winner against the defaults: arrays must be
-/// bitwise-identical to the default configuration on the default grid, and
-/// both arrays and per-PE counters must be bitwise-identical to the default
-/// engine/backend *on the tuned grid* (counters depend on the grid, results
-/// do not).
+/// Tune `kernel` and check the winner against the defaults over the same
+/// *logical* work: arrays must be bitwise-identical to the default
+/// configuration on the default grid, and to the default engine/backend
+/// *on the tuned grid*. For a depth-1 winner the per-PE counters must also
+/// be bitwise-identical on the tuned grid; a superstep winner changes the
+/// counters by construction — it must avoid communication (no more
+/// messages than the classic schedule over the same logical steps) without
+/// skipping compute (at least as many iterations).
 fn assert_tuned_matches_default(kernel: &Kernel) -> TuneOutcome {
     let outcome = kernel.tune(&test_tuner()).unwrap();
     let best = &outcome.best;
     let outputs = ["T", "S"];
 
-    let (default_arrays, _) = run_config(kernel, base_config(), ExecConfig::new(), &outputs);
-    let (ref_arrays, ref_stats) =
-        run_config(kernel, best.machine_config(&base_config()), ExecConfig::new(), &outputs);
-    let (tuned_arrays, tuned_stats) =
-        run_config(kernel, best.machine_config(&base_config()), best.exec_config(), &outputs);
+    // One machine step of the winner, then the same logical coverage from
+    // the classic configurations (classic plans cover 1 logical step per
+    // machine step).
+    let (tuned_arrays, tuned_stats, logical) =
+        run_config(kernel, best.machine_config(&base_config()), best.exec_config(), &outputs, 1);
+    let (default_arrays, _, _) =
+        run_config(kernel, base_config(), ExecConfig::new(), &outputs, logical);
+    let (ref_arrays, ref_stats, _) = run_config(
+        kernel,
+        best.machine_config(&base_config()),
+        ExecConfig::new(),
+        &outputs,
+        logical,
+    );
 
     assert_eq!(default_arrays, tuned_arrays, "tuned config changed results: {}", best.label());
     assert_eq!(ref_arrays, tuned_arrays, "grid-matched results differ: {}", best.label());
-    assert_eq!(ref_stats, tuned_stats, "per-PE counters differ on {}", best.label());
+    if best.superstep <= 1 {
+        assert_eq!(ref_stats, tuned_stats, "per-PE counters differ on {}", best.label());
+    } else {
+        let msgs = |st: &[PeStats]| st.iter().map(|s| s.msgs_sent).sum::<u64>();
+        let iters = |st: &[PeStats]| st.iter().map(|s| s.iters).sum::<u64>();
+        assert!(
+            msgs(&tuned_stats) <= msgs(&ref_stats),
+            "superstep winner {} sent more messages than classic",
+            best.label()
+        );
+        assert!(
+            iters(&tuned_stats) >= iters(&ref_stats),
+            "superstep winner {} skipped compute",
+            best.label()
+        );
+    }
     outcome
 }
 
@@ -118,8 +150,10 @@ fn problem9_tuned_matches_default_and_all_candidates_verify() {
     let kernel = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
     let outcome = assert_tuned_matches_default(&kernel);
     // 4 PEs in rank-2 meshes: 3 factorizations x (2 seq + 4 threaded + 4
-    // overlap) combos — Problem 9 is lint-clean, so overlap is in play.
-    assert_eq!(outcome.candidates.len(), 30);
+    // overlap) combos — Problem 9 is lint-clean, so overlap is in play —
+    // x 4 superstep depths (the flat shift chain is eligible at every
+    // searched depth).
+    assert_eq!(outcome.candidates.len(), 120);
     assert_candidates_verify(&kernel, &outcome.candidates);
 }
 

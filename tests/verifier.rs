@@ -13,9 +13,9 @@
 //!    widened loop bounds, shrunk declared envelopes, retargeted
 //!    registers, forced vectorization) and of an execution plan
 //!    (cleared drain barriers, widened interior sweeps, duplicated
-//!    buffer posts) is rejected with the matching `BV*` / `PL*`
-//!    diagnostic. A verifier that misses the faults it was built to
-//!    catch is equally useless.
+//!    buffer posts, widened superstep trapezoids) is rejected with the
+//!    matching `BV*` / `PL*` diagnostic. A verifier that misses the
+//!    faults it was built to catch is equally useless.
 
 use hpf_bench::workload::{generate, WorkloadSpec};
 use hpf_stencil::codegen::{compile_nest, verify_nest, CompiledNest, Fault};
@@ -265,6 +265,27 @@ fn duplicated_posts_are_killed() {
     assert!(plan.corrupt_duplicate_post(), "fixture must have a post to duplicate");
     let diags = plan.verify();
     assert!(diags.iter().any(|d| d.code == "PL003"), "expected PL003, got {diags:?}");
+}
+
+/// Widening a superstep trapezoid makes a fused sub-step claim ghost cells
+/// the deep exchange never filled: the per-PE forward coverage simulation
+/// must trip PL004, at every eligible depth.
+#[test]
+fn widened_trapezoids_are_killed() {
+    let kernel = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+    for k in [2usize, 4] {
+        let halo = hpf_stencil::exec::superstep_halo(&kernel.compiled.node, k)
+            .expect("Problem 9 is superstep-eligible");
+        let mut machine = Machine::new(MachineConfig::with_grid(vec![2, 2]).halo(halo.max(1)));
+        let cfg = ExecConfig::new().backend(Backend::Bytecode).superstep(k);
+        let mut plan =
+            hpf_stencil::exec::ExecPlan::build(&mut machine, &kernel.compiled.node, &cfg).unwrap();
+        assert!(plan.supersteps_per_step() > 0, "fixture must build a depth-{k} superstep");
+        assert!(plan.verify().is_empty(), "compiler-built superstep plan must verify clean");
+        assert!(plan.corrupt_widen_trapezoid(), "fixture must carry a trapezoid to widen");
+        let diags = plan.verify();
+        assert!(diags.iter().any(|d| d.code == "PL004"), "expected PL004, got {diags:?}");
+    }
 }
 
 const COMBOS: [(Engine, Backend); 6] = [
