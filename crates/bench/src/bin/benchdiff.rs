@@ -1,0 +1,52 @@
+//! `benchdiff` — the benchmark-regression gate.
+//!
+//! ```text
+//! benchdiff BASELINE.json CURRENT.json
+//! ```
+//!
+//! Compares the latest entries of two `hpf-bench-history/v1` files
+//! (written by `experiments --exp history`) metric by metric: counters
+//! gate exactly, modeled times within a 2% band, host wall clocks are
+//! informational only. Losing a metric the baseline had is a regression;
+//! gaining a new one is not.
+//!
+//! Exit codes: 0 no regression, 1 regression detected, 2 usage or parse
+//! error.
+
+use hpf_bench::report::{diff_histories, has_regression, render_diff, DiffStatus};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (base_path, cur_path) = match args.as_slice() {
+        [b, c] => (b, c),
+        _ => {
+            eprintln!("usage: benchdiff BASELINE.json CURRENT.json");
+            std::process::exit(2);
+        }
+    };
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("benchdiff: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = read(base_path);
+    let current = read(cur_path);
+    let lines = match diff_histories(&base, &current) {
+        Ok(lines) => lines,
+        Err(e) => {
+            eprintln!("benchdiff: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", render_diff(&lines));
+    let gated = lines
+        .iter()
+        .filter(|l| matches!(l.status, DiffStatus::Regressed | DiffStatus::Missing))
+        .count();
+    if has_regression(&lines) {
+        eprintln!("benchdiff: {gated} metric(s) regressed ({base_path} -> {cur_path})");
+        std::process::exit(1);
+    }
+    println!("no regression ({} metrics compared)", lines.len());
+}

@@ -19,6 +19,15 @@
 //! `BENCH_tune.json`. `--exp superstep` runs Problem 9 at
 //! communication-avoiding superstep depths {1, 2, 4, 8} under every engine
 //! (defaulting to N in {128, 512}) and writes `BENCH_superstep.json`.
+//! `--exp metrics` runs Problem 9 with metrics collection under every
+//! engine, asserts the observation-only contract and exact drift-report
+//! reconciliation, and writes `BENCH_metrics.json`. `--exp history`
+//! appends the canonical small-suite key metrics (plus host metadata and
+//! git revision) to `BENCH_history.json` — the baseline `benchdiff`
+//! compares against.
+//!
+//! Every `BENCH_*.json` goes through the canonical `hpf-bench/v1`
+//! envelope ([`hpf_bench::report::write_bench`]).
 //!
 //! `--engine` accepts the same specs as `hpfsc` (parsed by
 //! [`ExecConfig::from_cli_str`]): an engine (`seq`, `threaded`,
@@ -46,9 +55,23 @@ const EXPERIMENTS: &[&str] = &[
     "trace",
     "tune",
     "superstep",
+    "metrics",
+    "history",
     "fig7to10",
     "fuzz",
 ];
+
+/// Write the experiment's table through the canonical envelope and print
+/// it in the requested form.
+fn emit(experiment: &str, t: &Table, json: bool) {
+    let path = hpf_bench::report::write_bench(experiment, t);
+    if json {
+        println!("{}", t.to_json());
+    } else {
+        println!("{}", t.render());
+    }
+    eprintln!("wrote {path}");
+}
 
 struct Args {
     exp: String,
@@ -142,14 +165,7 @@ fn main() {
     if args.exp == "codegen" {
         // Both backends, both engines; defaults to the paper-scale sizes.
         let sizes: Vec<usize> = if args.sizes_given { args.sizes.clone() } else { vec![128, 512] };
-        let t = codegen(&sizes, args.steps);
-        std::fs::write("BENCH_codegen.json", t.to_json() + "\n").expect("write BENCH_codegen.json");
-        if args.json {
-            println!("{}", t.to_json());
-        } else {
-            println!("{}", t.render());
-        }
-        eprintln!("wrote BENCH_codegen.json");
+        emit("codegen", &codegen(&sizes, args.steps), args.json);
         return;
     }
     if args.exp == "overlap" {
@@ -157,27 +173,13 @@ fn main() {
         // to sizes spanning the spawn threshold up to the headline N=2048.
         let sizes: Vec<usize> =
             if args.sizes_given { args.sizes.clone() } else { vec![128, 512, 2048] };
-        let t = overlap(&sizes, args.steps);
-        std::fs::write("BENCH_overlap.json", t.to_json() + "\n").expect("write BENCH_overlap.json");
-        if args.json {
-            println!("{}", t.to_json());
-        } else {
-            println!("{}", t.render());
-        }
-        eprintln!("wrote BENCH_overlap.json");
+        emit("overlap", &overlap(&sizes, args.steps), args.json);
         return;
     }
     if args.exp == "trace" {
         // Per-engine span attribution for Problem 9; the experiment itself
         // validates the chrome JSON and the hidden-credit agreement.
-        let t = trace_attribution(args.n, args.steps);
-        std::fs::write("BENCH_trace.json", t.to_json() + "\n").expect("write BENCH_trace.json");
-        if args.json {
-            println!("{}", t.to_json());
-        } else {
-            println!("{}", t.render());
-        }
-        eprintln!("wrote BENCH_trace.json");
+        emit("trace", &trace_attribution(args.n, args.steps), args.json);
         return;
     }
     if args.exp == "tune" {
@@ -185,14 +187,7 @@ fn main() {
         // same headline sizes as the overlap experiment.
         let sizes: Vec<usize> =
             if args.sizes_given { args.sizes.clone() } else { vec![128, 512, 2048] };
-        let t = tune(&sizes, args.steps);
-        std::fs::write("BENCH_tune.json", t.to_json() + "\n").expect("write BENCH_tune.json");
-        if args.json {
-            println!("{}", t.to_json());
-        } else {
-            println!("{}", t.render());
-        }
-        eprintln!("wrote BENCH_tune.json");
+        emit("tune", &tune(&sizes, args.steps), args.json);
         return;
     }
     if args.exp == "superstep" {
@@ -201,15 +196,35 @@ fn main() {
         // bitwise against the classic schedule. Defaults to the paper-scale
         // sizes where the wall-clock win is also asserted.
         let sizes: Vec<usize> = if args.sizes_given { args.sizes.clone() } else { vec![128, 512] };
-        let t = superstep(&sizes, args.steps);
-        std::fs::write("BENCH_superstep.json", t.to_json() + "\n")
-            .expect("write BENCH_superstep.json");
-        if args.json {
-            println!("{}", t.to_json());
-        } else {
-            println!("{}", t.render());
+        emit("superstep", &superstep(&sizes, args.steps), args.json);
+        return;
+    }
+    if args.exp == "metrics" {
+        // Per-engine metrics collection; the experiment itself asserts the
+        // observation-only contract and drift reconciliation.
+        emit("metrics", &metrics(args.n, args.steps), args.json);
+        return;
+    }
+    if args.exp == "history" {
+        // Append the canonical small-suite metrics to the regression
+        // baseline; `benchdiff` compares two of these files.
+        let meta = hpf_bench::report::run_meta();
+        let metrics = hpf_bench::report::canonical_metrics();
+        match hpf_bench::report::append_history("BENCH_history.json", &meta, &metrics) {
+            Ok(count) => {
+                for (k, v) in &metrics {
+                    println!("{k} = {v}");
+                }
+                eprintln!(
+                    "wrote BENCH_history.json ({count} entries, rev {}, host {})",
+                    meta.git_rev, meta.host
+                );
+            }
+            Err(e) => {
+                eprintln!("experiments: --exp history: {e}");
+                std::process::exit(1);
+            }
         }
-        eprintln!("wrote BENCH_superstep.json");
         return;
     }
     if args.exp == "fig7to10" {

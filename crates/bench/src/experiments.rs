@@ -674,6 +674,82 @@ pub fn trace_attribution(n: usize, steps: usize) -> Table {
     t
 }
 
+/// **Metrics**: per-engine metrics collection on Problem 9. Each engine
+/// runs twice — metrics on and off — and the experiment asserts the
+/// observation-only contract (bitwise-identical arrays and per-PE
+/// counters) plus exact drift-report reconciliation with
+/// `CostModel::modeled_time_ns` and `AggStats::hidden_comm_ns`, then
+/// reports utilization, imbalance, and flagged drift components.
+pub fn metrics(n: usize, steps: usize) -> Table {
+    use hpf_core::ExecConfig;
+    let kernel = Kernel::compile(&presets::problem9(n), CompileOptions::full()).unwrap();
+    let mut t = Table::new(
+        format!("Metrics — Problem 9 (N={n}, {steps} steps, 2x2 PEs, bytecode backend)"),
+        &[
+            "engine",
+            "spans",
+            "busy [%]",
+            "imbalance",
+            "bytes/step",
+            "drift-flagged",
+            "modeled [ms]",
+            "wall [ms]",
+        ],
+    );
+    for engine in [Engine::Sequential, Engine::Threaded, Engine::ThreadedOverlap] {
+        let mcfg = MachineConfig::grid(vec![2, 2]).par_threshold(4096);
+        let base = ExecConfig::new().engine(engine).backend(Backend::Bytecode);
+        let mut plan =
+            kernel.plan(mcfg.clone()).init("U", input).config(base.metrics(true)).build().unwrap();
+        plan.iterate(steps);
+        let mut plain = kernel.plan(mcfg).init("U", input).config(base).build().unwrap();
+        plain.iterate(steps);
+        // Observation-only: metrics change nothing the run can see.
+        assert_eq!(
+            plan.gather("T").unwrap(),
+            plain.gather("T").unwrap(),
+            "metrics perturbed results under {engine:?}"
+        );
+        assert_eq!(
+            plan.stats().per_pe,
+            plain.stats().per_pe,
+            "metrics perturbed counters under {engine:?}"
+        );
+        assert!(plain.metrics_snapshot().is_none() && plain.drift_report().is_none());
+        let snap = plan.metrics_snapshot().expect("metrics were configured");
+        let drift = plan.drift_report().expect("metrics were configured");
+        // The drift report's totals reconcile exactly with their sources.
+        let agg = plan.stats();
+        assert_eq!(drift.modeled_time_ns, plan.machine.cfg.cost.modeled_time_ns(&agg));
+        assert_eq!(drift.hidden_comm_ns, agg.hidden_comm_ns.iter().sum::<f64>());
+        assert_eq!(snap.steps, steps as u64);
+        assert_eq!(snap.series.len(), steps);
+        let spans: u64 = snap.merged_pe_registry().hists().map(|(_, h)| h.count()).sum();
+        assert!(spans > 0, "no spans sampled under {engine:?}");
+        let busy = snap.series.mean_busy();
+        let mean_busy = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+        let flagged: Vec<&str> = drift.flagged().iter().map(|c| c.name).collect();
+        t.row(vec![
+            engine.label().to_string(),
+            spans.to_string(),
+            format!("{:.1}", mean_busy * 100.0),
+            format!("{:.2}", snap.series.mean_imbalance()),
+            (snap.series.total_bytes() / steps as u64).to_string(),
+            if flagged.is_empty() { "-".to_string() } else { flagged.join(",") },
+            ms(plan.modeled_ms()),
+            ms(plan.wall().as_secs_f64() * 1e3),
+        ]);
+    }
+    t.note(
+        "metrics are observation-only: each engine's metered run is asserted bitwise \
+         identical (arrays and per-PE counters) to a metrics-off twin, and the drift \
+         report's modeled total and hidden credit reconcile exactly with \
+         CostModel::modeled_time_ns and AggStats::hidden_comm_ns; busy = mean per-PE \
+         busy fraction across sampled steps, imbalance = max/mean busy",
+    );
+    t
+}
+
 /// PE-grid scaling of the fully optimized Problem 9.
 pub fn scaling(n: usize, engine: Engine) -> Table {
     let src = presets::problem9(n);

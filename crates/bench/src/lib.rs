@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod report;
 pub mod table;
 pub mod workload;
 

@@ -312,6 +312,14 @@ impl Runner<'_> {
         self
     }
 
+    /// Toggle metrics collection for the run ([`Run::metrics`],
+    /// [`Run::drift`]). Observation-only: results and counters are
+    /// bitwise identical with metrics on or off.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.exec_cfg = self.exec_cfg.metrics(on);
+        self
+    }
+
     /// Replace the tuner used to resolve [`ExecConfig::auto`] (e.g. to
     /// point its cache elsewhere). Without this, auto-tuned runs use
     /// `Tuner::new` over the runner's machine configuration.
@@ -425,6 +433,14 @@ impl<'k> Planner<'k> {
     /// Toggle per-PE event tracing ([`Plan::take_trace`]).
     pub fn trace(mut self, on: bool) -> Self {
         self.exec_cfg = self.exec_cfg.trace(on);
+        self
+    }
+
+    /// Toggle metrics collection ([`Plan::metrics_snapshot`],
+    /// [`Plan::drift_report`]). Observation-only: results and counters
+    /// are bitwise identical with metrics on or off.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.exec_cfg = self.exec_cfg.metrics(on);
         self
     }
 
@@ -735,9 +751,27 @@ impl Plan<'_> {
         self.machine.modeled_time_ms()
     }
 
-    /// Whether the plan was built with event tracing enabled.
+    /// Whether the plan was built with event tracing enabled. When only
+    /// metrics are enabled the rings run privately to feed the sampler and
+    /// this stays `false` — user-facing trace semantics are unchanged.
     pub fn tracing_enabled(&self) -> bool {
-        self.machine.tracing_enabled()
+        self.machine.tracing_enabled() && !self.exec.metrics_owns_trace()
+    }
+
+    /// Snapshot of the collected metrics (histograms, step series, per-PE
+    /// registries); `None` unless the plan was built with
+    /// [`Planner::metrics`] / [`ExecConfig::metrics`].
+    pub fn metrics_snapshot(&self) -> Option<hpf_metrics::MetricsSnapshot> {
+        self.exec.metrics_snapshot()
+    }
+
+    /// Cost-model drift report joining modeled component costs against
+    /// measured span walls; `None` unless the plan was built with metrics.
+    /// Its `modeled_time_ns` and `hidden_comm_ns` reconcile exactly with
+    /// [`CostModel::modeled_time_ns`](hpf_runtime::CostModel::modeled_time_ns)
+    /// and the sum of `AggStats::hidden_comm_ns`.
+    pub fn drift_report(&self) -> Option<hpf_metrics::DriftReport> {
+        self.exec.drift_report(&self.machine)
     }
 
     /// Take the trace recorded since the plan was built (or since the last
@@ -747,6 +781,11 @@ impl Plan<'_> {
     /// an empty trace when tracing was not enabled.
     pub fn take_trace(&mut self) -> Trace {
         let mut trace = self.machine.take_trace();
+        if self.exec.metrics_owns_trace() {
+            // The rings exist only to feed the metrics sampler (which marks
+            // its own watermarks each step): drain them, hand back nothing.
+            return Trace::default();
+        }
         if self.machine.tracing_enabled() {
             trace.tracks.insert(0, compile_passes_track(self.kernel.stats()));
         }
@@ -765,12 +804,23 @@ impl Plan<'_> {
     }
 
     /// Finish: convert into a [`Run`] (machine state, stepping time, and —
-    /// when tracing was enabled — the recorded trace).
+    /// when tracing or metrics were enabled — the recorded trace, metrics
+    /// snapshot, and drift report).
     pub fn into_run(mut self) -> Run {
-        let trace = if self.machine.tracing_enabled() { Some(self.take_trace()) } else { None };
+        let trace = if self.tracing_enabled() { Some(self.take_trace()) } else { None };
+        let metrics = self.metrics_snapshot();
+        let drift = self.drift_report();
         let logical_steps = self.logical_steps_per_step();
         let superstep_diags = self.superstep_diags();
-        Run { machine: self.machine, wall: self.wall, trace, logical_steps, superstep_diags }
+        Run {
+            machine: self.machine,
+            wall: self.wall,
+            trace,
+            metrics,
+            drift,
+            logical_steps,
+            superstep_diags,
+        }
     }
 }
 
@@ -783,6 +833,12 @@ pub struct Run {
     /// The recorded event trace, when the run was configured with tracing
     /// ([`Runner::trace`] / [`ExecConfig::trace`]); `None` otherwise.
     pub trace: Option<Trace>,
+    /// The metrics snapshot, when the run was configured with metrics
+    /// ([`Runner::metrics`] / [`ExecConfig::metrics`]); `None` otherwise.
+    pub metrics: Option<hpf_metrics::MetricsSnapshot>,
+    /// The cost-model drift report, when the run was configured with
+    /// metrics; `None` otherwise.
+    pub drift: Option<hpf_metrics::DriftReport>,
     /// Logical time steps each machine step covered: the superstep depth
     /// `k` for a driver-stepped flat superstep plan, 1 otherwise.
     pub logical_steps: usize,
@@ -936,6 +992,52 @@ mod tests {
         assert!(plain.trace.is_none());
         assert_eq!(run.gather(&kernel, "U"), plain.gather(&kernel, "U"));
         assert_eq!(run.stats().per_pe, plain.stats().per_pe);
+    }
+
+    #[test]
+    fn metrics_run_snapshots_without_exposing_a_trace() {
+        let kernel = Kernel::compile(&presets::jacobi(16, 3), CompileOptions::full()).unwrap();
+        let init = |p: &[i64]| ((p[0] * 5 + p[1]) as f64).sin();
+        let mut plan = kernel
+            .plan(MachineConfig::sp2_2x2())
+            .init("U", init)
+            .engine(Engine::ThreadedOverlap)
+            .metrics(true)
+            .build()
+            .unwrap();
+        assert!(!plan.tracing_enabled(), "metrics-owned rings stay invisible");
+        plan.iterate(3);
+        assert!(plan.take_trace().tracks.is_empty(), "no user-facing trace");
+        let snap = plan.metrics_snapshot().expect("metrics were configured");
+        assert_eq!(snap.pes, 4);
+        assert_eq!(snap.steps, 3);
+        assert_eq!(snap.series.len(), 3);
+        assert!(snap.merged_pe_registry().hists().any(|(_, h)| h.count() > 0));
+        let drift = plan.drift_report().expect("metrics were configured");
+        // The report's totals reconcile exactly with their sources.
+        let agg = plan.stats();
+        let cost = &plan.machine.cfg.cost;
+        assert_eq!(drift.modeled_time_ns, cost.modeled_time_ns(&agg));
+        assert_eq!(drift.hidden_comm_ns, agg.hidden_comm_ns.iter().sum::<f64>());
+        let run = plan.into_run();
+        assert!(run.trace.is_none(), "metrics alone never surface a trace");
+        assert!(run.metrics.is_some() && run.drift.is_some());
+
+        // Metrics + trace together: both surfaces populated.
+        let traced = kernel
+            .runner(MachineConfig::sp2_2x2())
+            .init("U", init)
+            .trace(true)
+            .metrics(true)
+            .run()
+            .unwrap();
+        assert!(traced.trace.is_some());
+        assert!(traced.metrics.is_some());
+        // Observation-only: identical arrays and counters with metrics off.
+        let plain = kernel.runner(MachineConfig::sp2_2x2()).init("U", init).run().unwrap();
+        assert_eq!(traced.gather(&kernel, "U"), plain.gather(&kernel, "U"));
+        assert_eq!(traced.stats().per_pe, plain.stats().per_pe);
+        assert!(plain.metrics.is_none() && plain.drift.is_none());
     }
 
     #[test]

@@ -73,6 +73,16 @@ options:
                         per-PE span times, counters); with =FILE also
                         write Chrome trace_event JSON there (load in
                         chrome://tracing or ui.perfetto.dev)
+  --metrics[=FILE]      collect per-PE metrics during --run (latency
+                        histograms, step time series, load imbalance) and
+                        print the JSON snapshot; with =FILE write it there
+                        instead (a .prom suffix selects Prometheus text
+                        exposition). Observation-only: results and
+                        counters are bitwise identical with metrics off
+  --report              print a one-page run report after --run: config,
+                        per-PE utilization, histogram summaries, and the
+                        cost-model drift table (modeled vs measured per
+                        component, DRIFT markers outside the band)
   --print-input NAME[:N]
                         print a preset kernel source (five-point,
                         nine-point-cshift, nine-point-array, problem9,
@@ -158,6 +168,9 @@ fn main() {
     let mut exec_cfg = ExecConfig::new();
     let mut trace_on = false;
     let mut trace_file: Option<String> = None;
+    let mut metrics_on = false;
+    let mut metrics_file: Option<String> = None;
+    let mut report_on = false;
     let mut tune_on = false;
     let mut tune_file: Option<String> = None;
     let mut naive_mode = false;
@@ -264,6 +277,16 @@ fn main() {
                     trace_file = Some(f.to_string());
                 }
             }
+            other if other == "--metrics" || other.starts_with("--metrics=") => {
+                metrics_on = true;
+                if let Some(f) = other.strip_prefix("--metrics=") {
+                    if f.is_empty() {
+                        usage_error("--metrics= needs a file name");
+                    }
+                    metrics_file = Some(f.to_string());
+                }
+            }
+            "--report" => report_on = true,
             other if other.starts_with('-') => {
                 usage_error(&format!("unrecognized option '{other}'"))
             }
@@ -417,34 +440,7 @@ fn main() {
                         out.search_ns as f64 / 1e6,
                         out.fingerprint
                     );
-                    out!(
-                        "  {:<10} {:<26} {:>6} {:>12} {:>12}",
-                        "grid",
-                        "config",
-                        "pts",
-                        "modeled ms",
-                        "measured ms"
-                    );
-                    for c in &out.candidates {
-                        let modeled = if c.modeled_ms.is_finite() {
-                            format!("{:.4}", c.modeled_ms)
-                        } else {
-                            "build failed".to_string()
-                        };
-                        let measured = match c.measured_ms {
-                            Some(ms) => format!("{ms:.4}"),
-                            None => "-".to_string(),
-                        };
-                        let marker = if *c == out.best { '*' } else { ' ' };
-                        out!(
-                            "{marker} {:<10} {:<26} {:>6} {:>12} {:>12}",
-                            hpf_core::tune::grid_label(&c.grid),
-                            c.exec_config().label(),
-                            c.par_threshold,
-                            modeled,
-                            measured
-                        );
-                    }
+                    out_raw!("{}", out.render_table());
                 }
                 out!(
                     "! best: {} {} pts={} ({:.4} ms measured)",
@@ -467,8 +463,9 @@ fn main() {
 
     if run {
         let cfg = MachineConfig::with_grid(grid.clone()).halo(halo);
-        let mut runner =
-            kernel.runner(cfg.clone()).config(exec_cfg.superstep(superstep).trace(trace_on));
+        let mut runner = kernel
+            .runner(cfg.clone())
+            .config(exec_cfg.superstep(superstep).trace(trace_on).metrics(metrics_on || report_on));
         if exec_cfg.auto {
             // Route the resolution through the same cache file --tune uses.
             let mut tuner = hpf_core::Tuner::new(cfg);
@@ -573,6 +570,53 @@ fn main() {
                             Err(e) => {
                                 eprintln!("hpfsc: cannot write {path}: {e}");
                                 exit(1)
+                            }
+                        }
+                    }
+                }
+                if report_on || metrics_on {
+                    let snap = r.metrics.as_ref().expect("metrics were configured");
+                    let drift = r.drift.as_ref().expect("metrics were configured");
+                    if report_on {
+                        out!(
+                            "\n! run report: {} on {} PEs, {} steps",
+                            snap.config,
+                            snap.pes,
+                            snap.steps
+                        );
+                        out!("\n! per-PE utilization");
+                        out_raw!("{}", snap.render_utilization());
+                        out!("\n! span latency histograms (all PEs merged)");
+                        out_raw!("{}", snap.render_histograms());
+                        out!("\n! cost-model drift");
+                        out_raw!("{}", drift.render_table());
+                    }
+                    if metrics_on {
+                        match &metrics_file {
+                            Some(path) if path.ends_with(".prom") => {
+                                if let Err(e) = std::fs::write(path, snap.to_prometheus()) {
+                                    eprintln!("hpfsc: cannot write {path}: {e}");
+                                    exit(1)
+                                }
+                                out!("\nmetrics written to {path} (Prometheus text exposition)");
+                            }
+                            Some(path) => {
+                                let doc = hpf_core::trace::json::Value::Object(vec![
+                                    ("metrics".into(), snap.to_json()),
+                                    ("drift".into(), drift.to_json()),
+                                ]);
+                                if let Err(e) = std::fs::write(path, doc.render()) {
+                                    eprintln!("hpfsc: cannot write {path}: {e}");
+                                    exit(1)
+                                }
+                                out!("\nmetrics written to {path}");
+                            }
+                            None => {
+                                let doc = hpf_core::trace::json::Value::Object(vec![
+                                    ("metrics".into(), snap.to_json()),
+                                    ("drift".into(), drift.to_json()),
+                                ]);
+                                out!("{}", doc.render());
                             }
                         }
                     }

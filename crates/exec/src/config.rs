@@ -7,6 +7,7 @@
 //! [`crate::ExecPlan::step`] needs no per-call dispatch arguments.
 
 use crate::backend::Backend;
+use hpf_metrics::MetricsConfig;
 use hpf_trace::TraceConfig;
 
 /// Which executor steps the plan.
@@ -60,6 +61,15 @@ pub struct ExecConfig {
     /// `None` (the default) leaves every tracer disabled — recording
     /// sites then cost one predictable branch and no clock read.
     pub trace: Option<TraceConfig>,
+    /// When set, the plan collects metrics each step: per-PE span-latency
+    /// histograms, a per-step time series (phase breakdown, bytes moved,
+    /// busy fractions, load imbalance), and the inputs of the cost-model
+    /// drift report. Metrics read the same per-PE trace rings the `trace`
+    /// option exposes; when `trace` is off they enable the rings
+    /// internally without changing user-facing trace semantics
+    /// (observation-only either way). `None` (the default) records
+    /// nothing.
+    pub metrics: Option<MetricsConfig>,
     /// Pre-validate every communication plan at build time (shift widths
     /// against the halo), like the one-shot threaded executor does, so a
     /// malformed program fails in `build` rather than on a worker thread.
@@ -89,6 +99,7 @@ impl Default for ExecConfig {
             engine: Engine::default(),
             backend: Backend::default(),
             trace: None,
+            metrics: None,
             check: false,
             auto: false,
             superstep: 1,
@@ -131,6 +142,18 @@ impl ExecConfig {
     /// Enable event tracing with an explicit recorder configuration.
     pub fn trace_with(mut self, cfg: TraceConfig) -> Self {
         self.trace = Some(cfg);
+        self
+    }
+
+    /// Enable metrics collection with the default configuration.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = if on { Some(MetricsConfig::default()) } else { None };
+        self
+    }
+
+    /// Enable metrics collection with an explicit configuration.
+    pub fn metrics_with(mut self, cfg: MetricsConfig) -> Self {
+        self.metrics = Some(cfg);
         self
     }
 

@@ -31,6 +31,7 @@
 
 pub mod backend;
 pub mod config;
+pub(crate) mod metrics;
 pub mod nest;
 pub mod par;
 pub mod plan;

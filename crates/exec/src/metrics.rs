@@ -1,0 +1,241 @@
+//! Per-step metrics sampling and the cost-model drift join.
+//!
+//! `hpf-metrics` owns the data types; this module owns the *collection*:
+//! it knows machines, tracers, and the cost model. Sampling piggybacks
+//! on the per-PE trace rings instead of adding a second family of
+//! instrumentation sites — [`MetricsState::begin`] snapshots each PE
+//! ring's length (a watermark) before the engines run a step, and
+//! [`MetricsState::end`] reads back exactly the spans that step appended
+//! (a non-draining peek via [`hpf_trace::Tracer::events`]), feeding the
+//! per-PE latency histograms and one [`StepSample`]. When the user did
+//! not ask for tracing, [`crate::ExecPlan::build`] enables the rings
+//! privately and the plan reports that it owns them, so user-facing
+//! trace semantics stay unchanged.
+//!
+//! The drift join ([`MetricsState::drift_report`]) prices the run's
+//! aggregate counters with the machine's [`CostModel`] component by
+//! component and pairs each term with the measured wall time of the span
+//! kinds that perform that work. PE-track spans never nest (each engine
+//! records disjoint phases), so per-kind sums partition the busy time.
+
+use hpf_metrics::{
+    DriftComponent, DriftReport, MetricsConfig, MetricsSnapshot, Registry, StepSample, StepSeries,
+};
+use hpf_runtime::{CostModel, Machine, PeStats};
+use hpf_trace::{now_ns, SpanKind};
+
+/// Collection state owned by an [`crate::ExecPlan`] built with
+/// [`crate::ExecConfig::metrics`].
+#[derive(Debug)]
+pub(crate) struct MetricsState {
+    cfg: MetricsConfig,
+    /// The exec-config label, embedded in snapshots.
+    label: String,
+    /// True when the plan enabled tracing purely for metrics (user trace
+    /// off): the trace must then stay invisible to trace consumers.
+    owns_trace: bool,
+    steps: u64,
+    series: StepSeries,
+    per_pe: Vec<Registry>,
+    driver: Registry,
+    /// Hidden-communication credit read back off the drain spans the
+    /// sampler has seen (pairs with the counter-side credit in the drift
+    /// report; diverges only when rings overflow).
+    hidden_measured_ns: f64,
+}
+
+/// Watermarks captured at the top of one plan step.
+pub(crate) struct StepBegin {
+    t0: u64,
+    marks: Vec<usize>,
+    dropped: Vec<u64>,
+    bytes0: u64,
+}
+
+/// Span kinds that occupy a PE (disjoint on PE tracks — see module doc).
+const PE_LEAF_KINDS: [SpanKind; 9] = [
+    SpanKind::Compute,
+    SpanKind::KernelExec,
+    SpanKind::Interior,
+    SpanKind::Boundary,
+    SpanKind::Pack,
+    SpanKind::Unpack,
+    SpanKind::CommPost,
+    SpanKind::CommDrain,
+    SpanKind::Superstep,
+];
+
+impl MetricsState {
+    pub(crate) fn new(cfg: MetricsConfig, label: String, pes: usize, owns_trace: bool) -> Self {
+        MetricsState {
+            cfg,
+            label,
+            owns_trace,
+            steps: 0,
+            series: StepSeries::new(cfg.step_capacity),
+            per_pe: vec![Registry::new(); pes],
+            driver: Registry::new(),
+            hidden_measured_ns: 0.0,
+        }
+    }
+
+    /// Does the trace on the machine exist only to feed metrics?
+    pub(crate) fn owns_trace(&self) -> bool {
+        self.owns_trace
+    }
+
+    /// Snapshot the per-PE ring watermarks and byte counters before the
+    /// engine runs a step.
+    pub(crate) fn begin(&self, machine: &Machine) -> StepBegin {
+        StepBegin {
+            t0: now_ns(),
+            marks: machine.pes.iter().map(|p| p.tracer.len()).collect(),
+            dropped: machine.pes.iter().map(|p| p.tracer.dropped()).collect(),
+            bytes0: machine.pes.iter().map(|p| p.stats.bytes_sent).sum(),
+        }
+    }
+
+    /// Fold the spans the step appended into the histograms and record
+    /// its [`StepSample`].
+    pub(crate) fn end(&mut self, machine: &Machine, begin: StepBegin, logical_steps: usize) {
+        let wall_ns = now_ns().saturating_sub(begin.t0);
+        let mut sample = StepSample {
+            step: self.steps,
+            wall_ns,
+            bytes_moved: machine
+                .pes
+                .iter()
+                .map(|p| p.stats.bytes_sent)
+                .sum::<u64>()
+                .saturating_sub(begin.bytes0),
+            ..StepSample::default()
+        };
+        for (pe, p) in machine.pes.iter().enumerate() {
+            let events = p.tracer.events();
+            let from = begin.marks.get(pe).copied().unwrap_or(0).min(events.len());
+            let mut busy = 0u64;
+            for e in &events[from..] {
+                self.per_pe[pe].hist_record(e.kind.label(), e.dur_ns);
+                self.hidden_measured_ns += e.hidden_ns;
+                if PE_LEAF_KINDS.contains(&e.kind) {
+                    busy += e.dur_ns;
+                }
+                match e.kind {
+                    SpanKind::Compute | SpanKind::KernelExec | SpanKind::Interior => {
+                        sample.compute_ns += e.dur_ns
+                    }
+                    SpanKind::Boundary => {
+                        sample.compute_ns += e.dur_ns;
+                        sample.boundary_ns += e.dur_ns;
+                    }
+                    SpanKind::Pack | SpanKind::Unpack => sample.pack_ns += e.dur_ns,
+                    SpanKind::CommPost => sample.send_ns += e.dur_ns,
+                    SpanKind::CommDrain => sample.drain_ns += e.dur_ns,
+                    SpanKind::Superstep => sample.superstep_ns += e.dur_ns,
+                    _ => {}
+                }
+            }
+            let dropped =
+                p.tracer.dropped().saturating_sub(begin.dropped.get(pe).copied().unwrap_or(0));
+            if dropped > 0 {
+                self.per_pe[pe].counter_add("spans_dropped", dropped);
+            }
+            sample.busy.push(busy as f64 / wall_ns.max(1) as f64);
+        }
+        sample.imbalance = StepSample::imbalance_of(&sample.busy);
+        self.driver.counter_add("steps", 1);
+        self.driver.counter_add("logical_steps", logical_steps as u64);
+        self.driver.counter_add("bytes_moved", sample.bytes_moved);
+        self.driver.hist_record("step-wall", wall_ns);
+        self.series.push(sample);
+        self.steps += 1;
+    }
+
+    /// Freeze the collected metrics for export.
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            config: self.label.clone(),
+            pes: self.per_pe.len(),
+            steps: self.steps,
+            per_pe: self.per_pe.clone(),
+            driver: self.driver.clone(),
+            series: self.series.clone(),
+        }
+    }
+
+    /// Join the machine's aggregate counters, priced by its cost model,
+    /// against the measured per-kind wall sums. The report's
+    /// `modeled_time_ns` and `hidden_comm_ns` are taken straight from
+    /// [`CostModel::modeled_time_ns`] and `AggStats::hidden_comm_ns`, so
+    /// they reconcile with those sources exactly.
+    pub(crate) fn drift_report(&self, machine: &Machine) -> DriftReport {
+        let agg = machine.stats();
+        let cost = &machine.cfg.cost;
+        let t = agg.total();
+        let hidden_modeled: f64 = agg.hidden_comm_ns.iter().sum();
+        let components = vec![
+            DriftComponent {
+                name: "compute",
+                modeled_ns: compute_modeled_ns(cost, &t),
+                measured_ns: self.kinds_wall_ns(&[
+                    SpanKind::Compute,
+                    SpanKind::KernelExec,
+                    SpanKind::Interior,
+                    SpanKind::Boundary,
+                    SpanKind::Superstep,
+                ]),
+                model_only: false,
+            },
+            DriftComponent {
+                name: "msg-latency",
+                modeled_ns: (t.msgs_sent + t.msgs_recv) as f64 * cost.alpha_ns,
+                measured_ns: self.kinds_wall_ns(&[SpanKind::CommPost, SpanKind::CommDrain]),
+                model_only: false,
+            },
+            DriftComponent {
+                name: "bandwidth",
+                modeled_ns: (t.bytes_sent + t.bytes_recv) as f64 * cost.beta_ns_per_byte
+                    + (t.intra_bytes + t.wrap_bytes) as f64 * cost.copy_ns_per_byte,
+                measured_ns: self.kinds_wall_ns(&[SpanKind::Pack, SpanKind::Unpack]),
+                model_only: false,
+            },
+            DriftComponent {
+                name: "hidden-credit",
+                modeled_ns: hidden_modeled,
+                measured_ns: self.hidden_measured_ns,
+                model_only: true,
+            },
+        ];
+        DriftReport {
+            components,
+            hidden_comm_ns: hidden_modeled,
+            modeled_time_ns: cost.modeled_time_ns(&agg),
+            measured_wall_ns: self.series.total_wall_ns(),
+            band: (self.cfg.band_low, self.cfg.band_high),
+        }
+    }
+
+    /// Total measured wall ns in the given span kinds, over all PEs.
+    fn kinds_wall_ns(&self, kinds: &[SpanKind]) -> f64 {
+        let mut sum = 0u64;
+        for r in &self.per_pe {
+            for k in kinds {
+                if let Some(h) = r.hist(k.label()) {
+                    sum += h.sum();
+                }
+            }
+        }
+        sum as f64
+    }
+}
+
+/// The cost model's pure-compute terms for one counter set — the
+/// non-communication summands of [`CostModel::pe_time_ns`].
+fn compute_modeled_ns(cost: &CostModel, s: &PeStats) -> f64 {
+    s.loads as f64 * cost.load_ns
+        + s.strided_loads as f64 * cost.strided_load_extra_ns
+        + s.stores as f64 * cost.store_ns
+        + s.flops as f64 * cost.flop_ns
+        + s.iters as f64 * cost.iter_ns
+        + s.allocs as f64 * cost.alloc_ns
+}

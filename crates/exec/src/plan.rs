@@ -149,6 +149,9 @@ pub struct ExecPlan {
     /// Why the requested superstep depth fell back to the classic `k = 1`
     /// schedule (empty when it did not).
     superstep_diags: Vec<Diagnostic>,
+    /// Metrics collection state ([`ExecConfig::metrics`]); `None` keeps
+    /// stepping metric-free.
+    metrics: Option<Box<crate::metrics::MetricsState>>,
 }
 
 impl ExecPlan {
@@ -182,6 +185,15 @@ impl ExecPlan {
     ) -> Result<ExecPlan, RtError> {
         if let Some(tc) = cfg.trace {
             machine.enable_tracing(tc);
+        }
+        // Metrics sample the trace rings; when tracing was not requested,
+        // enable it privately and remember that the plan owns it, so
+        // trace consumers still see "tracing off" (`Machine::take_trace`
+        // callers go through the planning layer, which checks
+        // `metrics_owns_trace`).
+        let metrics_owns_trace = cfg.metrics.is_some() && cfg.trace.is_none();
+        if metrics_owns_trace {
+            machine.enable_tracing(hpf_trace::TraceConfig::default());
         }
         crate::seq::allocate(machine, node)?;
         if cfg.check {
@@ -253,6 +265,14 @@ impl ExecPlan {
             redundant_cells_per_step: 0,
             logical_steps,
             superstep_diags,
+            metrics: cfg.metrics.map(|mc| {
+                Box::new(crate::metrics::MetricsState::new(
+                    mc,
+                    cfg.label(),
+                    machine.pes.len(),
+                    metrics_owns_trace,
+                ))
+            }),
         };
         if cfg.engine == Engine::ThreadedOverlap {
             let items = std::mem::take(&mut plan.items);
@@ -287,13 +307,42 @@ impl ExecPlan {
         self.engine
     }
 
-    /// Run one sweep of the kernel on the configured engine.
+    /// Run one sweep of the kernel on the configured engine. With
+    /// metrics on, the step is bracketed by ring watermarks so exactly
+    /// the spans it appends feed the histograms and its [`StepSample`] —
+    /// observation only, after the engines have finished the step.
     pub fn step(&mut self, machine: &mut Machine) {
+        let begin = self.metrics.as_ref().map(|m| m.begin(machine));
         match self.engine {
             Engine::Sequential => self.step_seq(machine),
             Engine::Threaded => self.step_par(machine),
             Engine::ThreadedOverlap => self.step_par_overlap(machine),
         }
+        if let Some(begin) = begin {
+            let logical = self.logical_steps;
+            if let Some(m) = self.metrics.as_mut() {
+                m.end(machine, begin, logical);
+            }
+        }
+    }
+
+    /// The collected metrics, frozen for export; `None` unless the plan
+    /// was built with [`ExecConfig::metrics`].
+    pub fn metrics_snapshot(&self) -> Option<hpf_metrics::MetricsSnapshot> {
+        self.metrics.as_ref().map(|m| m.snapshot())
+    }
+
+    /// The cost-model drift report for the stepped-so-far run; `None`
+    /// unless the plan was built with [`ExecConfig::metrics`].
+    pub fn drift_report(&self, machine: &Machine) -> Option<hpf_metrics::DriftReport> {
+        self.metrics.as_ref().map(|m| m.drift_report(machine))
+    }
+
+    /// True when the machine's tracing was enabled by metrics collection
+    /// rather than [`ExecConfig::trace`] — trace consumers should then
+    /// treat the run as untraced.
+    pub fn metrics_owns_trace(&self) -> bool {
+        self.metrics.as_ref().is_some_and(|m| m.owns_trace())
     }
 
     /// Number of distinct communication schedules compiled.

@@ -1,0 +1,69 @@
+//! Metrics and run-reporting for the HPF stencil simulator.
+//!
+//! This crate is the *data* layer of the observability stack: metric
+//! primitives ([`Histogram`], [`Registry`]), the per-step time series
+//! ([`StepSample`], [`StepSeries`]), the frozen export form
+//! ([`MetricsSnapshot`] — JSON, Prometheus text, rendered tables), and
+//! the cost-model drift report ([`DriftReport`]). It deliberately knows
+//! nothing about machines, plans, or cost models: `hpf-exec` owns the
+//! sampling (reading span deltas off the `hpf-trace` rings each step)
+//! and the drift join (cost model × counters vs span walls), and hands
+//! the plain numbers down to the types here. Like the tracer, every
+//! writer-side structure is single-writer and lock-free: one registry
+//! per PE, owned by whichever thread owns that PE's state, with bounded
+//! drop-newest buffers so a long run can never grow without limit.
+//!
+//! The only dependency is `hpf-trace` — for the shared JSON module, the
+//! shared table renderer, and the span vocabulary.
+
+pub mod drift;
+pub mod histogram;
+pub mod registry;
+pub mod sample;
+pub mod snapshot;
+
+pub use drift::{DriftComponent, DriftReport};
+pub use histogram::Histogram;
+pub use registry::Registry;
+pub use sample::{StepSample, StepSeries};
+pub use snapshot::MetricsSnapshot;
+
+/// Metrics collection knobs, carried by `ExecConfig::metrics`.
+///
+/// `Copy` (like `TraceConfig`) so the exec configuration stays a plain
+/// value type.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricsConfig {
+    /// Retained [`StepSample`]s before the series starts counting drops.
+    pub step_capacity: usize,
+    /// Lower edge of the drift acceptance band on the normalized
+    /// modeled/measured ratio.
+    pub band_low: f64,
+    /// Upper edge of the drift acceptance band.
+    pub band_high: f64,
+}
+
+impl MetricsConfig {
+    /// Default step-series capacity.
+    pub const DEFAULT_STEP_CAPACITY: usize = 4096;
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig { step_capacity: Self::DEFAULT_STEP_CAPACITY, band_low: 0.5, band_high: 2.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane_and_copy() {
+        let c = MetricsConfig::default();
+        let d = c; // Copy
+        assert_eq!(c, d);
+        assert_eq!(c.step_capacity, 4096);
+        assert!(c.band_low < 1.0 && c.band_high > 1.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Single-writer metric registries.
+//!
+//! One [`Registry`] belongs to exactly one writer — a PE worker or the
+//! driver — mirroring the `Tracer` discipline: no locks, no atomics, just
+//! `&mut` exclusivity enforced by the borrow checker. The executors write
+//! a PE's registry only from whichever thread currently owns that PE's
+//! state (the same ownership the tracer rings rely on), and readers only
+//! see a registry once stepping has returned. Names are interned on first
+//! use; a registry holds a handful of metrics, so find-or-insert is a
+//! short linear scan.
+
+use crate::histogram::Histogram;
+use hpf_trace::json::{escape, Value};
+
+/// Monotonic counters, gauges, and log2 histograms for one writer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    hists: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to a monotonic counter, creating it at zero on first use.
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, c)) => *c += v,
+            None => self.counters.push((name.to_string(), v)),
+        }
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        match self.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, g)) => *g = v,
+            None => self.gauges.push((name.to_string(), v)),
+        }
+    }
+
+    /// Record one duration into a histogram, creating it on first use.
+    pub fn hist_record(&mut self, name: &str, ns: u64) {
+        self.hist_mut(name).record(ns);
+    }
+
+    /// The histogram with this name, created empty on first use.
+    pub fn hist_mut(&mut self, name: &str) -> &mut Histogram {
+        if let Some(i) = self.hists.iter().position(|(n, _)| n == name) {
+            return &mut self.hists[i].1;
+        }
+        self.hists.push((name.to_string(), Histogram::new()));
+        &mut self.hists.last_mut().unwrap().1
+    }
+
+    /// Current counter value, if the counter exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, c)| c)
+    }
+
+    /// Current gauge value, if the gauge exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, g)| g)
+    }
+
+    /// The histogram with this name, if it exists.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// All counters, in creation order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, c)| (n.as_str(), *c))
+    }
+
+    /// All gauges, in creation order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, g)| (n.as_str(), *g))
+    }
+
+    /// All histograms, in creation order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Fold another registry into this one: counters add, histograms
+    /// merge, gauges keep the maximum (the conservative cross-PE view —
+    /// for busy fractions and watermarks the worst writer is the one that
+    /// matters).
+    pub fn merge(&mut self, other: &Registry) {
+        for (n, c) in other.counters() {
+            self.counter_add(n, c);
+        }
+        for (n, g) in other.gauges() {
+            let cur = self.gauge(n).unwrap_or(f64::NEG_INFINITY);
+            self.gauge_set(n, cur.max(g));
+        }
+        for (n, h) in other.hists() {
+            self.hist_mut(n).merge(h);
+        }
+    }
+
+    /// JSON form: `{"counters":{...},"gauges":{...},"hists":{name:
+    /// {"count":..,"sum_ns":..,"min_ns":..,"max_ns":..,"p50_ns":..,
+    /// "p99_ns":..}}}`. Bucket arrays are omitted — the Prometheus
+    /// exposition carries them; the snapshot keeps the digest.
+    pub fn to_json(&self) -> Value {
+        let counters =
+            self.counters.iter().map(|(n, c)| (n.clone(), Value::Number(*c as f64))).collect();
+        let gauges = self.gauges.iter().map(|(n, g)| (n.clone(), Value::Number(*g))).collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.clone(),
+                    Value::Object(vec![
+                        ("count".into(), Value::Number(h.count() as f64)),
+                        ("sum_ns".into(), Value::Number(h.sum() as f64)),
+                        ("min_ns".into(), Value::Number(h.min() as f64)),
+                        ("max_ns".into(), Value::Number(h.max() as f64)),
+                        ("p50_ns".into(), Value::Number(h.quantile(0.5) as f64)),
+                        ("p99_ns".into(), Value::Number(h.quantile(0.99) as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".into(), Value::Object(counters)),
+            ("gauges".into(), Value::Object(gauges)),
+            ("hists".into(), Value::Object(hists)),
+        ])
+    }
+
+    /// Prometheus text exposition for this registry, every sample tagged
+    /// with the given `labels` (e.g. `pe="3"`). Metric names are
+    /// sanitized to `[a-zA-Z0-9_]` and prefixed `hpf_`.
+    pub fn to_prometheus(&self, out: &mut String, labels: &str) {
+        for (n, c) in self.counters() {
+            let name = prom_name(n);
+            out.push_str(&format!("# TYPE {name}_total counter\n"));
+            out.push_str(&format!("{name}_total{{{labels}}} {c}\n"));
+        }
+        for (n, g) in self.gauges() {
+            let name = prom_name(n);
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name}{{{labels}}} {g}\n"));
+        }
+        for (n, h) in self.hists() {
+            let name = prom_name(n);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets().iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cum += c;
+                let le = crate::histogram::bucket_upper(i);
+                out.push_str(&format!("{name}_bucket{{{labels},le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{{labels},le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{name}_sum{{{labels}}} {}\n", h.sum()));
+            out.push_str(&format!("{name}_count{{{labels}}} {}\n", h.count()));
+        }
+    }
+}
+
+/// Sanitize a metric name for Prometheus and prefix the namespace.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("hpf_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Quote a label value for Prometheus (reuses the JSON string escaper —
+/// the grammars agree on `\\`, `\"`, and `\n`, the only specials here).
+pub fn prom_label(key: &str, value: &str) -> String {
+    format!("{key}=\"{}\"", escape(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_interned() {
+        let mut r = Registry::new();
+        r.counter_add("steps", 1);
+        r.counter_add("steps", 2);
+        r.counter_add("bytes", 10);
+        assert_eq!(r.counter("steps"), Some(3));
+        assert_eq!(r.counter("bytes"), Some(10));
+        assert_eq!(r.counter("missing"), None);
+        assert_eq!(r.counters().count(), 2);
+    }
+
+    #[test]
+    fn gauges_keep_the_latest_value() {
+        let mut r = Registry::new();
+        r.gauge_set("busy", 0.25);
+        r.gauge_set("busy", 0.75);
+        assert_eq!(r.gauge("busy"), Some(0.75));
+    }
+
+    #[test]
+    fn merge_adds_counters_merges_hists_maxes_gauges() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.counter_add("n", 2);
+        b.counter_add("n", 3);
+        a.gauge_set("busy", 0.9);
+        b.gauge_set("busy", 0.4);
+        a.hist_record("lat", 100);
+        b.hist_record("lat", 200);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), Some(5));
+        assert_eq!(a.gauge("busy"), Some(0.9));
+        assert_eq!(a.hist("lat").unwrap().count(), 2);
+        assert_eq!(a.hist("lat").unwrap().sum(), 300);
+    }
+
+    #[test]
+    fn json_digest_carries_quantiles() {
+        let mut r = Registry::new();
+        r.hist_record("lat.ns", 64);
+        let j = r.to_json();
+        let h = j.get("hists").and_then(|h| h.get("lat.ns")).unwrap();
+        assert_eq!(h.get("count"), Some(&Value::Number(1.0)));
+        assert_eq!(h.get("max_ns"), Some(&Value::Number(64.0)));
+        // Round-trips through the shared parser.
+        let reparsed = hpf_trace::json::parse(&j.render()).unwrap();
+        assert_eq!(reparsed.render(), j.render());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative_and_labelled() {
+        let mut r = Registry::new();
+        r.counter_add("steps", 4);
+        r.hist_record("span compute", 5);
+        r.hist_record("span compute", 900);
+        let mut out = String::new();
+        r.to_prometheus(&mut out, &prom_label("pe", "0"));
+        assert!(out.contains("hpf_steps_total{pe=\"0\"} 4"), "{out}");
+        assert!(out.contains("hpf_span_compute_bucket{pe=\"0\",le=\"+Inf\"} 2"), "{out}");
+        assert!(out.contains("hpf_span_compute_sum{pe=\"0\"} 905"), "{out}");
+        // Bucket counts are cumulative: the le="1023" bucket sees both.
+        assert!(out.contains("le=\"1023\"} 2"), "{out}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-step time series.
+//!
+//! The executor records one [`StepSample`] per plan step: where the
+//! step's wall time went (phase sums read off the trace rings), how many
+//! bytes moved, and how evenly the PEs were loaded. The series is a
+//! bounded drop-newest buffer like the tracer rings — long runs keep the
+//! first `capacity` steps and count the rest, so memory stays flat and
+//! the retained prefix is still a faithful record of start-up behavior.
+
+/// One plan step's measurements.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepSample {
+    /// Zero-based step index.
+    pub step: u64,
+    /// Wall nanoseconds for the whole step (driver view).
+    pub wall_ns: u64,
+    /// Wall ns in compute spans (interpreter sweeps, kernel executions,
+    /// interior and boundary sweeps), summed over PEs.
+    pub compute_ns: u64,
+    /// Wall ns packing and unpacking halo buffers, summed over PEs.
+    pub pack_ns: u64,
+    /// Wall ns posting sends/receives, summed over PEs.
+    pub send_ns: u64,
+    /// Wall ns draining receives, summed over PEs.
+    pub drain_ns: u64,
+    /// Wall ns in boundary-strip sweeps alone (also included in
+    /// `compute_ns`; split out because overlap quality is about this).
+    pub boundary_ns: u64,
+    /// Wall ns inside superstep envelopes, summed over PEs.
+    pub superstep_ns: u64,
+    /// Bytes sent between PEs during the step.
+    pub bytes_moved: u64,
+    /// Per-PE busy fraction: that PE's leaf-span wall time over the step
+    /// wall time. Can exceed 1.0 only by timer jitter.
+    pub busy: Vec<f64>,
+    /// Load imbalance: max busy fraction over mean busy fraction; 1.0
+    /// is perfectly balanced, 0.0 when no PE was busy.
+    pub imbalance: f64,
+}
+
+impl StepSample {
+    /// Imbalance from a busy vector: max/mean, 0.0 for empty/idle.
+    pub fn imbalance_of(busy: &[f64]) -> f64 {
+        let n = busy.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = busy.iter().sum();
+        let max = busy.iter().cloned().fold(0.0f64, f64::max);
+        if sum <= 0.0 {
+            0.0
+        } else {
+            max / (sum / n as f64)
+        }
+    }
+}
+
+/// A bounded, drop-newest sequence of [`StepSample`]s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepSeries {
+    samples: Vec<StepSample>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl StepSeries {
+    /// An empty series retaining at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        StepSeries { samples: Vec::new(), cap, dropped: 0 }
+    }
+
+    /// Append a sample, or count it as dropped when the series is full.
+    pub fn push(&mut self, s: StepSample) {
+        if self.samples.len() < self.cap {
+            self.samples.push(s);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained samples, in step order.
+    pub fn samples(&self) -> &[StepSample] {
+        &self.samples
+    }
+
+    /// Samples lost to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total step wall nanoseconds over the retained samples.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.samples.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Total bytes moved over the retained samples.
+    pub fn total_bytes(&self) -> u64 {
+        self.samples.iter().map(|s| s.bytes_moved).sum()
+    }
+
+    /// Mean per-PE busy fraction over the retained samples (empty when
+    /// the series is).
+    pub fn mean_busy(&self) -> Vec<f64> {
+        let Some(first) = self.samples.first() else { return Vec::new() };
+        let mut acc = vec![0.0; first.busy.len()];
+        for s in &self.samples {
+            for (a, b) in acc.iter_mut().zip(s.busy.iter()) {
+                *a += b;
+            }
+        }
+        let n = self.samples.len() as f64;
+        acc.iter_mut().for_each(|a| *a /= n);
+        acc
+    }
+
+    /// Mean load-imbalance ratio over the retained samples.
+    pub fn mean_imbalance(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.imbalance).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        assert_eq!(StepSample::imbalance_of(&[]), 0.0);
+        assert_eq!(StepSample::imbalance_of(&[0.0, 0.0]), 0.0);
+        assert_eq!(StepSample::imbalance_of(&[0.5, 0.5]), 1.0);
+        let r = StepSample::imbalance_of(&[0.9, 0.3]);
+        assert!((r - 1.5).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn series_drops_newest_past_capacity() {
+        let mut s = StepSeries::new(2);
+        for i in 0..5 {
+            s.push(StepSample { step: i, wall_ns: 10, ..Default::default() });
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.samples()[1].step, 1, "keeps the earliest samples");
+        assert_eq!(s.total_wall_ns(), 20);
+    }
+
+    #[test]
+    fn means_average_over_retained_samples() {
+        let mut s = StepSeries::new(8);
+        s.push(StepSample { busy: vec![1.0, 0.0], imbalance: 2.0, ..Default::default() });
+        s.push(StepSample { busy: vec![0.0, 1.0], imbalance: 2.0, ..Default::default() });
+        assert_eq!(s.mean_busy(), vec![0.5, 0.5]);
+        assert_eq!(s.mean_imbalance(), 2.0);
+        assert!(StepSeries::new(1).mean_busy().is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Point-in-time export of a run's metrics.
+//!
+//! A [`MetricsSnapshot`] is everything the executor collected, frozen
+//! for export: the per-PE registries, the driver registry, and the step
+//! series. It renders three ways — a JSON document (through the shared
+//! `hpf_trace::json` printer), Prometheus text exposition, and the
+//! `TraceSummary`-style tables the `hpfsc --report` page is built from.
+
+use crate::registry::{prom_label, Registry};
+use crate::sample::StepSeries;
+use hpf_trace::json::Value;
+use hpf_trace::{Align, TextTable};
+
+/// Frozen metrics for one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The execution-config label the run used (e.g.
+    /// `threaded-overlap-bytecode`).
+    pub config: String,
+    /// Number of PEs.
+    pub pes: usize,
+    /// Plan steps executed while metrics were on.
+    pub steps: u64,
+    /// One registry per PE, in PE order.
+    pub per_pe: Vec<Registry>,
+    /// The driver's registry (step wall histogram, byte counters).
+    pub driver: Registry,
+    /// The per-step time series.
+    pub series: StepSeries,
+}
+
+impl MetricsSnapshot {
+    /// All PE registries folded into one (counters add, histograms
+    /// merge) — the machine-wide view of the per-kind latency data.
+    pub fn merged_pe_registry(&self) -> Registry {
+        let mut all = Registry::new();
+        for r in &self.per_pe {
+            all.merge(r);
+        }
+        all
+    }
+
+    /// JSON document (`hpf-metrics/v1`).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("schema".into(), Value::String("hpf-metrics/v1".into())),
+            ("config".into(), Value::String(self.config.clone())),
+            ("pes".into(), Value::Number(self.pes as f64)),
+            ("steps".into(), Value::Number(self.steps as f64)),
+            ("driver".into(), self.driver.to_json()),
+            ("per_pe".into(), Value::Array(self.per_pe.iter().map(Registry::to_json).collect())),
+            ("series".into(), series_json(&self.series)),
+        ])
+    }
+
+    /// Prometheus text exposition: driver samples labelled
+    /// `pe="driver"`, PE samples labelled by index, plus series-level
+    /// gauges.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.driver.to_prometheus(&mut out, &prom_label("pe", "driver"));
+        for (pe, r) in self.per_pe.iter().enumerate() {
+            r.to_prometheus(&mut out, &prom_label("pe", &pe.to_string()));
+        }
+        out.push_str("# TYPE hpf_load_imbalance gauge\n");
+        out.push_str(&format!("hpf_load_imbalance {}\n", self.series.mean_imbalance()));
+        out.push_str("# TYPE hpf_steps_sampled gauge\n");
+        out.push_str(&format!("hpf_steps_sampled {}\n", self.series.len()));
+        out
+    }
+
+    /// Per-PE utilization table: busy fraction, span wall time, span
+    /// count, drops.
+    pub fn render_utilization(&self) -> String {
+        let busy = self.series.mean_busy();
+        let mut t = TextTable::new(&[
+            ("pe", Align::Left),
+            ("busy%", Align::Right),
+            ("spans", Align::Right),
+            ("span-ms", Align::Right),
+            ("dropped", Align::Right),
+        ]);
+        for (pe, r) in self.per_pe.iter().enumerate() {
+            let spans: u64 = r.hists().map(|(_, h)| h.count()).sum();
+            let wall: u64 = r.hists().map(|(_, h)| h.sum()).sum();
+            t.row([
+                format!("PE {pe}"),
+                format!("{:.1}", busy.get(pe).copied().unwrap_or(0.0) * 100.0),
+                spans.to_string(),
+                format!("{:.3}", wall as f64 / 1e6),
+                r.counter("spans_dropped").unwrap_or(0).to_string(),
+            ]);
+        }
+        t.line(format!(
+            "(mean over {} sampled steps; imbalance max/mean = {:.2})",
+            self.series.len(),
+            self.series.mean_imbalance()
+        ));
+        t.render()
+    }
+
+    /// Histogram summary table over the merged PE registries: count,
+    /// p50/p99, max per span kind, in microseconds.
+    pub fn render_histograms(&self) -> String {
+        let merged = self.merged_pe_registry();
+        let mut t = TextTable::new(&[
+            ("histogram", Align::Left),
+            ("count", Align::Right),
+            ("p50-us", Align::Right),
+            ("p99-us", Align::Right),
+            ("max-us", Align::Right),
+        ]);
+        for (name, h) in merged.hists() {
+            if h.is_empty() {
+                continue;
+            }
+            t.row([
+                name.to_string(),
+                h.count().to_string(),
+                format!("{:.1}", h.quantile(0.5) as f64 / 1e3),
+                format!("{:.1}", h.quantile(0.99) as f64 / 1e3),
+                format!("{:.1}", h.max() as f64 / 1e3),
+            ]);
+        }
+        if t.is_empty() {
+            t.line("(no spans recorded)");
+        }
+        t.render()
+    }
+}
+
+fn series_json(s: &StepSeries) -> Value {
+    let samples = s
+        .samples()
+        .iter()
+        .map(|x| {
+            Value::Object(vec![
+                ("step".into(), Value::Number(x.step as f64)),
+                ("wall_ns".into(), Value::Number(x.wall_ns as f64)),
+                ("compute_ns".into(), Value::Number(x.compute_ns as f64)),
+                ("pack_ns".into(), Value::Number(x.pack_ns as f64)),
+                ("send_ns".into(), Value::Number(x.send_ns as f64)),
+                ("drain_ns".into(), Value::Number(x.drain_ns as f64)),
+                ("boundary_ns".into(), Value::Number(x.boundary_ns as f64)),
+                ("superstep_ns".into(), Value::Number(x.superstep_ns as f64)),
+                ("bytes_moved".into(), Value::Number(x.bytes_moved as f64)),
+                ("imbalance".into(), Value::Number(x.imbalance)),
+                ("busy".into(), Value::Array(x.busy.iter().map(|&b| Value::Number(b)).collect())),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("dropped".into(), Value::Number(s.dropped() as f64)),
+        ("samples".into(), Value::Array(samples)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::StepSample;
+
+    fn snapshot() -> MetricsSnapshot {
+        let mut pe0 = Registry::new();
+        pe0.hist_record("compute", 1000);
+        pe0.hist_record("pack", 200);
+        let mut pe1 = Registry::new();
+        pe1.hist_record("compute", 3000);
+        pe1.counter_add("spans_dropped", 2);
+        let mut driver = Registry::new();
+        driver.hist_record("step_wall", 5000);
+        driver.counter_add("steps", 1);
+        let mut series = StepSeries::new(16);
+        series.push(StepSample {
+            step: 0,
+            wall_ns: 5000,
+            compute_ns: 4000,
+            bytes_moved: 64,
+            busy: vec![0.24, 0.6],
+            imbalance: StepSample::imbalance_of(&[0.24, 0.6]),
+            ..Default::default()
+        });
+        MetricsSnapshot {
+            config: "threaded-bytecode".into(),
+            pes: 2,
+            steps: 1,
+            per_pe: vec![pe0, pe1],
+            driver,
+            series,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_carries_the_schema() {
+        let j = snapshot().to_json();
+        assert_eq!(j.get("schema"), Some(&Value::String("hpf-metrics/v1".into())));
+        assert_eq!(j.get("pes"), Some(&Value::Number(2.0)));
+        let back = hpf_trace::json::parse(&j.render()).unwrap();
+        assert_eq!(back.render(), j.render());
+    }
+
+    #[test]
+    fn prometheus_labels_driver_and_pes() {
+        let p = snapshot().to_prometheus();
+        assert!(p.contains("hpf_steps_total{pe=\"driver\"} 1"), "{p}");
+        assert!(p.contains("hpf_compute_count{pe=\"0\"} 1"), "{p}");
+        assert!(p.contains("hpf_compute_count{pe=\"1\"} 1"), "{p}");
+        assert!(p.contains("hpf_load_imbalance"), "{p}");
+    }
+
+    #[test]
+    fn tables_cover_every_pe_and_merged_hists() {
+        let s = snapshot();
+        let util = s.render_utilization();
+        assert!(util.contains("PE 0") && util.contains("PE 1"), "{util}");
+        assert!(util.contains("imbalance"), "{util}");
+        let hist = s.render_histograms();
+        assert!(hist.contains("compute"), "{hist}");
+        assert!(hist.contains("pack"), "{hist}");
+        // Merged: both PEs' compute spans in one row.
+        assert_eq!(s.merged_pe_registry().hist("compute").unwrap().count(), 2);
+    }
+}

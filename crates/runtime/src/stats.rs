@@ -171,39 +171,38 @@ impl AggStats {
 
 /// The per-PE summary table (`--trace` text output): one row per PE with
 /// its message/byte/compute counters and the hidden-communication credit.
+/// Rendered through the shared [`hpf_trace::table::TextTable`] helper.
 impl std::fmt::Display for AggStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "{:<5} {:>6} {:>6} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10}",
-            "pe",
-            "msg-s",
-            "msg-r",
-            "KB-sent",
-            "KB-recv",
-            "KB-intra",
-            "loads",
-            "stores",
-            "flops",
-            "hidden-ms"
-        )?;
+        use hpf_trace::{Align, TextTable};
+        let mut t = TextTable::new(&[
+            ("pe", Align::Left),
+            ("msg-s", Align::Right),
+            ("msg-r", Align::Right),
+            ("KB-sent", Align::Right),
+            ("KB-recv", Align::Right),
+            ("KB-intra", Align::Right),
+            ("loads", Align::Right),
+            ("stores", Align::Right),
+            ("flops", Align::Right),
+            ("hidden-ms", Align::Right),
+        ]);
         for (pe, s) in self.per_pe.iter().enumerate() {
             let hidden_ms = self.hidden_comm_ns.get(pe).copied().unwrap_or(0.0) / 1e6;
-            writeln!(
-                f,
-                "{:<5} {:>6} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>10} {:>10} {:>10} {:>10.3}",
-                pe,
-                s.msgs_sent,
-                s.msgs_recv,
-                s.bytes_sent as f64 / 1024.0,
-                s.bytes_recv as f64 / 1024.0,
-                s.intra_bytes as f64 / 1024.0,
-                s.loads,
-                s.stores,
-                s.flops,
-                hidden_ms
-            )?;
+            t.row([
+                pe.to_string(),
+                s.msgs_sent.to_string(),
+                s.msgs_recv.to_string(),
+                format!("{:.1}", s.bytes_sent as f64 / 1024.0),
+                format!("{:.1}", s.bytes_recv as f64 / 1024.0),
+                format!("{:.1}", s.intra_bytes as f64 / 1024.0),
+                s.loads.to_string(),
+                s.stores.to_string(),
+                s.flops.to_string(),
+                format!("{hidden_ms:.3}"),
+            ]);
         }
+        f.write_str(&t.render())?;
         write!(
             f,
             "schedules: {} built, {} reused | kernels: {} compiled, {} execs | \

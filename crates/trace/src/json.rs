@@ -88,7 +88,7 @@ pub fn escape(s: &str) -> String {
 /// Parse a complete JSON document. Errors carry a byte offset.
 pub fn parse(s: &str) -> Result<Value, String> {
     let b = s.as_bytes();
-    let mut p = Parser { b, i: 0 };
+    let mut p = Parser { b, i: 0, depth: 0 };
     p.ws();
     let v = p.value()?;
     p.ws();
@@ -98,9 +98,17 @@ pub fn parse(s: &str) -> Result<Value, String> {
     Ok(v)
 }
 
+/// Maximum container nesting the parser accepts. Hand-written recursive
+/// descent recurses once per `[`/`{`, so unbounded depth would let a
+/// hostile document (a tampered tuning cache, a corrupt metrics snapshot)
+/// overflow the stack; anything the workspace emits is a handful of
+/// levels deep.
+const MAX_DEPTH: usize = 512;
+
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -134,8 +142,8 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Value::String(self.string()?)),
             Some(b't') => self.lit("true", Value::Bool(true)),
             Some(b'f') => self.lit("false", Value::Bool(false)),
@@ -143,6 +151,16 @@ impl<'a> Parser<'a> {
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(format!("unexpected byte at {}", self.i)),
         }
+    }
+
+    fn nested(&mut self, f: fn(&mut Self) -> Result<Value, String>) -> Result<Value, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.i));
+        }
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn object(&mut self) -> Result<Value, String> {
@@ -323,5 +341,69 @@ mod tests {
     #[test]
     fn unicode_escapes_decode() {
         assert_eq!(parse("\"\\u0041\\u00e9\"").unwrap(), Value::String("Aé".into()));
+    }
+
+    #[test]
+    fn every_simple_escape_decodes() {
+        let v = parse(r#""\"\\\/\b\f\n\r\t""#).unwrap();
+        assert_eq!(v, Value::String("\"\\/\u{8}\u{c}\n\r\t".into()));
+        // Unknown escapes and truncated \u sequences are rejected, not
+        // passed through.
+        assert!(parse(r#""\q""#).is_err());
+        assert!(parse(r#""\u12""#).is_err());
+        assert!(parse(r#""\u12zz""#).is_err());
+        assert!(parse("\"ends-in-backslash\\").is_err());
+    }
+
+    #[test]
+    fn escape_and_parse_invert_each_other() {
+        let nasty = "tab\t nl\n cr\r quote\" slash\\ bell\u{7} é∂";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&doc).unwrap(), Value::String(nasty.into()));
+    }
+
+    #[test]
+    fn deep_nesting_round_trips_below_the_limit() {
+        let depth = 100;
+        let doc = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.render(), doc);
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        let deep_array = format!("{}0{}", "[".repeat(4000), "]".repeat(4000));
+        let err = parse(&deep_array).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        let deep_object = "{\"k\":".repeat(4000) + "1" + &"}".repeat(4000);
+        assert!(parse(&deep_object).unwrap_err().contains("nesting deeper"));
+        // The guard resets between siblings: wide-but-shallow stays fine.
+        let wide = format!("[{}]", vec!["[0]"; 4000].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_both_entries_and_get_returns_the_first() {
+        let v = parse(r#"{"k":1,"k":2,"other":3}"#).unwrap();
+        assert_eq!(v.get("k"), Some(&Value::Number(1.0)));
+        match &v {
+            Value::Object(kv) => assert_eq!(kv.len(), 3, "no silent dedup: {kv:?}"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Round-tripping preserves the duplicate rather than dropping it.
+        assert_eq!(v.render(), r#"{"k":1,"k":2,"other":3}"#);
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_document_is_rejected() {
+        let src = r#"{"a":[1,-2.5e3,{"b":"x\ny"},null],"c":[true,false]}"#;
+        assert!(parse(src).is_ok());
+        for cut in 1..src.len() {
+            if !src.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &src[..cut];
+            assert!(parse(prefix).is_err(), "prefix {prefix:?} parsed");
+        }
     }
 }

@@ -35,6 +35,8 @@ pub mod chrome;
 pub mod json;
 pub mod span;
 pub mod summary;
+pub mod table;
 
 pub use span::{now_ns, Event, SpanKind, TraceConfig, Tracer};
 pub use summary::{Trace, TraceSummary, Track, TrackSummary};
+pub use table::{Align, TextTable};

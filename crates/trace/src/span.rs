@@ -263,6 +263,15 @@ impl Tracer {
         self.dropped
     }
 
+    /// The recorded events without draining, in completion order (the
+    /// order [`Tracer::record`] saw them, not start order). The metrics
+    /// sampler uses this with a pre-step `len()` watermark to read just
+    /// the spans one plan step produced, leaving the ring intact for the
+    /// eventual [`Tracer::drain`].
+    pub fn events(&self) -> &[Event] {
+        &self.ring
+    }
+
     /// Take the recorded events (sorted by start time — spans are pushed
     /// at completion, so nested spans complete before their parents) and
     /// reset the ring. The tracer stays enabled.

@@ -1,6 +1,7 @@
 //! Collected timelines and their aggregate views.
 
 use crate::span::{Event, SpanKind, NUM_KINDS};
+use crate::table::{Align, TextTable};
 
 /// One timeline: all spans recorded by one tracer (one PE worker thread,
 /// or a driver/compile-side tracer).
@@ -135,9 +136,17 @@ impl TraceSummary {
         self.tracks.iter().map(|t| t.count(k)).sum()
     }
 
+    /// Total spans lost to ring overflow, across every track (driver
+    /// tracks included — a PE-only count would hide driver drops).
+    pub fn total_dropped(&self) -> u64 {
+        self.tracks.iter().map(|t| t.dropped).sum()
+    }
+
     /// Plain-text per-step summary table: for each per-PE track, wall
     /// microseconds per step in each execution-phase column. `steps`
-    /// clamps to at least 1.
+    /// clamps to at least 1. Tracks that overflowed their ring get an
+    /// inline note, and any overflow at all appends a closing warning so
+    /// drops are never silent in the rendered view.
     pub fn render_table(&self, steps: u64) -> String {
         let steps = steps.max(1) as f64;
         const COLS: [SpanKind; 8] = [
@@ -150,25 +159,35 @@ impl TraceSummary {
             SpanKind::CommPost,
             SpanKind::CommDrain,
         ];
-        let mut out = String::new();
-        out.push_str(&format!("{:<8} {:>8}", "track", "events"));
+        let mut columns: Vec<(&str, Align)> =
+            vec![("track", Align::Left), ("events", Align::Right)];
         for k in COLS {
-            out.push_str(&format!(" {:>10}", k.label()));
+            columns.push((k.label(), Align::Right));
         }
-        out.push_str(&format!(" {:>10}\n", "hidden"));
+        columns.push(("hidden", Align::Right));
+        let mut table = TextTable::new(&columns);
         for t in self.pe_tracks() {
             let events: u64 = t.count.iter().sum();
-            out.push_str(&format!("{:<8} {:>8}", t.name, events));
+            let mut row = vec![t.name.clone(), events.to_string()];
             for k in COLS {
-                out.push_str(&format!(" {:>10.1}", t.wall_ns(k) as f64 / steps / 1e3));
+                row.push(format!("{:.1}", t.wall_ns(k) as f64 / steps / 1e3));
             }
-            out.push_str(&format!(" {:>10.1}\n", t.hidden_ns(SpanKind::CommDrain) / steps / 1e3));
+            row.push(format!("{:.1}", t.hidden_ns(SpanKind::CommDrain) / steps / 1e3));
+            table.row(row);
             if t.dropped > 0 {
-                out.push_str(&format!("{:<8} ({} spans dropped: ring full)\n", "", t.dropped));
+                table.line(format!("  ({} spans dropped: ring full)", t.dropped));
             }
         }
-        out.push_str("(per-PE wall microseconds per step; hidden = modeled comm hidden behind interior compute)\n");
-        out
+        table.line(
+            "(per-PE wall microseconds per step; hidden = modeled comm hidden behind interior compute)",
+        );
+        let dropped = self.total_dropped();
+        if dropped > 0 {
+            table.line(format!(
+                "warning: {dropped} spans lost to ring overflow — raise TraceConfig capacity for a complete trace"
+            ));
+        }
+        table.render()
     }
 }
 
@@ -254,5 +273,15 @@ mod tests {
         assert!(table.contains("PE 1"));
         assert!(table.contains("dropped"));
         assert!(table.contains("interior"));
+        assert!(table.contains("warning: 2 spans lost"), "{table}");
+    }
+
+    #[test]
+    fn table_omits_the_overflow_warning_when_nothing_dropped() {
+        let mut trace = sample();
+        trace.tracks[1].dropped = 0;
+        let s = trace.summary();
+        assert_eq!(s.total_dropped(), 0);
+        assert!(!s.render_table(1).contains("warning:"));
     }
 }

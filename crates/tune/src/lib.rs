@@ -53,6 +53,44 @@ pub struct TuneOutcome {
     pub fingerprint: String,
 }
 
+impl TuneOutcome {
+    /// The candidate table a cold search prints (`hpfsc --tune`): one row
+    /// per enumerated candidate in modeled order, the winner marked `*`,
+    /// un-timed candidates shown as `-`, failed builds as `build failed`.
+    /// Empty on a cache hit — nothing was enumerated.
+    pub fn render_table(&self) -> String {
+        use hpf_trace::{Align, TextTable};
+        let mut t = TextTable::new(&[
+            ("", Align::Left),
+            ("grid", Align::Left),
+            ("config", Align::Left),
+            ("pts", Align::Right),
+            ("modeled ms", Align::Right),
+            ("measured ms", Align::Right),
+        ]);
+        for c in &self.candidates {
+            let modeled = if c.modeled_ms.is_finite() {
+                format!("{:.4}", c.modeled_ms)
+            } else {
+                "build failed".to_string()
+            };
+            let measured = match c.measured_ms {
+                Some(ms) => format!("{ms:.4}"),
+                None => "-".to_string(),
+            };
+            t.row([
+                if *c == self.best { "*".to_string() } else { String::new() },
+                grid_label(&c.grid),
+                c.exec_config().label(),
+                c.par_threshold.to_string(),
+                modeled,
+                measured,
+            ]);
+        }
+        t.render()
+    }
+}
+
 /// Cost-guided configuration search over PE grids, engines, backends, and
 /// spawn thresholds. Construct with [`Tuner::new`] around the base machine
 /// configuration (which supplies the core count, mesh rank, halo width,
@@ -417,6 +455,12 @@ END
         assert!(cold.timed > 0 && cold.timed <= 4);
         assert!(cold.best.measured_ms.is_some());
         assert!(!cold.candidates.is_empty());
+        // The rendered table marks exactly the winning row.
+        let table = cold.render_table();
+        assert!(table.contains("modeled ms"), "{table}");
+        let starred: Vec<&str> = table.lines().filter(|l| l.starts_with('*')).collect();
+        assert_eq!(starred.len(), 1, "{table}");
+        assert!(starred[0].contains(&grid_label(&cold.best.grid)), "{table}");
         // The table is sorted by modeled time.
         for w in cold.candidates.windows(2) {
             assert!(w[0].modeled_ms <= w[1].modeled_ms);

@@ -1,0 +1,181 @@
+//! Differential testing of the metrics subsystem: collecting per-PE
+//! metrics must be **observation only**. For every engine × backend
+//! combination (and randomly drawn kernels, sizes, and step counts), a
+//! metered run and an unmetered run of the same kernel must produce
+//! bitwise-identical arrays and identical per-PE operation counters —
+//! the sampler may read the trace rings but never perturb execution.
+//! The drift report must reconcile exactly with its sources: its
+//! `modeled_time_ns` equals `CostModel::modeled_time_ns` on the run's
+//! aggregate counters and its `hidden_comm_ns` equals the sum of
+//! `AggStats::hidden_comm_ns`. Metrics-owned tracing must stay invisible
+//! to trace consumers.
+
+use hpf_stencil::runtime::PeStats;
+use hpf_stencil::{
+    presets, Backend, CompileOptions, Engine, ExecConfig, Kernel, MachineConfig, MetricsSnapshot,
+};
+use proptest::prelude::*;
+
+const COMBOS: [(Engine, Backend); 6] = [
+    (Engine::Sequential, Backend::Interp),
+    (Engine::Sequential, Backend::Bytecode),
+    (Engine::Threaded, Backend::Interp),
+    (Engine::Threaded, Backend::Bytecode),
+    (Engine::ThreadedOverlap, Backend::Interp),
+    (Engine::ThreadedOverlap, Backend::Bytecode),
+];
+
+/// Step the kernel `steps` times under `cfg`, initializing `input`;
+/// return the gathered `out` array, the per-PE counters, and the metrics
+/// snapshot (when on).
+fn run_case(
+    kernel: &Kernel,
+    input: &str,
+    out: &str,
+    cfg: ExecConfig,
+    steps: usize,
+) -> (Vec<f64>, Vec<PeStats>, Option<MetricsSnapshot>) {
+    let mut plan = kernel
+        .plan(MachineConfig::sp2_2x2())
+        .init(input, |p| ((p[0] * 13 + p[1] * 7) as f64 * 0.03).sin())
+        .config(cfg)
+        .build()
+        .unwrap_or_else(|e| panic!("{cfg:?} failed to build: {e}"));
+    plan.iterate(steps);
+    let data = plan.gather(out).unwrap();
+    let stats = plan.stats().per_pe;
+    let snap = plan.metrics_snapshot();
+    (data, stats, snap)
+}
+
+/// Metrics on vs off is invisible to the computation: bitwise-identical
+/// arrays and identical per-PE counters across the whole engine × backend
+/// matrix.
+#[test]
+fn metrics_never_perturb_execution() {
+    let kernel = Kernel::compile(&presets::problem9(24), CompileOptions::full()).unwrap();
+    for (engine, backend) in COMBOS {
+        let base = ExecConfig::new().engine(engine).backend(backend);
+        let (out_off, stats_off, snap_off) = run_case(&kernel, "U", "T", base, 3);
+        let (out_on, stats_on, snap_on) = run_case(&kernel, "U", "T", base.metrics(true), 3);
+        assert_eq!(out_off, out_on, "metered run diverged bitwise under {engine:?}/{backend:?}");
+        assert_eq!(
+            stats_off, stats_on,
+            "metered run changed per-PE counters under {engine:?}/{backend:?}"
+        );
+        assert!(snap_off.is_none(), "unmetered run produced a snapshot");
+        let snap = snap_on.unwrap_or_else(|| panic!("no snapshot under {engine:?}/{backend:?}"));
+        assert_eq!(snap.steps, 3);
+        assert_eq!(snap.pes, 4);
+        assert_eq!(snap.series.len(), 3);
+        let spans: u64 = snap.merged_pe_registry().hists().map(|(_, h)| h.count()).sum();
+        assert!(spans > 0, "no spans sampled under {engine:?}/{backend:?}");
+    }
+}
+
+/// The drift report's totals reconcile exactly — not approximately — with
+/// the cost model and the counters, per engine × backend.
+#[test]
+fn drift_report_reconciles_with_cost_model_and_counters() {
+    let kernel = Kernel::compile(&presets::jacobi(16, 3), CompileOptions::full()).unwrap();
+    for (engine, backend) in COMBOS {
+        let cfg = ExecConfig::new().engine(engine).backend(backend).metrics(true);
+        let mut plan = kernel
+            .plan(MachineConfig::sp2_2x2())
+            .init("U", |p| ((p[0] + 2 * p[1]) as f64 * 0.07).cos())
+            .config(cfg)
+            .build()
+            .unwrap();
+        plan.iterate(4);
+        let drift = plan.drift_report().expect("metrics were configured");
+        let agg = plan.stats();
+        let cost = &plan.machine.cfg.cost;
+        assert_eq!(
+            drift.modeled_time_ns,
+            cost.modeled_time_ns(&agg),
+            "modeled total diverged under {engine:?}/{backend:?}"
+        );
+        assert_eq!(
+            drift.hidden_comm_ns,
+            agg.hidden_comm_ns.iter().sum::<f64>(),
+            "hidden credit diverged under {engine:?}/{backend:?}"
+        );
+        // Every component pairs a finite modeled cost with a finite
+        // measured wall; the measured side never exceeds... nothing — it
+        // is host time — but it must be non-negative and the report must
+        // price the compute component (every engine computes).
+        for c in &drift.components {
+            assert!(c.modeled_ns >= 0.0 && c.measured_ns >= 0.0, "{engine:?}/{backend:?}");
+        }
+        let compute = drift.components.iter().find(|c| c.name == "compute").unwrap();
+        assert!(compute.modeled_ns > 0.0, "no modeled compute under {engine:?}/{backend:?}");
+        assert!(compute.measured_ns > 0.0, "no measured compute under {engine:?}/{backend:?}");
+        // The exports are well-formed: JSON round-trips through the shared
+        // parser, the Prometheus exposition carries per-PE labels.
+        let snap = plan.metrics_snapshot().unwrap();
+        let j = snap.to_json();
+        let back = hpf_stencil::trace::json::parse(&j.render()).unwrap();
+        assert_eq!(back.render(), j.render(), "{engine:?}/{backend:?}");
+        let dj = drift.to_json();
+        let dback = hpf_stencil::trace::json::parse(&dj.render()).unwrap();
+        assert_eq!(dback.render(), dj.render(), "{engine:?}/{backend:?}");
+        assert!(snap.to_prometheus().contains("pe=\"3\""), "{engine:?}/{backend:?}");
+    }
+}
+
+/// Metrics-owned tracing stays invisible: no trace on the run, empty
+/// `take_trace`, `tracing_enabled` false — while an explicitly traced
+/// run keeps its trace alongside the metrics.
+#[test]
+fn metrics_owned_rings_stay_invisible_to_trace_consumers() {
+    let kernel = Kernel::compile(&presets::problem9(16), CompileOptions::full()).unwrap();
+    let init = |p: &[i64]| ((p[0] * 3 - p[1]) as f64 * 0.11).sin();
+    let metered =
+        kernel.runner(MachineConfig::sp2_2x2()).init("U", init).metrics(true).run().unwrap();
+    assert!(metered.trace.is_none(), "metrics alone surfaced a trace");
+    assert!(metered.metrics.is_some() && metered.drift.is_some());
+    let both = kernel
+        .runner(MachineConfig::sp2_2x2())
+        .init("U", init)
+        .metrics(true)
+        .trace(true)
+        .run()
+        .unwrap();
+    let trace = both.trace.as_ref().expect("tracing was configured");
+    assert!(trace.total_events() > 0);
+    assert!(both.metrics.is_some() && both.drift.is_some());
+    // Both runs computed the same thing.
+    assert_eq!(metered.gather(&kernel, "T"), both.gather(&kernel, "T"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Randomized observation-only check: random preset kernel, problem
+    /// size, step count, engine, and backend — metrics on vs off stays
+    /// bitwise identical, and the superstep schedule keeps the invariant
+    /// too.
+    #[test]
+    fn random_runs_are_bitwise_identical_with_metrics(
+        which in 0usize..3,
+        n_idx in 0usize..3,
+        steps in 1usize..4,
+        combo in 0usize..COMBOS.len(),
+        superstep in prop_oneof![Just(1usize), Just(2)],
+    ) {
+        let n = [12, 16, 24][n_idx];
+        let (src, input, out) = match which {
+            0 => (presets::problem9(n), "U", "T"),
+            1 => (presets::jacobi(n, 3), "U", "U"),
+            _ => (presets::five_point(n), "SRC", "DST"),
+        };
+        let kernel = Kernel::compile(&src, CompileOptions::full()).unwrap();
+        let (engine, backend) = COMBOS[combo];
+        let base = ExecConfig::new().engine(engine).backend(backend).superstep(superstep);
+        let (out_off, stats_off, _) = run_case(&kernel, input, out, base, steps);
+        let (out_on, stats_on, snap) = run_case(&kernel, input, out, base.metrics(true), steps);
+        prop_assert_eq!(out_off, out_on);
+        prop_assert_eq!(stats_off, stats_on);
+        prop_assert_eq!(snap.unwrap().steps, steps as u64);
+    }
+}
